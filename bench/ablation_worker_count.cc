@@ -1,0 +1,40 @@
+/**
+ * @file
+ * §4.3 ablation: number of worker processes. The paper selected 24
+ * workers for UDP and 32 for TCP because those "perform well over a
+ * wide range of experiments". This sweep regenerates the comparison.
+ */
+
+#include <cstdio>
+
+#include "fig_common.hh"
+
+int
+main()
+{
+    using namespace siprox;
+
+    stats::Table table({"workers", "UDP ops/s", "TCP ops/s"});
+    const int counts[] = {2, 4, 8, 16, 24, 32, 48};
+    for (int workers : counts) {
+        double ops[2] = {0, 0};
+        int idx = 0;
+        for (auto transport :
+             {core::Transport::Udp, core::Transport::Tcp}) {
+            workload::Scenario sc =
+                workload::paperScenario(transport, 500, 0);
+            sc.measureWindow = bench::windowFor(transport, 0) / 2;
+            sc.proxy.workers = workers;
+            ops[idx++] = workload::runScenario(sc).opsPerSec;
+        }
+        std::fprintf(stderr, "  [%d workers] udp=%.0f tcp=%.0f\n",
+                     workers, ops[0], ops[1]);
+        table.addRow({std::to_string(workers),
+                      stats::Table::num(ops[0]),
+                      stats::Table::num(ops[1])});
+    }
+    std::printf("=== Worker-count sweep (paper picks 24 UDP / 32 TCP) "
+                "===\n%s\n",
+                table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * §6 extensions: the architectures the paper argues for but does not
+ * build — a multithreaded TCP proxy (one address space, no fd-passing
+ * IPC, per-connection write locks) and an SCTP proxy (UDP-like
+ * symmetric workers, kernel connection management).
+ *
+ * Expected shape: both close most of the remaining TCP/UDP gap, since
+ * descriptor transfer and user-level idle management disappear.
+ */
+
+#include <cstdio>
+
+#include "fig_common.hh"
+
+int
+main()
+{
+    using namespace siprox;
+
+    struct Case
+    {
+        const char *name;
+        core::Transport transport;
+        core::ConcurrencyModel concurrency;
+        bool fdCache;
+        core::IdleStrategy idle;
+    };
+    const Case cases[] = {
+        {"UDP (reference)", core::Transport::Udp,
+         core::ConcurrencyModel::Process, false,
+         core::IdleStrategy::LinearScan},
+        {"TCP process, baseline", core::Transport::Tcp,
+         core::ConcurrencyModel::Process, false,
+         core::IdleStrategy::LinearScan},
+        {"TCP process, both fixes", core::Transport::Tcp,
+         core::ConcurrencyModel::Process, true,
+         core::IdleStrategy::PriorityQueue},
+        {"TCP multithreaded (par. 6)", core::Transport::Tcp,
+         core::ConcurrencyModel::Thread, false,
+         core::IdleStrategy::PriorityQueue},
+        {"SCTP (par. 6)", core::Transport::Sctp,
+         core::ConcurrencyModel::Process, false,
+         core::IdleStrategy::LinearScan},
+    };
+
+    stats::Table table({"architecture", "workload", "ops/s",
+                        "% of UDP", "fd IPC requests"});
+    double udp_ops = 0;
+    for (int ops_per_conn : {0, 50}) {
+        for (const auto &c : cases) {
+            // SCTP and UDP have no application-level connections to
+            // cycle; run them once under the persistent label only.
+            if (c.transport != core::Transport::Tcp
+                && ops_per_conn != 0) {
+                continue;
+            }
+            workload::Scenario sc = workload::paperScenario(
+                c.transport, 500,
+                c.transport == core::Transport::Tcp ? ops_per_conn
+                                                    : 0);
+            sc.measureWindow =
+                bench::windowFor(c.transport, ops_per_conn);
+            sc.proxy.concurrency = c.concurrency;
+            sc.proxy.fdCache = c.fdCache;
+            sc.proxy.idleStrategy = c.idle;
+            auto r = workload::runScenario(sc);
+            if (c.transport == core::Transport::Udp)
+                udp_ops = r.opsPerSec;
+            std::fprintf(stderr, "  [%s / %d ops/conn] %.0f ops/s\n",
+                         c.name, ops_per_conn, r.opsPerSec);
+            table.addRow(
+                {c.name,
+                 ops_per_conn == 0 ? "persistent" : "50 ops/conn",
+                 stats::Table::num(r.opsPerSec),
+                 stats::Table::pct(
+                     udp_ops > 0 ? r.opsPerSec / udp_ops : 0),
+                 std::to_string(r.counters.fdRequests)});
+        }
+    }
+    std::printf("=== Section 6 extensions: multithreaded TCP and SCTP "
+                "===\n%s\n",
+                table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Regenerates Figure 3, "Baseline OpenSER Performance": stock
+ * configuration — no fd cache, linear-scan idle management, supervisor
+ * priority elevated (the paper elevates it in all experiments, §4.3).
+ *
+ * Paper claims reproduced here: OpenSER over TCP performs at 13-51% of
+ * UDP; the non-persistent workloads are worst; throughput ordering is
+ * 50 ops/conn < 500 ops/conn < persistent << UDP.
+ */
+
+#include "fig_common.hh"
+
+int
+main()
+{
+    using namespace siprox;
+    // Bar values from Figure 3 (100 / 500 / 1000 clients).
+    const double udp[3] = {33695, 33350, 28395};
+    const double tcp50[3] = {4651, 6794, 5853};
+    const double tcp500[3] = {9500, 12359, 7472};
+    const double tcp_persistent[3] = {14635, 12630, 9791};
+
+    auto grid = bench::paperGrid(udp, tcp50, tcp500, tcp_persistent);
+    bench::runFigure(
+        "Figure 3: baseline throughput (no fd cache, linear scan)",
+        grid, [](workload::Scenario &sc) {
+            sc.proxy.fdCache = false;
+            sc.proxy.idleStrategy = core::IdleStrategy::LinearScan;
+        });
+    return 0;
+}

@@ -1,0 +1,101 @@
+#include "fig_common.hh"
+
+#include <map>
+
+namespace siprox::bench {
+
+std::vector<Cell>
+paperGrid(const double udp[3], const double tcp50[3],
+          const double tcp500[3], const double tcpPersistent[3])
+{
+    const int clients[3] = {100, 500, 1000};
+    std::vector<Cell> grid;
+    for (int i = 0; i < 3; ++i) {
+        grid.push_back(Cell{"TCP 50 ops/conn", core::Transport::Tcp, 50,
+                            clients[i], tcp50[i]});
+    }
+    for (int i = 0; i < 3; ++i) {
+        grid.push_back(Cell{"TCP 500 ops/conn", core::Transport::Tcp,
+                            500, clients[i], tcp500[i]});
+    }
+    for (int i = 0; i < 3; ++i) {
+        grid.push_back(Cell{"TCP persistent", core::Transport::Tcp, 0,
+                            clients[i], tcpPersistent[i]});
+    }
+    for (int i = 0; i < 3; ++i) {
+        grid.push_back(Cell{"UDP", core::Transport::Udp, 0, clients[i],
+                            udp[i]});
+    }
+    return grid;
+}
+
+void
+runFigure(const std::string &title, const std::vector<Cell> &grid,
+          const std::function<void(workload::Scenario &)> &tweak)
+{
+    std::printf("=== %s ===\n", title.c_str());
+    if (quickMode())
+        std::printf("(quick mode: shortened measurement windows)\n");
+
+    stats::Table table({"series", "clients", "ops/s", "paper ops/s",
+                        "% of UDP", "paper %", "failed calls",
+                        "srv util"});
+    // Measured UDP baselines, for the ratio columns.
+    std::map<int, double> udp_measured;
+    std::map<int, double> udp_paper;
+    for (const auto &cell : grid) {
+        if (cell.transport == core::Transport::Udp)
+            udp_paper[cell.clients] = cell.paperOpsPerSec;
+    }
+
+    struct Row
+    {
+        const Cell *cell;
+        workload::RunResult result;
+    };
+    std::vector<Row> rows;
+    // UDP cells first so ratios are available.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (const auto &cell : grid) {
+            bool is_udp = cell.transport == core::Transport::Udp;
+            if ((pass == 0) != is_udp)
+                continue;
+            workload::Scenario sc = workload::paperScenario(
+                cell.transport, cell.clients, cell.opsPerConn);
+            sc.measureWindow =
+                windowFor(cell.transport, cell.opsPerConn);
+            tweak(sc);
+            workload::RunResult r = workload::runScenario(sc);
+            if (is_udp)
+                udp_measured[cell.clients] = r.opsPerSec;
+            rows.push_back(Row{&cell, std::move(r)});
+            std::fprintf(stderr, "  [%s %d clients] %.0f ops/s\n",
+                         cell.series, cell.clients, rows.back().result
+                             .opsPerSec);
+        }
+    }
+
+    // Emit in the grid's order.
+    for (const auto &cell : grid) {
+        for (const auto &row : rows) {
+            if (row.cell != &cell)
+                continue;
+            double udp_m = udp_measured[cell.clients];
+            double ratio = udp_m > 0 ? row.result.opsPerSec / udp_m : 0;
+            double paper_ratio = udp_paper[cell.clients] > 0
+                ? cell.paperOpsPerSec / udp_paper[cell.clients]
+                : 0;
+            table.addRow({cell.series, std::to_string(cell.clients),
+                          stats::Table::num(row.result.opsPerSec),
+                          stats::Table::num(cell.paperOpsPerSec),
+                          stats::Table::pct(ratio),
+                          stats::Table::pct(paper_ratio),
+                          std::to_string(row.result.callsFailed),
+                          stats::Table::pct(
+                              row.result.serverUtilization)});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // namespace siprox::bench

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Demonstrates the §6 deadlock in OpenSER's TCP architecture: a worker
+ * blocks waiting for a file-descriptor reply from the supervisor while
+ * the supervisor blocks pushing a new connection into that worker's
+ * full dispatch channel. Neither can make progress, every other worker
+ * soon needs the supervisor too, and the whole proxy wedges.
+ *
+ * The demo runs the same churn-heavy workload twice: with blocking
+ * IPC and a tiny dispatch buffer (wedges), then with the event-driven
+ * supervisor (never blocks; completes).
+ */
+
+#include <cstdio>
+#include <cstdint>
+
+#include "core/proxy.hh"
+#include "net/network.hh"
+#include "phone/phone.hh"
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+
+namespace {
+
+using namespace siprox;
+
+/** @return true if the run completed, false if it wedged. */
+bool
+runOnce(bool event_driven)
+{
+    sim::Simulation simulation;
+    auto &server_machine = simulation.addMachine("server", 4);
+    auto &client_machine = simulation.addMachine("client", 4);
+    net::Network network(simulation);
+    auto &server_host = network.attach(server_machine);
+    auto &client_host = network.attach(client_machine);
+
+    core::ProxyConfig cfg;
+    cfg.transport = core::Transport::Tcp;
+    cfg.workers = 2;
+    cfg.dispatchChannelCapacity = 1; // makes the race easy to hit
+    cfg.eventDrivenIpc = event_driven;
+    core::Proxy proxy(server_machine, server_host, cfg);
+    proxy.start();
+
+    const int pairs = 12;
+    const int calls = 40;
+    sim::Latch registered(2 * pairs), start(1), done(pairs);
+    std::vector<std::unique_ptr<phone::Phone>> phones;
+    for (int i = 0; i < pairs; ++i) {
+        phone::PhoneConfig cc;
+        cc.transport = core::Transport::Tcp;
+        cc.proxyAddr = proxy.addr();
+        cc.opsPerConn = 2; // reconnect every call: heavy accept traffic
+        cc.user = "c" + std::to_string(i);
+        cc.port = static_cast<std::uint16_t>(16000 + i);
+        phones.push_back(std::make_unique<phone::Phone>(
+            client_machine, client_host, cc));
+        phones.back()->startCallee(calls, &registered, nullptr);
+        cc.user = "a" + std::to_string(i);
+        cc.port = static_cast<std::uint16_t>(6000 + i);
+        phones.push_back(std::make_unique<phone::Phone>(
+            client_machine, client_host, cc));
+        phones.back()->startCaller(calls, "c" + std::to_string(i),
+                                   &registered, &start, &done);
+    }
+    start.arrive();
+
+    // Run in slices; declare a wedge when the proxy stops making
+    // progress while calls are still outstanding.
+    std::uint64_t last_messages = 0;
+    int stalled_slices = 0;
+    for (int slice = 0; slice < 300; ++slice) {
+        simulation.runFor(sim::msecs(200));
+        if (done.remaining() == 0) {
+            proxy.requestStop();
+            std::printf("  completed all calls at t=%.2fs\n",
+                        sim::toSecs(simulation.now()));
+            return true;
+        }
+        std::uint64_t messages = proxy.shared().counters.messagesIn;
+        stalled_slices = messages == last_messages
+            ? stalled_slices + 1
+            : 0;
+        last_messages = messages;
+        if (stalled_slices >= 10) {
+            std::printf("  WEDGED at t=%.2fs after %llu messages; "
+                        "blocked processes:\n",
+                        sim::toSecs(simulation.now()),
+                        static_cast<unsigned long long>(messages));
+            for (const auto &line : simulation.blockedReport()) {
+                if (line.find("server/") == 0)
+                    std::printf("    %s\n", line.c_str());
+            }
+            proxy.requestStop();
+            return false;
+        }
+    }
+    proxy.requestStop();
+    return false;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== blocking IPC (OpenSER as shipped), dispatch "
+                "buffer of 1 ===\n");
+    bool blocking_completed = runOnce(false);
+
+    std::printf("\n=== event-driven IPC (the fix: never write unless "
+                "poll says writable) ===\n");
+    bool event_driven_completed = runOnce(true);
+
+    std::printf("\nblocking IPC:     %s\n",
+                blocking_completed ? "completed (lucky schedule)"
+                                   : "deadlocked");
+    std::printf("event-driven IPC: %s\n",
+                event_driven_completed ? "completed" : "deadlocked");
+    return event_driven_completed ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Proxy configuration: transport, architecture, worker counts, and the
+ * §4.3/§5 knobs (supervisor priority, idle timeout, fd cache, idle
+ * management strategy, event-driven IPC).
+ */
+
+#ifndef SIPROX_CORE_CONFIG_HH
+#define SIPROX_CORE_CONFIG_HH
+
+#include <cstdint>
+
+#include "core/cost_model.hh"
+#include "sim/time.hh"
+
+namespace siprox::core {
+
+/** Network transport the proxy speaks to phones. */
+enum class Transport
+{
+    Udp,
+    Tcp,
+    Sctp,
+};
+
+const char *transportName(Transport t);
+
+/** §6: process-per-worker vs threads sharing one address space. */
+enum class ConcurrencyModel
+{
+    Process,
+    Thread,
+};
+
+/** Idle TCP connection management strategy (§5.2 vs §5.3). */
+enum class IdleStrategy
+{
+    /** Walk every connection object under the hash lock (baseline). */
+    LinearScan,
+    /** Timeout-ordered priority queues (the paper's fix). */
+    PriorityQueue,
+};
+
+/** Full proxy configuration. */
+struct ProxyConfig
+{
+    Transport transport = Transport::Udp;
+    /** Worker processes; the paper uses 24 for UDP and 32 for TCP. */
+    int workers = 24;
+    /** Stateful proxies absorb retransmissions and send 100 Trying. */
+    bool stateful = true;
+    /**
+     * Digest authentication (related work: Nahum et al. found it the
+     * single largest performance factor). Requests without credentials
+     * are challenged with 401; credentialed ones pay a verification
+     * plus user-database cost per request.
+     */
+    bool authenticate = false;
+    /**
+     * Redirect-server mode (paper §2): instead of proxying, answer
+     * INVITEs with 302 Moved Temporarily carrying the registered
+     * contact; callers then signal the callee directly. Datagram
+     * transports only (phones do not accept TCP connections).
+     */
+    bool redirect = false;
+    std::uint16_t port = 5060;
+
+    // --- TCP architecture knobs -------------------------------------------
+    ConcurrencyModel concurrency = ConcurrencyModel::Process;
+    /** §5.2 fix: per-worker cache of passed descriptors. */
+    bool fdCache = false;
+    /** §5.3 fix: priority-queue idle management. */
+    IdleStrategy idleStrategy = IdleStrategy::LinearScan;
+    /** Idle connection timeout (OpenSER default 120 s; paper uses 10 s). */
+    sim::SimTime idleTimeout = sim::secs(10);
+    /** Supervisor nice value; the paper elevates it to -20. */
+    int supervisorNice = -20;
+    /** Timer tick driving idle scans (supervisor and workers). */
+    sim::SimTime idleScanInterval = sim::msecs(10);
+    /** §6: never block in IPC sends (prevents the deadlock). */
+    bool eventDrivenIpc = false;
+    /** Capacity of each supervisor->worker dispatch channel. */
+    int dispatchChannelCapacity = 64;
+    /** Capacity of the shared worker->supervisor request channel. */
+    int requestChannelCapacity = 512;
+
+    // --- stateful timer engine ---------------------------------------------
+    /** Tick of the timer process scanning the retransmission list. */
+    sim::SimTime timerTick = sim::msecs(100);
+    /** Completed transactions linger this long before cleanup. */
+    sim::SimTime txnLinger = sim::secs(1);
+
+    CostModel costs;
+};
+
+} // namespace siprox::core
+
+#endif // SIPROX_CORE_CONFIG_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * User-level CPU cost model for the OpenSER-like proxy. Each constant
+ * is the simulated CPU charge of one operation, billed to a cost center
+ * named after the corresponding OpenSER function group so the simulated
+ * profiler reproduces the paper's §5 OProfile observations. Kernel-side
+ * costs (syscalls) live in net::NetConfig.
+ *
+ * Calibration: the constants were fit once so that the UDP baseline at
+ * 100 clients lands near the paper's ~33.7k ops/s on a 4-core server;
+ * every other number in EXPERIMENTS.md is emergent from the
+ * architecture, not individually fitted.
+ */
+
+#ifndef SIPROX_CORE_COST_MODEL_HH
+#define SIPROX_CORE_COST_MODEL_HH
+
+#include "sim/time.hh"
+
+namespace siprox::core {
+
+using sim::SimTime;
+
+/** Per-operation user-level CPU charges. */
+struct CostModel
+{
+    // --- SIP processing (all transports) --------------------------------
+    /** Parse one SIP message (ser:parse_msg). */
+    SimTime parse = sim::usecs(8);
+    /** Routing decision incl. URI handling (ser:route). */
+    SimTime route = sim::usecs(3.5);
+    /** Serialize / adjust headers for forwarding (ser:build). */
+    SimTime serialize = sim::usecs(3);
+
+    // --- stateful transaction engine (ser:tm) -----------------------------
+    SimTime txnCreate = sim::usecs(4);
+    SimTime txnLookup = sim::usecs(2.3);
+    SimTime txnUpdate = sim::usecs(1.7);
+
+    // --- registrar / location service (ser:usrloc) -----------------------
+    SimTime registrarLookup = sim::usecs(1.5);
+    SimTime registrarUpdate = sim::usecs(2);
+
+    // --- digest authentication (ser:auth), when enabled -------------------
+    /** MD5 digest verification of an Authorization header. */
+    SimTime authCheck = sim::usecs(6);
+    /** Credential fetch from the user database (the "aggressive
+     *  database lookups" of Nahum et al.). */
+    SimTime authDbLookup = sim::usecs(18);
+    /** Building a 401 challenge with a fresh nonce. */
+    SimTime authChallenge = sim::usecs(4);
+
+    // --- retransmission timers (ser:timer) --------------------------------
+    SimTime timerArm = sim::usecs(1.2);
+    SimTime timerCancel = sim::usecs(1);
+    /** Per-entry cost of scanning the global timer list. */
+    SimTime timerScanPerEntry = sim::usecs(0.4);
+
+    // --- TCP architecture (ser:tcp_main / ser:tcp_read) -------------------
+    /** Worker-side marshalling of an fd request
+     *  (ser:tcp_send_fd_request — the paper's 12% function). */
+    SimTime ipcRequest = sim::usecs(5);
+    /** Supervisor-side handling of one fd request. */
+    SimTime ipcHandle = sim::usecs(7);
+    /** Kernel socketpair transfer, per IPC message. */
+    SimTime ipcSend = sim::usecs(6);
+    SimTime ipcRecv = sim::usecs(5);
+    /** Installing a received (passed) descriptor. */
+    SimTime fdInstall = sim::usecs(3);
+    /** Connection hash-table lookup / insert / erase (shared memory). */
+    SimTime connLookup = sim::usecs(1.5);
+    SimTime connInsert = sim::usecs(2.5);
+    SimTime connErase = sim::usecs(2);
+    /** Per-entry cost of the linear idle-connection scan
+     *  (ser:tcpconn_timeout — the §5.2 culprit). */
+    SimTime idleScanPerConn = sim::usecs(0.8);
+    /** One shared/local priority-queue operation (§5.3 fix). */
+    SimTime pqOp = sim::usecs(0.9);
+    /** Hitting the per-worker fd cache (§5.2 fix). */
+    SimTime fdCacheHit = sim::usecs(3);
+
+    // --- misc -------------------------------------------------------------
+    /** Event-loop bookkeeping per poll wakeup. */
+    SimTime pollOverhead = sim::usecs(1.0);
+
+    /**
+     * Cache/TLB pressure substitute: SIP-processing costs are scaled
+     * by (1 + resident_state_entries / statePressureScale), where
+     * resident state is the registrar, connection table, and timer
+     * list. This stands in for the real machine's larger working set
+     * at higher client counts (DESIGN.md substitutions) and produces
+     * the paper's mild throughput decline from 100 to 1000 clients.
+     */
+    double statePressureScale = 5500.0;
+
+    /**
+     * The supervisor holds a descriptor for every open connection, so
+     * its per-request work (dup + SCM_RIGHTS install scan the fd
+     * table) grows with the table: ipcHandle and fdInstall are scaled
+     * by (1 + open_connections / fdTableScale).
+     */
+    double fdTableScale = 4000.0;
+};
+
+} // namespace siprox::core
+
+#endif // SIPROX_CORE_COST_MODEL_HH

@@ -1,0 +1,467 @@
+#include "core/engine.hh"
+
+#include "sip/timers.hh"
+
+namespace siprox::core {
+
+namespace {
+
+/** Extract the URI from a name-addr header value like "<sip:x>;tag=y". */
+std::optional<sip::SipUri>
+uriFromNameAddr(std::string_view value)
+{
+    auto lt = value.find('<');
+    if (lt != std::string_view::npos) {
+        auto gt = value.find('>', lt);
+        if (gt == std::string_view::npos)
+            return std::nullopt;
+        return sip::SipUri::parse(value.substr(lt + 1, gt - lt - 1));
+    }
+    auto semi = value.find(';');
+    return sip::SipUri::parse(value.substr(0, semi));
+}
+
+/** The address a Via header says to reply to. */
+std::optional<net::Addr>
+addrFromVia(const sip::Via &via)
+{
+    sip::SipUri uri;
+    uri.host = via.host;
+    uri.port = via.effectivePort();
+    return sip::addrFromUri(uri);
+}
+
+} // namespace
+
+const char *
+transportName(Transport t)
+{
+    switch (t) {
+      case Transport::Udp:
+        return "UDP";
+      case Transport::Tcp:
+        return "TCP";
+      case Transport::Sctp:
+        return "SCTP";
+    }
+    return "?";
+}
+
+Engine::Engine(SharedState &shared, const ProxyConfig &cfg,
+               net::Addr proxy_addr, int worker_id)
+    : shared_(shared), cfg_(cfg), proxyAddr_(proxy_addr),
+      branches_(0x5150 + static_cast<std::uint64_t>(worker_id)),
+      ccParse_(sim::CostCenters::id("ser:parse_msg")),
+      ccRoute_(sim::CostCenters::id("ser:route")),
+      ccBuild_(sim::CostCenters::id("ser:build_fwd")),
+      ccTm_(sim::CostCenters::id("ser:tm")),
+      ccUsrloc_(sim::CostCenters::id("ser:usrloc")),
+      ccTimer_(sim::CostCenters::id("ser:timer")),
+      ccConnHash_(sim::CostCenters::id("ser:tcpconn_hash"))
+{
+}
+
+const char *
+Engine::viaTransport() const
+{
+    return transportName(cfg_.transport);
+}
+
+sim::SimTime
+Engine::scaled(sim::SimTime base) const
+{
+    double entries = static_cast<double>(shared_.conns.size())
+        + static_cast<double>(shared_.registrar.size())
+        + static_cast<double>(shared_.retrans.size());
+    return static_cast<sim::SimTime>(
+        static_cast<double>(base)
+        * (1.0 + entries / cfg_.costs.statePressureScale));
+}
+
+sim::Task
+Engine::handleMessage(sim::Process &p, std::string raw, MsgSource src,
+                      std::vector<SendAction> &out)
+{
+    ++shared_.counters.messagesIn;
+    co_await p.cpu(scaled(cfg_.costs.parse), ccParse_);
+    auto parsed = sip::parseMessage(raw);
+    if (!parsed.ok) {
+        ++shared_.counters.parseErrors;
+        co_return;
+    }
+    sip::SipMessage &msg = parsed.message;
+
+    if (msg.isRequest()) {
+        ++shared_.counters.requestsIn;
+        if (cfg_.authenticate && msg.method() != sip::Method::Ack) {
+            bool accepted = false;
+            co_await checkAuth(p, msg, src, &out, &accepted);
+            if (!accepted)
+                co_return;
+        }
+        // Aliases are refreshed by REGISTER handling only; per-request
+        // refreshes would take the shared hash lock on every message
+        // (phones re-REGISTER when they re-establish connections).
+        if (msg.method() == sip::Method::Register)
+            co_await handleRegister(p, std::move(msg), src, &out);
+        else
+            co_await handleRequest(p, std::move(msg), src, &out);
+    } else {
+        ++shared_.counters.responsesIn;
+        co_await handleResponse(p, std::move(msg), src, &out);
+    }
+}
+
+sim::Task
+Engine::refreshAlias(sim::Process &p, const sip::SipMessage &msg,
+                     MsgSource src)
+{
+    if (src.connId == 0)
+        co_return;
+    auto via = msg.topVia();
+    if (!via)
+        co_return;
+    auto addr = addrFromVia(*via);
+    if (!addr)
+        co_return;
+    co_await shared_.conns.lock().acquire(p);
+    co_await p.cpu(cfg_.costs.connLookup, ccConnHash_);
+    shared_.conns.setAlias(*addr, src.connId);
+    shared_.conns.lock().release();
+}
+
+sim::Task
+Engine::checkAuth(sim::Process &p, const sip::SipMessage &msg,
+                  MsgSource src, std::vector<SendAction> *out,
+                  bool *accepted)
+{
+    static const auto cc_auth = sim::CostCenters::id("ser:auth");
+    auto auth = msg.header("Authorization");
+    if (!auth || auth->find("response=") == std::string_view::npos) {
+        // Challenge with a fresh nonce (RFC 2617 digest).
+        ++shared_.counters.authChallenges;
+        co_await p.cpu(cfg_.costs.authChallenge, cc_auth);
+        sip::SipMessage rsp =
+            sip::buildResponse(msg, sip::status::kUnauthorized);
+        rsp.addHeader("WWW-Authenticate",
+                      "Digest realm=\"siprox\", nonce=\"n"
+                          + std::to_string(++nonce_) + "\"");
+        co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
+        SendAction action;
+        action.wire = rsp.serialize();
+        action.dstAddr = src.addr;
+        action.dstConnId = src.connId;
+        action.toUpstream = true;
+        out->push_back(std::move(action));
+        ++shared_.counters.localReplies;
+        *accepted = false;
+        co_return;
+    }
+    // Verify: credential fetch (the expensive part, per Nahum et al.)
+    // plus the digest computation.
+    co_await p.cpu(cfg_.costs.authDbLookup + cfg_.costs.authCheck,
+                   cc_auth);
+    ++shared_.counters.authAccepted;
+    *accepted = true;
+}
+
+sim::Task
+Engine::replyTo(sim::Process &p, const sip::SipMessage &req, int status,
+                MsgSource src, std::vector<SendAction> *out)
+{
+    sip::SipMessage rsp = sip::buildResponse(req, status);
+    co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
+    SendAction action;
+    action.wire = rsp.serialize();
+    action.dstAddr = src.addr;
+    action.dstConnId = src.connId;
+    action.toUpstream = true;
+    out->push_back(std::move(action));
+    ++shared_.counters.localReplies;
+}
+
+sim::Task
+Engine::resolveConn(sim::Process &p, net::Addr dst,
+                    std::uint64_t *conn_id)
+{
+    *conn_id = 0;
+    if (!tcp())
+        co_return;
+    co_await shared_.conns.lock().acquire(p);
+    co_await p.cpu(cfg_.costs.connLookup, ccConnHash_);
+    if (TcpConnObj *obj = shared_.conns.byAddr(dst))
+        *conn_id = obj->id;
+    shared_.conns.lock().release();
+}
+
+sim::Task
+Engine::handleRegister(sim::Process &p, sip::SipMessage msg,
+                       MsgSource src, std::vector<SendAction> *out)
+{
+    auto contact = msg.contactUri();
+    auto to_uri = uriFromNameAddr(msg.to());
+    if (!contact || !to_uri) {
+        co_await replyTo(p, msg, sip::status::kBadRequest, src, out);
+        co_return;
+    }
+    co_await shared_.registrar.lock().acquire(p);
+    co_await p.cpu(cfg_.costs.registrarUpdate, ccUsrloc_);
+    shared_.registrar.update(to_uri->user,
+                             Binding{*contact, src.connId});
+    shared_.registrar.lock().release();
+
+    if (tcp()) {
+        // The contact address must route over this connection.
+        if (auto addr = sip::addrFromUri(*contact)) {
+            co_await shared_.conns.lock().acquire(p);
+            co_await p.cpu(cfg_.costs.connLookup, ccConnHash_);
+            shared_.conns.setAlias(*addr, src.connId);
+            shared_.conns.lock().release();
+        }
+    }
+    ++shared_.counters.registrations;
+    co_await replyTo(p, msg, sip::status::kOk, src, out);
+}
+
+sim::Task
+Engine::handleRequest(sim::Process &p, sip::SipMessage msg,
+                      MsgSource src, std::vector<SendAction> *out)
+{
+    const bool stateful = cfg_.stateful;
+    const bool is_invite = msg.method() == sip::Method::Invite;
+    const bool is_ack = msg.method() == sip::Method::Ack;
+
+    auto key = sip::transactionKey(msg);
+    if (stateful && key) {
+        co_await shared_.txns.lock().acquire(p);
+        co_await p.cpu(scaled(cfg_.costs.txnLookup), ccTm_);
+        auto rec = shared_.txns.find(*key);
+        if (rec) {
+            if (is_ack) {
+                // ACK for a locally known INVITE transaction
+                // (non-2xx): absorbed, not forwarded.
+                rec->state = TxnRecord::State::Terminated;
+                shared_.txns.lock().release();
+                co_return;
+            }
+            // Retransmitted request: replay the last response.
+            ++shared_.counters.retransAbsorbed;
+            std::string replay = rec->lastResponse;
+            net::Addr up_addr = rec->upstreamAddr;
+            std::uint64_t up_conn = rec->upstreamConnId;
+            shared_.txns.lock().release();
+            if (!replay.empty()) {
+                SendAction action;
+                action.wire = std::move(replay);
+                action.dstAddr = up_addr;
+                action.dstConnId = up_conn;
+                action.toUpstream = true;
+                out->push_back(std::move(action));
+            }
+            co_return;
+        }
+        shared_.txns.lock().release();
+    }
+
+    // A stateful proxy takes responsibility with 100 Trying (§2 step 2).
+    std::string trying_wire;
+    if (stateful && is_invite) {
+        co_await replyTo(p, msg, sip::status::kTrying, src, out);
+        trying_wire = out->back().wire;
+    }
+
+    // --- routing ---------------------------------------------------------
+    co_await p.cpu(scaled(cfg_.costs.route), ccRoute_);
+    const std::string user = msg.requestUri().user;
+
+    co_await shared_.registrar.lock().acquire(p);
+    co_await p.cpu(scaled(cfg_.costs.registrarLookup), ccUsrloc_);
+    auto binding = shared_.registrar.lookup(user);
+    shared_.registrar.lock().release();
+
+    sip::SipUri target;
+    if (binding) {
+        target = binding->contact;
+    } else if (auto direct = sip::addrFromUri(msg.requestUri());
+               direct && *direct != proxyAddr_) {
+        target = msg.requestUri();
+    } else {
+        ++shared_.counters.routeFailures;
+        if (!is_ack)
+            co_await replyTo(p, msg, sip::status::kNotFound, src, out);
+        co_return;
+    }
+    auto dst = sip::addrFromUri(target);
+    if (!dst) {
+        ++shared_.counters.routeFailures;
+        if (!is_ack)
+            co_await replyTo(p, msg, sip::status::kNotFound, src, out);
+        co_return;
+    }
+
+    // Redirect-server mode (paper Â§2): remove ourselves from the
+    // transaction by handing the caller the registered contact.
+    if (cfg_.redirect && is_invite) {
+        ++shared_.counters.redirects;
+        sip::SipMessage rsp = sip::buildResponse(
+            msg, sip::status::kMovedTemporarily, "", target);
+        co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
+        SendAction action;
+        action.wire = rsp.serialize();
+        action.dstAddr = src.addr;
+        action.dstConnId = src.connId;
+        action.toUpstream = true;
+        out->push_back(std::move(action));
+        ++shared_.counters.localReplies;
+        co_return;
+    }
+
+    // --- build the forwarded request ---------------------------------------
+    int mf = msg.maxForwards().value_or(70);
+    if (mf <= 0) {
+        ++shared_.counters.routeFailures;
+        co_return; // loop guard: drop
+    }
+    sip::SipMessage fwd = msg;
+    fwd.setMaxForwards(mf - 1);
+    fwd.setRequestUri(target);
+    std::string branch = branches_.next();
+    sip::Via via;
+    via.transport = viaTransport();
+    via.host = "h" + std::to_string(proxyAddr_.host);
+    via.port = proxyAddr_.port;
+    via.branch = branch;
+    fwd.prependHeader("Via", via.toString());
+    co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
+    std::string wire = fwd.serialize();
+
+    // --- transaction state -------------------------------------------------
+    sip::TransactionKey client_key{branch, is_ack ? sip::Method::Ack
+                                                  : msg.method()};
+    if (stateful && key && !is_ack) {
+        TxnRecord record;
+        record.serverKey = *key;
+        record.clientKey = client_key;
+        record.method = msg.method();
+        record.upstreamAddr = src.addr;
+        record.upstreamConnId = src.connId;
+        // The TRYING absorbs caller-side INVITE retransmissions until
+        // a downstream response replaces it.
+        record.lastResponse = trying_wire;
+        co_await shared_.txns.lock().acquire(p);
+        co_await p.cpu(scaled(cfg_.costs.txnCreate), ccTm_);
+        shared_.txns.insert(std::move(record));
+        shared_.txns.lock().release();
+
+        if (unreliable()) {
+            // The proxy now owns retransmission (§2): arm a timer on
+            // the global list for the forwarded request.
+            RetransList::Entry entry;
+            entry.key = client_key;
+            entry.wire = wire;
+            entry.dst = *dst;
+            entry.interval = sip::timers::kT1;
+            entry.nextAt = p.sim().now() + sip::timers::kT1;
+            entry.deadline = p.sim().now() + sip::timers::kTimerB;
+            entry.invite = is_invite;
+            co_await shared_.retrans.lock().acquire(p);
+            co_await p.cpu(cfg_.costs.timerArm, ccTimer_);
+            shared_.retrans.arm(std::move(entry));
+            shared_.retrans.lock().release();
+        }
+    }
+
+    SendAction action;
+    action.wire = std::move(wire);
+    action.dstAddr = *dst;
+    co_await resolveConn(p, *dst, &action.dstConnId);
+    out->push_back(std::move(action));
+    ++shared_.counters.forwards;
+}
+
+sim::Task
+Engine::handleResponse(sim::Process &p, sip::SipMessage msg,
+                       MsgSource src, std::vector<SendAction> *out)
+{
+    (void)src;
+    // The top Via must be ours; pop it (§16.7).
+    auto top = msg.topVia();
+    if (!top || top->host != "h" + std::to_string(proxyAddr_.host)) {
+        ++shared_.counters.parseErrors;
+        co_return;
+    }
+    auto key = sip::transactionKey(msg); // keyed by our branch
+    msg.removeFirstHeader("Via");
+
+    net::Addr dst{};
+    std::uint64_t dst_conn = 0;
+    bool routed = false;
+
+    if (cfg_.stateful && key) {
+        co_await shared_.txns.lock().acquire(p);
+        co_await p.cpu(scaled(cfg_.costs.txnLookup), ccTm_);
+        auto rec = shared_.txns.find(*key);
+        if (rec) {
+            co_await p.cpu(scaled(cfg_.costs.txnUpdate), ccTm_);
+            dst = rec->upstreamAddr;
+            dst_conn = rec->upstreamConnId;
+            routed = true;
+            bool just_completed = false;
+            if (msg.isFinal()
+                && rec->state == TxnRecord::State::Proceeding) {
+                rec->state = TxnRecord::State::Completed;
+                just_completed = true;
+                shared_.txns.scheduleExpiry(
+                    rec, p.sim().now() + cfg_.txnLinger);
+            }
+            shared_.txns.lock().release();
+            if (just_completed && unreliable()) {
+                co_await shared_.retrans.lock().acquire(p);
+                co_await p.cpu(cfg_.costs.timerCancel, ccTimer_);
+                shared_.retrans.cancel(*key);
+                shared_.retrans.lock().release();
+            }
+            // Store the forwarded response for retransmission replay.
+            co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
+            std::string wire = msg.serialize();
+            co_await shared_.txns.lock().acquire(p);
+            rec->lastResponse = wire;
+            shared_.txns.lock().release();
+            SendAction action;
+            action.wire = std::move(wire);
+            action.dstAddr = dst;
+            action.dstConnId = dst_conn;
+            action.toUpstream = true;
+            out->push_back(std::move(action));
+            ++shared_.counters.forwards;
+            co_return;
+        }
+        shared_.txns.lock().release();
+    }
+
+    // Stateless (or stray) response: route by the next Via.
+    auto next = msg.topVia();
+    if (!next) {
+        ++shared_.counters.routeFailures;
+        co_return;
+    }
+    auto via_addr = addrFromVia(*next);
+    if (!via_addr) {
+        ++shared_.counters.routeFailures;
+        co_return;
+    }
+    dst = *via_addr;
+    co_await resolveConn(p, dst, &dst_conn);
+    routed = true;
+    (void)routed;
+    co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
+    SendAction action;
+    action.wire = msg.serialize();
+    action.dstAddr = dst;
+    action.dstConnId = dst_conn;
+    action.toUpstream = true;
+    out->push_back(std::move(action));
+    ++shared_.counters.forwards;
+}
+
+} // namespace siprox::core

@@ -1,0 +1,42 @@
+#include "core/proxy.hh"
+
+#include "core/tcp_arch.hh"
+#include "core/udp_arch.hh"
+
+namespace siprox::core {
+
+Proxy::Proxy(sim::Machine &machine, net::Host &host, ProxyConfig cfg)
+    : machine_(machine), host_(host), cfg_(cfg)
+{
+}
+
+Proxy::~Proxy() = default;
+
+void
+Proxy::start()
+{
+    switch (cfg_.transport) {
+      case Transport::Udp:
+      case Transport::Sctp:
+        udp_ = std::make_unique<UdpArch>(machine_, host_, shared_,
+                                         cfg_);
+        udp_->start();
+        break;
+      case Transport::Tcp:
+        tcp_ = std::make_unique<TcpArch>(machine_, host_, shared_,
+                                         cfg_);
+        tcp_->start();
+        break;
+    }
+}
+
+void
+Proxy::requestStop()
+{
+    if (udp_)
+        udp_->requestStop();
+    if (tcp_)
+        tcp_->requestStop();
+}
+
+} // namespace siprox::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The OpenSER-like SIP proxy server. Construct with a machine and a
+ * network host, pick a ProxyConfig (transport, architecture, and the
+ * paper's §4/§5 knobs), then start(). Phones talk to it at addr().
+ *
+ * This is the library's primary public entry point; see README.md for
+ * a quickstart.
+ */
+
+#ifndef SIPROX_CORE_PROXY_HH
+#define SIPROX_CORE_PROXY_HH
+
+#include <memory>
+
+#include "core/config.hh"
+#include "core/shared.hh"
+#include "net/network.hh"
+#include "sim/machine.hh"
+
+namespace siprox::core {
+
+class UdpArch;
+class TcpArch;
+
+/**
+ * A SIP proxy bound to one host.
+ */
+class Proxy
+{
+  public:
+    Proxy(sim::Machine &machine, net::Host &host, ProxyConfig cfg);
+    ~Proxy();
+
+    Proxy(const Proxy &) = delete;
+    Proxy &operator=(const Proxy &) = delete;
+
+    /** Bind sockets and spawn the architecture's processes. */
+    void start();
+
+    /** Ask every proxy process to exit at its next wakeup. */
+    void requestStop();
+
+    /** The address phones should send SIP traffic to. */
+    net::Addr addr() const { return host_.addr(cfg_.port); }
+
+    const ProxyConfig &config() const { return cfg_; }
+    sim::Machine &machine() const { return machine_; }
+    net::Host &host() const { return host_; }
+
+    /** Shared-memory state (counters, tables) for tests and benches. */
+    SharedState &shared() { return shared_; }
+    const SharedState &shared() const { return shared_; }
+
+  private:
+    sim::Machine &machine_;
+    net::Host &host_;
+    ProxyConfig cfg_;
+    SharedState shared_;
+    std::unique_ptr<UdpArch> udp_;
+    std::unique_ptr<TcpArch> tcp_;
+};
+
+} // namespace siprox::core
+
+#endif // SIPROX_CORE_PROXY_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * SIP location service: AoR user -> contact binding, stored in shared
+ * memory behind a spin-then-yield lock, as OpenSER's usrloc module does
+ * (MySQL persistence is write-behind and outside the measured path; see
+ * DESIGN.md substitutions).
+ */
+
+#ifndef SIPROX_CORE_REGISTRAR_HH
+#define SIPROX_CORE_REGISTRAR_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/sync.hh"
+#include "sip/uri.hh"
+
+namespace siprox::core {
+
+/** One registered contact. */
+struct Binding
+{
+    sip::SipUri contact;
+    /** TCP connection the REGISTER arrived on (0 for UDP/SCTP). */
+    std::uint64_t connId = 0;
+};
+
+/**
+ * The location database. Callers are responsible for charging CPU via
+ * the cost model; this class only provides the shared-memory critical
+ * sections.
+ */
+class Registrar
+{
+  public:
+    /** Insert/refresh a binding. Must be called with the lock held. */
+    void
+    update(const std::string &user, Binding binding)
+    {
+        bindings_[user] = std::move(binding);
+    }
+
+    /** Lookup a binding. Must be called with the lock held. */
+    std::optional<Binding>
+    lookup(const std::string &user) const
+    {
+        auto it = bindings_.find(user);
+        if (it == bindings_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    std::size_t size() const { return bindings_.size(); }
+
+    sim::SpinLock &lock() { return lock_; }
+
+  private:
+    sim::SpinLock lock_{"usrloc"};
+    std::unordered_map<std::string, Binding> bindings_;
+};
+
+} // namespace siprox::core
+
+#endif // SIPROX_CORE_REGISTRAR_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The proxy's shared memory segment: everything the worker processes,
+ * supervisor, and timer process share, plus aggregate counters.
+ */
+
+#ifndef SIPROX_CORE_SHARED_HH
+#define SIPROX_CORE_SHARED_HH
+
+#include <cstdint>
+
+#include "core/conn_table.hh"
+#include "core/registrar.hh"
+#include "core/txn_table.hh"
+
+namespace siprox::core {
+
+/** Aggregate proxy counters (monotonic; read by tests and benches). */
+struct ProxyCounters
+{
+    std::uint64_t messagesIn = 0;
+    std::uint64_t requestsIn = 0;
+    std::uint64_t responsesIn = 0;
+    std::uint64_t forwards = 0;
+    std::uint64_t localReplies = 0; ///< TRYING, 200-to-REGISTER, errors
+    std::uint64_t parseErrors = 0;
+    std::uint64_t routeFailures = 0;
+    std::uint64_t retransAbsorbed = 0; ///< request retransmits answered
+    std::uint64_t retransSent = 0;     ///< timer-driven retransmissions
+    std::uint64_t retransTimeouts = 0;
+    std::uint64_t registrations = 0;
+    std::uint64_t authChallenges = 0;
+    std::uint64_t authAccepted = 0;
+    std::uint64_t redirects = 0;
+    // --- TCP architecture ---------------------------------------------
+    std::uint64_t connsAccepted = 0;
+    std::uint64_t connsDestroyed = 0;
+    std::uint64_t fdRequests = 0;
+    std::uint64_t fdCacheHits = 0;
+    std::uint64_t fdCacheInvalidations = 0;
+    std::uint64_t outboundConnects = 0;
+    std::uint64_t sendsToDeadConns = 0;
+    std::uint64_t idleScans = 0;
+    std::uint64_t idleScanVisited = 0;
+    std::uint64_t connsReturnedByWorkers = 0;
+};
+
+/** Everything in the proxy's shared memory. */
+struct SharedState
+{
+    Registrar registrar;
+    TxnTable txns;
+    RetransList retrans;
+    ConnTable conns;
+    IdlePq supervisorPq;
+    ProxyCounters counters;
+};
+
+} // namespace siprox::core
+
+#endif // SIPROX_CORE_SHARED_HH

@@ -1,0 +1,37 @@
+#include "core/txn_table.hh"
+
+#include "sip/timers.hh"
+
+namespace siprox::core {
+
+std::size_t
+RetransList::collectDue(SimTime now, std::vector<Due> &out,
+                        std::size_t &timeouts)
+{
+    std::size_t visited = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        ++visited;
+        if (it->cancelled) {
+            it = entries_.erase(it);
+            continue;
+        }
+        if (now >= it->deadline) {
+            ++timeouts;
+            index_.erase(it->key);
+            it = entries_.erase(it);
+            continue;
+        }
+        if (now >= it->nextAt) {
+            out.push_back(Due{it->wire, it->dst});
+            ++it->sent;
+            it->interval *= 2;
+            if (!it->invite && it->interval > sip::timers::kT2)
+                it->interval = sip::timers::kT2;
+            it->nextAt = now + it->interval;
+        }
+        ++it;
+    }
+    return visited;
+}
+
+} // namespace siprox::core

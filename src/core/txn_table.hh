@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Shared-memory stateful transaction store (OpenSER "tm" module) and
+ * the global retransmission timer list (§3.2). Both sit behind
+ * spin-then-yield locks shared by all worker processes; callers charge
+ * CPU per the cost model.
+ */
+
+#ifndef SIPROX_CORE_TXN_TABLE_HH
+#define SIPROX_CORE_TXN_TABLE_HH
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/addr.hh"
+#include "sim/sync.hh"
+#include "sim/time.hh"
+#include "sip/message.hh"
+#include "sip/transaction.hh"
+
+namespace siprox::core {
+
+using sim::SimTime;
+
+/** Proxy-side state for one SIP transaction. */
+struct TxnRecord
+{
+    enum class State
+    {
+        Proceeding,
+        Completed,
+        Terminated,
+    };
+
+    /** Key from the caller-side top Via (matches request retransmits). */
+    sip::TransactionKey serverKey;
+    /** Key of the proxy's own downstream branch (matches responses). */
+    sip::TransactionKey clientKey;
+    sip::Method method = sip::Method::Unknown;
+    State state = State::Proceeding;
+
+    /** Where responses are forwarded (toward the request originator). */
+    net::Addr upstreamAddr;
+    std::uint64_t upstreamConnId = 0;
+
+    /** Last response forwarded upstream; replayed to absorb request
+     *  retransmissions (stateful behaviour). */
+    std::string lastResponse;
+};
+
+/**
+ * Hash table of in-flight transactions, addressable by both keys.
+ */
+class TxnTable
+{
+  public:
+    sim::SpinLock &lock() { return lock_; }
+
+    /** All methods below require the lock to be held. */
+
+    std::shared_ptr<TxnRecord>
+    find(const sip::TransactionKey &key)
+    {
+        auto it = map_.find(key);
+        return it == map_.end() ? nullptr : it->second;
+    }
+
+    std::shared_ptr<TxnRecord>
+    insert(TxnRecord record)
+    {
+        auto rec = std::make_shared<TxnRecord>(std::move(record));
+        map_[rec->serverKey] = rec;
+        map_[rec->clientKey] = rec;
+        return rec;
+    }
+
+    /** Queue @p rec for removal at @p at (cleanup is FIFO in time). */
+    void
+    scheduleExpiry(const std::shared_ptr<TxnRecord> &rec, SimTime at)
+    {
+        expiry_.push_back({at, rec});
+    }
+
+    /**
+     * Remove entries whose expiry passed. Returns the number of
+     * records destroyed (callers charge per-record cost).
+     */
+    std::size_t
+    cleanupExpired(SimTime now)
+    {
+        std::size_t removed = 0;
+        while (!expiry_.empty() && expiry_.front().at <= now) {
+            auto rec = expiry_.front().rec;
+            expiry_.pop_front();
+            map_.erase(rec->serverKey);
+            map_.erase(rec->clientKey);
+            ++removed;
+        }
+        return removed;
+    }
+
+    /** Records present (two keys per record). */
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    struct Expiry
+    {
+        SimTime at;
+        std::shared_ptr<TxnRecord> rec;
+    };
+
+    sim::SpinLock lock_{"txn_hash"};
+    std::unordered_map<sip::TransactionKey, std::shared_ptr<TxnRecord>,
+                       sip::TransactionKeyHash>
+        map_;
+    std::deque<Expiry> expiry_;
+};
+
+/**
+ * The global retransmission list of §3.2: every forwarded request on an
+ * unreliable transport gets an entry; the timer process walks the whole
+ * list each tick. Workers arm/cancel entries under the same lock.
+ */
+class RetransList
+{
+  public:
+    struct Entry
+    {
+        sip::TransactionKey key;
+        std::string wire;
+        net::Addr dst;
+        SimTime nextAt = 0;
+        SimTime interval = 0;
+        SimTime deadline = 0;
+        bool invite = false;
+        bool cancelled = false;
+        int sent = 0;
+    };
+
+    /** A retransmission the timer process must perform. */
+    struct Due
+    {
+        std::string wire;
+        net::Addr dst;
+    };
+
+    sim::SpinLock &lock() { return lock_; }
+
+    /** All methods below require the lock to be held. */
+
+    void
+    arm(Entry entry)
+    {
+        entries_.push_back(std::move(entry));
+        auto it = std::prev(entries_.end());
+        index_[it->key] = it;
+    }
+
+    /** Mark the entry for @p key cancelled; true if it existed. */
+    bool
+    cancel(const sip::TransactionKey &key)
+    {
+        auto it = index_.find(key);
+        if (it == index_.end())
+            return false;
+        it->second->cancelled = true;
+        index_.erase(it);
+        return true;
+    }
+
+    /**
+     * Walk the entire list (the paper's design): erase cancelled and
+     * expired entries, collect due retransmissions, and back off their
+     * timers (T1 doubling; non-INVITE capped at T2).
+     *
+     * @param now Current time.
+     * @param out Receives messages to retransmit.
+     * @param timeouts Receives the count of deadline-expired entries.
+     * @return Number of entries visited (for cost accounting).
+     */
+    std::size_t collectDue(SimTime now, std::vector<Due> &out,
+                           std::size_t &timeouts);
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    sim::SpinLock lock_{"timer_list"};
+    std::list<Entry> entries_;
+    std::unordered_map<sip::TransactionKey, std::list<Entry>::iterator,
+                       sip::TransactionKeyHash>
+        index_;
+};
+
+} // namespace siprox::core
+
+#endif // SIPROX_CORE_TXN_TABLE_HH

@@ -1,0 +1,118 @@
+#include "core/udp_arch.hh"
+
+#include "net/sctp.hh"
+#include "sim/simulation.hh"
+#include "sim/trace.hh"
+
+namespace siprox::core {
+
+UdpArch::UdpArch(sim::Machine &machine, net::Host &host,
+                 SharedState &shared, const ProxyConfig &cfg)
+    : machine_(machine), host_(host), shared_(shared), cfg_(cfg)
+{
+}
+
+void
+UdpArch::start()
+{
+    if (cfg_.transport == Transport::Sctp)
+        sctpSock_ = &host_.sctpBind(cfg_.port);
+    else
+        udpSock_ = &host_.udpBind(cfg_.port);
+    net::Addr addr = host_.addr(cfg_.port);
+    for (int i = 0; i < cfg_.workers; ++i) {
+        engines_.push_back(
+            std::make_unique<Engine>(shared_, cfg_, addr, i));
+        machine_.spawn("worker" + std::to_string(i), 0,
+                       [this, i](sim::Process &p) {
+                           return workerMain(p, i);
+                       });
+    }
+    // §3.2: the timer process is essential for UDP (retransmissions).
+    machine_.spawn("timer", 0,
+                   [this](sim::Process &p) { return timerMain(p); });
+}
+
+sim::Task
+UdpArch::recvOne(sim::Process &p, net::Datagram &out)
+{
+    if (udpSock_)
+        return udpSock_->recvFrom(p, out);
+    return sctpSock_->recvFrom(p, out);
+}
+
+sim::Task
+UdpArch::sendOne(sim::Process &p, net::Addr dst, std::string wire)
+{
+    if (udpSock_)
+        return udpSock_->sendTo(p, dst, std::move(wire));
+    return sctpSock_->sendTo(p, dst, std::move(wire));
+}
+
+sim::Task
+UdpArch::workerMain(sim::Process &p, int id)
+{
+    Engine &engine = *engines_[static_cast<std::size_t>(id)];
+    std::vector<SendAction> actions;
+    while (!stop_) {
+        net::Datagram dgram;
+        co_await recvOne(p, dgram);
+        if (stop_)
+            break;
+        if (sim::trace::enabled()) {
+            sim::trace::log(p.sim().now(), "proxy-rx",
+                            dgram.src.toString() + " " +
+                                std::to_string(dgram.payload.size())
+                                + "B");
+        }
+        actions.clear();
+        co_await engine.handleMessage(p, std::move(dgram.payload),
+                                      MsgSource{dgram.src, 0}, actions);
+        for (auto &action : actions)
+            co_await sendOne(p, action.dstAddr, std::move(action.wire));
+    }
+}
+
+sim::Task
+UdpArch::timerMain(sim::Process &p)
+{
+    static const auto cc_timer = sim::CostCenters::id("ser:timer");
+    static const auto cc_tm = sim::CostCenters::id("ser:tm");
+    while (!stop_) {
+        co_await p.sleepFor(cfg_.timerTick);
+        if (stop_)
+            break;
+        sim::SimTime now = p.sim().now();
+
+        // Terminated-transaction cleanup.
+        co_await shared_.txns.lock().acquire(p);
+        std::size_t removed = shared_.txns.cleanupExpired(now);
+        if (removed) {
+            co_await p.cpu(static_cast<sim::SimTime>(removed)
+                               * cfg_.costs.txnUpdate,
+                           cc_tm);
+        }
+        shared_.txns.lock().release();
+
+        // Walk the global retransmission list (§3.2). The walk holds
+        // the shared lock for its full duration, as OpenSER does.
+        std::vector<RetransList::Due> due;
+        std::size_t timeouts = 0;
+        co_await shared_.retrans.lock().acquire(p);
+        std::size_t visited =
+            shared_.retrans.collectDue(now, due, timeouts);
+        if (visited) {
+            co_await p.cpu(static_cast<sim::SimTime>(visited)
+                               * cfg_.costs.timerScanPerEntry,
+                           cc_timer);
+        }
+        shared_.retrans.lock().release();
+
+        shared_.counters.retransSent += due.size();
+        shared_.counters.retransTimeouts += timeouts;
+        for (auto &d : due)
+            co_await sendOne(p, d.dst, std::move(d.wire));
+    }
+}
+
+} // namespace siprox::core

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * OpenSER's UDP architecture (paper §3.2, Figure 2): N symmetric worker
+ * processes all receiving from one shared socket, plus the timer
+ * process that scans the global retransmission list.
+ */
+
+#ifndef SIPROX_CORE_UDP_ARCH_HH
+#define SIPROX_CORE_UDP_ARCH_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/engine.hh"
+#include "core/shared.hh"
+#include "net/network.hh"
+#include "net/udp.hh"
+#include "sim/machine.hh"
+
+namespace siprox::core {
+
+/**
+ * The symmetric-worker datagram architecture. Also used for SCTP
+ * (§6): identical structure over a message-based, connection-oriented
+ * socket whose connection management lives in the kernel.
+ */
+class UdpArch
+{
+  public:
+    UdpArch(sim::Machine &machine, net::Host &host, SharedState &shared,
+            const ProxyConfig &cfg);
+
+    /** Bind the socket and spawn workers + timer process. */
+    void start();
+
+    /** Ask all loops to exit at their next wakeup. */
+    void requestStop() { stop_ = true; }
+
+  private:
+    sim::Task workerMain(sim::Process &p, int id);
+    sim::Task timerMain(sim::Process &p);
+
+    /** Transport-generic receive/send hooks (UDP or SCTP socket). */
+    sim::Task recvOne(sim::Process &p, net::Datagram &out);
+    sim::Task sendOne(sim::Process &p, net::Addr dst, std::string wire);
+
+    sim::Machine &machine_;
+    net::Host &host_;
+    SharedState &shared_;
+    const ProxyConfig &cfg_;
+    net::UdpSocket *udpSock_ = nullptr;
+    net::SctpSocket *sctpSock_ = nullptr;
+    std::vector<std::unique_ptr<Engine>> engines_;
+    bool stop_ = false;
+};
+
+} // namespace siprox::core
+
+#endif // SIPROX_CORE_UDP_ARCH_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Network addressing: a (host id, port) pair. Host ids are assigned by
+ * the Network when a machine attaches.
+ */
+
+#ifndef SIPROX_NET_ADDR_HH
+#define SIPROX_NET_ADDR_HH
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace siprox::net {
+
+/** A transport address in the simulated network. */
+struct Addr
+{
+    std::uint32_t host = 0;
+    std::uint16_t port = 0;
+
+    auto operator<=>(const Addr &) const = default;
+
+    bool valid() const { return port != 0; }
+
+    std::string
+    toString() const
+    {
+        return "h" + std::to_string(host) + ":" + std::to_string(port);
+    }
+};
+
+struct AddrHash
+{
+    std::size_t
+    operator()(const Addr &a) const
+    {
+        return std::hash<std::uint64_t>{}(
+            (static_cast<std::uint64_t>(a.host) << 16) | a.port);
+    }
+};
+
+} // namespace siprox::net
+
+#endif // SIPROX_NET_ADDR_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Network substrate parameters: wire characteristics and per-syscall
+ * kernel CPU costs. Defaults approximate a gigabit LAN and a mid-2000s
+ * Linux network stack; the calibration against the paper's absolute
+ * numbers is documented in EXPERIMENTS.md.
+ */
+
+#ifndef SIPROX_NET_CONFIG_HH
+#define SIPROX_NET_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/time.hh"
+
+namespace siprox::net {
+
+using sim::SimTime;
+
+/** Tunable wire and kernel-cost model for the simulated network. */
+struct NetConfig
+{
+    // --- wire ---------------------------------------------------------
+    /** One-way propagation + switching latency. */
+    SimTime latency = sim::usecs(60);
+    /** Serialization delay per payload byte (1 Gb/s = 8 ns/byte). */
+    SimTime perByteWire = sim::nsecs(8);
+
+    // --- kernel CPU costs (charged to the calling process) -------------
+    SimTime udpSendCost = sim::usecs(4.0);
+    SimTime udpRecvCost = sim::usecs(3.5);
+    /** TCP per-call costs include amortized ACK generation and
+     *  processing, which UDP does not pay. */
+    SimTime tcpSendCost = sim::usecs(10.0);
+    SimTime tcpRecvCost = sim::usecs(8.0);
+    /** Copy cost per byte, applied on both send and receive. */
+    SimTime perByteCpu = sim::nsecs(2);
+    SimTime tcpConnectCost = sim::usecs(12);
+    SimTime tcpAcceptCost = sim::usecs(10);
+    SimTime tcpCloseCost = sim::usecs(6);
+    /** SCTP chunk/SACK handling is heavier than UDP's fast path. */
+    SimTime sctpSendCost = sim::usecs(7.5);
+    SimTime sctpRecvCost = sim::usecs(7.0);
+    /** Kernel-side SCTP association setup (charged to first sender). */
+    SimTime sctpAssocCost = sim::usecs(14);
+
+    // --- behaviour ------------------------------------------------------
+    /** Probability an individual UDP datagram is lost. */
+    double udpLossProb = 0.0;
+    /** Datagrams buffered per UDP/SCTP socket before drops. */
+    int udpRecvQueue = 4096;
+    /** TIME_WAIT hold on the active closer's ephemeral port. */
+    SimTime timeWait = sim::secs(60);
+    /** Per-host socket table limit (fd/conntrack stand-in). */
+    int maxSocketsPerHost = 1 << 20;
+    /** Ephemeral port range (half-open). */
+    std::uint16_t ephemeralLo = 32768;
+    std::uint16_t ephemeralHi = 61000;
+    /** TCP listener accept-queue limit. */
+    int acceptBacklog = 1024;
+    /** Idle SCTP associations are reaped by the kernel after this. */
+    SimTime sctpIdleTimeout = sim::secs(30);
+};
+
+} // namespace siprox::net
+
+#endif // SIPROX_NET_CONFIG_HH

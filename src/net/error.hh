@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Error type for simulated network operations.
+ */
+
+#ifndef SIPROX_NET_ERROR_HH
+#define SIPROX_NET_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace siprox::net {
+
+/** Failure modes of simulated sockets. */
+enum class NetErrc
+{
+    PortExhausted,     ///< no ephemeral ports available (EADDRNOTAVAIL)
+    AddressInUse,      ///< bind to a taken port (EADDRINUSE)
+    ConnectionRefused, ///< no listener / backlog overflow (ECONNREFUSED)
+    SocketLimit,       ///< per-host socket table full (EMFILE-like)
+    NotConnected,      ///< operation on a dead connection (ENOTCONN)
+};
+
+/** Human-readable errc name. */
+const char *netErrcName(NetErrc c);
+
+/** Exception thrown by simulated socket operations. */
+class NetError : public std::runtime_error
+{
+  public:
+    NetError(NetErrc code, const std::string &what)
+        : std::runtime_error(std::string(netErrcName(code)) + ": "
+                             + what),
+          code_(code)
+    {
+    }
+
+    NetErrc code() const { return code_; }
+
+  private:
+    NetErrc code_;
+};
+
+} // namespace siprox::net
+
+#endif // SIPROX_NET_ERROR_HH

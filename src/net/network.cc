@@ -1,0 +1,92 @@
+#include "net/network.hh"
+
+#include "net/error.hh"
+#include "net/sctp.hh"
+#include "net/tcp.hh"
+#include "net/udp.hh"
+
+namespace siprox::net {
+
+const char *
+netErrcName(NetErrc c)
+{
+    switch (c) {
+      case NetErrc::PortExhausted:
+        return "PortExhausted";
+      case NetErrc::AddressInUse:
+        return "AddressInUse";
+      case NetErrc::ConnectionRefused:
+        return "ConnectionRefused";
+      case NetErrc::SocketLimit:
+        return "SocketLimit";
+      case NetErrc::NotConnected:
+        return "NotConnected";
+    }
+    return "NetError";
+}
+
+Host::Host(Network &net, sim::Machine &machine, std::uint32_t id)
+    : net_(net), machine_(machine), id_(id),
+      ports_(net.config().ephemeralLo, net.config().ephemeralHi)
+{
+}
+
+Host::~Host() = default;
+
+UdpSocket &
+Host::udpBind(std::uint16_t port)
+{
+    ports_.reserve(port);
+    auto sock = std::make_unique<UdpSocket>(*this, port);
+    auto &ref = *sock;
+    udp_.emplace(port, std::move(sock));
+    socketOpened();
+    return ref;
+}
+
+TcpListener &
+Host::tcpListen(std::uint16_t port)
+{
+    ports_.reserve(port);
+    auto sock = std::make_unique<TcpListener>(*this, port);
+    auto &ref = *sock;
+    listeners_.emplace(port, std::move(sock));
+    socketOpened();
+    return ref;
+}
+
+SctpSocket &
+Host::sctpBind(std::uint16_t port)
+{
+    ports_.reserve(port);
+    auto sock = std::make_unique<SctpSocket>(*this, port);
+    auto &ref = *sock;
+    sctp_.emplace(port, std::move(sock));
+    socketOpened();
+    return ref;
+}
+
+Network::Network(sim::Simulation &sim, NetConfig cfg)
+    : sim_(sim), cfg_(cfg)
+{
+}
+
+Network::~Network() = default;
+
+Host &
+Network::attach(sim::Machine &machine)
+{
+    auto id = static_cast<std::uint32_t>(hosts_.size() + 1);
+    hosts_.push_back(std::make_unique<Host>(*this, machine, id));
+    return *hosts_.back();
+}
+
+Host *
+Network::hostById(std::uint32_t id)
+{
+    if (id == 0 || id > hosts_.size())
+        return nullptr;
+    return hosts_[id - 1].get();
+}
+
+} // namespace siprox::net

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The simulated network fabric and per-machine Host endpoints. A Host
+ * owns the bound sockets of one machine; the Network routes datagrams
+ * and segments between hosts with configurable latency and loss.
+ */
+
+#ifndef SIPROX_NET_NETWORK_HH
+#define SIPROX_NET_NETWORK_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/addr.hh"
+#include "net/config.hh"
+#include "net/port_alloc.hh"
+#include "sim/machine.hh"
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+
+namespace siprox::net {
+
+class Network;
+class UdpSocket;
+class TcpListener;
+class TcpEndpoint;
+class TcpConn;
+class SctpSocket;
+
+/** Aggregate traffic counters, for tests and benches. */
+struct NetStats
+{
+    std::uint64_t udpSent = 0;
+    std::uint64_t udpDelivered = 0;
+    std::uint64_t udpLost = 0;
+    std::uint64_t udpDropped = 0; ///< receive-queue overflow
+    std::uint64_t tcpConnects = 0;
+    std::uint64_t tcpRefused = 0;
+    std::uint64_t tcpSegments = 0;
+    std::uint64_t tcpBytes = 0;
+    std::uint64_t sctpMessages = 0;
+    std::uint64_t sctpAssocs = 0;
+};
+
+/**
+ * One machine's view of the network: its sockets and ports.
+ */
+class Host
+{
+  public:
+    Host(Network &net, sim::Machine &machine, std::uint32_t id);
+    ~Host();
+
+    Host(const Host &) = delete;
+    Host &operator=(const Host &) = delete;
+
+    Network &net() const { return net_; }
+    sim::Machine &machine() const { return machine_; }
+    std::uint32_t id() const { return id_; }
+
+    /** Address of @p port on this host. */
+    Addr addr(std::uint16_t port) const { return Addr{id_, port}; }
+
+    /** Bind a UDP socket; throws AddressInUse. */
+    UdpSocket &udpBind(std::uint16_t port);
+
+    /** Open a TCP listener; throws AddressInUse. */
+    TcpListener &tcpListen(std::uint16_t port);
+
+    /**
+     * Actively open a TCP connection. Blocks for the handshake.
+     * @param local_port 0 for an ephemeral port.
+     * @throws NetError on refusal or port/socket exhaustion.
+     */
+    sim::Task tcpConnect(sim::Process &p, Addr remote, TcpConn &out,
+                         std::uint16_t local_port = 0);
+
+    /** Bind an SCTP one-to-many socket; throws AddressInUse. */
+    SctpSocket &sctpBind(std::uint16_t port);
+
+    PortAllocator &ports() { return ports_; }
+
+    /** Currently open socket structures (endpoints + bound sockets). */
+    int openSockets() const { return openSockets_; }
+
+  private:
+    friend class Network;
+    friend class TcpEndpoint;
+    friend class TcpListener;
+    friend class UdpSocket;
+    friend class SctpSocket;
+
+    void
+    socketOpened()
+    {
+        ++openSockets_;
+    }
+
+    void
+    socketClosed()
+    {
+        --openSockets_;
+    }
+
+    Network &net_;
+    sim::Machine &machine_;
+    std::uint32_t id_;
+    PortAllocator ports_;
+    int openSockets_ = 0;
+    std::unordered_map<std::uint16_t, std::unique_ptr<UdpSocket>> udp_;
+    std::unordered_map<std::uint16_t, std::unique_ptr<TcpListener>>
+        listeners_;
+    std::unordered_map<std::uint16_t, std::unique_ptr<SctpSocket>> sctp_;
+};
+
+/**
+ * The fabric connecting all hosts.
+ */
+class Network
+{
+  public:
+    explicit Network(sim::Simulation &sim, NetConfig cfg = {});
+    ~Network();
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /** Attach a machine, creating its Host. */
+    Host &attach(sim::Machine &machine);
+
+    sim::Simulation &sim() const { return sim_; }
+    const NetConfig &config() const { return cfg_; }
+    NetConfig &config() { return cfg_; }
+
+    Host *hostById(std::uint32_t id);
+
+    NetStats &stats() { return stats_; }
+
+    /** Wire delay for a payload of @p bytes. */
+    SimTime
+    wireDelay(std::size_t bytes) const
+    {
+        return cfg_.latency
+            + static_cast<SimTime>(bytes) * cfg_.perByteWire;
+    }
+
+    /** Next globally unique connection id. */
+    std::uint64_t nextConnId() { return ++connIds_; }
+
+  private:
+    sim::Simulation &sim_;
+    NetConfig cfg_;
+    std::vector<std::unique_ptr<Host>> hosts_;
+    NetStats stats_;
+    std::uint64_t connIds_ = 0;
+};
+
+} // namespace siprox::net
+
+#endif // SIPROX_NET_NETWORK_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-host port allocator with TIME_WAIT semantics. The §4.3 idle
+ * timeout experiment hinges on churned connections pinning ports here.
+ */
+
+#ifndef SIPROX_NET_PORT_ALLOC_HH
+#define SIPROX_NET_PORT_ALLOC_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "net/config.hh"
+#include "net/error.hh"
+
+namespace siprox::net {
+
+/** Tracks bound and TIME_WAIT ports for one host. */
+class PortAllocator
+{
+  public:
+    PortAllocator(std::uint16_t ephemeral_lo, std::uint16_t ephemeral_hi)
+        : lo_(ephemeral_lo), hi_(ephemeral_hi), next_(ephemeral_lo)
+    {
+    }
+
+    /** Reserve a specific port; throws AddressInUse if taken. */
+    void
+    reserve(std::uint16_t port)
+    {
+        if (!inUse_.insert(port).second) {
+            throw NetError(NetErrc::AddressInUse,
+                           "port " + std::to_string(port));
+        }
+    }
+
+    /** True if @p port is currently reserved. */
+    bool taken(std::uint16_t port) const { return inUse_.count(port); }
+
+    /**
+     * Allocate an ephemeral port, scanning circularly from the last
+     * allocation point. Throws PortExhausted when the pool is dry.
+     */
+    std::uint16_t
+    allocEphemeral()
+    {
+        const int span = hi_ - lo_;
+        for (int i = 0; i < span; ++i) {
+            std::uint16_t candidate = next_;
+            next_ = next_ + 1 >= hi_ ? lo_ : next_ + 1;
+            if (inUse_.insert(candidate).second)
+                return candidate;
+        }
+        throw NetError(NetErrc::PortExhausted, "ephemeral pool dry");
+    }
+
+    /** Release a reserved port immediately. */
+    void release(std::uint16_t port) { inUse_.erase(port); }
+
+    /** Number of reserved ports (bound + TIME_WAIT). */
+    std::size_t inUse() const { return inUse_.size(); }
+
+    /** Size of the ephemeral pool. */
+    std::size_t poolSize() const { return hi_ - lo_; }
+
+  private:
+    std::uint16_t lo_;
+    std::uint16_t hi_;
+    std::uint16_t next_;
+    std::unordered_set<std::uint16_t> inUse_;
+};
+
+} // namespace siprox::net
+
+#endif // SIPROX_NET_PORT_ALLOC_HH

@@ -1,0 +1,132 @@
+#include "net/sctp.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.hh"
+
+namespace siprox::net {
+
+SctpSocket::SctpSocket(Host &host, std::uint16_t port)
+    : host_(host), port_(port)
+{
+}
+
+SctpSocket::~SctpSocket() = default;
+
+sim::Task
+SctpSocket::sendTo(sim::Process &p, Addr dst, std::string payload)
+{
+    Network &net = host_.net();
+    const NetConfig &cfg = net.config();
+    const std::size_t bytes = payload.size();
+    co_await p.cpu(cfg.sctpSendCost
+                   + static_cast<SimTime>(bytes) * cfg.perByteCpu,
+                   "kernel:sctp_send");
+    SimTime extra = 0;
+    sim::SimTime now = p.sim().now();
+    auto it = assocs_.find(dst);
+    if (it == assocs_.end()) {
+        // Kernel transparently sets up the association: CPU on this
+        // sender plus one extra round trip for the first message.
+        co_await p.cpu(cfg.sctpAssocCost, "kernel:sctp_assoc");
+        extra = 2 * cfg.latency;
+        ++net.stats().sctpAssocs;
+        now = p.sim().now();
+        it = assocs_.emplace(dst, Assoc{now, now}).first;
+        scheduleSweep();
+    }
+    it->second.lastUse = now;
+    ++net.stats().sctpMessages;
+    // SCTP streams are ordered: later messages never overtake earlier
+    // ones held up by association setup.
+    SimTime arrival =
+        std::max(now + net.wireDelay(bytes) + extra,
+                 it->second.deliveryFloor);
+    it->second.deliveryFloor = arrival;
+    Network *netp = &net;
+    Addr src = localAddr();
+    p.sim().at(arrival,
+               [netp, src, dst, data = std::move(payload)]() mutable {
+        Host *target = netp->hostById(dst.host);
+        if (!target)
+            return;
+        auto sit = target->sctp_.find(dst.port);
+        if (sit == target->sctp_.end())
+            return;
+        sit->second->deliver(Datagram{src, dst, std::move(data)});
+    });
+}
+
+sim::Task
+SctpSocket::recvFrom(sim::Process &p, Datagram &out)
+{
+    while (!tryRecvFrom(out)) {
+        waiters_.push_back(&p);
+        co_await p.block("sctp recv");
+        auto it = std::find(waiters_.begin(), waiters_.end(), &p);
+        if (it != waiters_.end())
+            waiters_.erase(it);
+    }
+    const NetConfig &cfg = host_.net().config();
+    co_await p.cpu(cfg.sctpRecvCost
+                   + static_cast<SimTime>(out.payload.size())
+                       * cfg.perByteCpu,
+                   "kernel:sctp_recv");
+}
+
+bool
+SctpSocket::tryRecvFrom(Datagram &out)
+{
+    if (queue_.empty())
+        return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+}
+
+void
+SctpSocket::deliver(Datagram dgram)
+{
+    // Track the reverse-direction association (set up by the peer).
+    assocs_[dgram.src].lastUse = host_.net().sim().now();
+    scheduleSweep();
+    queue_.push_back(std::move(dgram));
+    if (!waiters_.empty()) {
+        sim::Process *w = waiters_.front();
+        waiters_.pop_front();
+        w->wake();
+    }
+    notifyPollWaiters();
+}
+
+void
+SctpSocket::scheduleSweep()
+{
+    if (sweepScheduled_ || assocs_.empty())
+        return;
+    sweepScheduled_ = true;
+    SimTime interval = host_.net().config().sctpIdleTimeout / 2;
+    host_.net().sim().after(interval, [this] {
+        sweepScheduled_ = false;
+        sweepIdle();
+    });
+}
+
+void
+SctpSocket::sweepIdle()
+{
+    // Kernel-side reaping: no application process is charged.
+    SimTime now = host_.net().sim().now();
+    SimTime timeout = host_.net().config().sctpIdleTimeout;
+    for (auto it = assocs_.begin(); it != assocs_.end();) {
+        if (now - it->second.lastUse >= timeout)
+            it = assocs_.erase(it);
+        else
+            ++it;
+    }
+    scheduleSweep();
+}
+
+} // namespace siprox::net

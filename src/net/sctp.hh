@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Simulated SCTP one-to-many socket (RFC 4168 style transport for SIP).
+ *
+ * The §6 discussion's point: SCTP is message-based like UDP but
+ * connection-oriented like TCP, with association management done by the
+ * kernel. This socket behaves like UDP at the API (sendTo/recvFrom on
+ * message boundaries, any process may send without user-level locks)
+ * while the kernel transparently establishes associations on first use
+ * (extra latency + CPU on that message), keeps them alive, and reaps
+ * idle ones — at no application cost.
+ */
+
+#ifndef SIPROX_NET_SCTP_HH
+#define SIPROX_NET_SCTP_HH
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "net/addr.hh"
+#include "net/network.hh"
+#include "net/udp.hh"
+#include "sim/pollable.hh"
+#include "sim/process.hh"
+#include "sim/task.hh"
+
+namespace siprox::net {
+
+/**
+ * A bound SCTP one-to-many socket. Created via Host::sctpBind().
+ */
+class SctpSocket : public sim::Pollable
+{
+  public:
+    SctpSocket(Host &host, std::uint16_t port);
+    ~SctpSocket() override;
+
+    /**
+     * Reliable, ordered, message-boundary-preserving send. The first
+     * message to a new peer pays association setup (kernel CPU + one
+     * extra round trip).
+     */
+    sim::Task sendTo(sim::Process &p, Addr dst, std::string payload);
+
+    /** Blocking receive of one whole message. */
+    sim::Task recvFrom(sim::Process &p, Datagram &out);
+
+    /** Non-blocking receive. */
+    bool tryRecvFrom(Datagram &out);
+
+    Addr localAddr() const { return Addr{host_.id(), port_}; }
+
+    /** Live associations on this socket. */
+    std::size_t assocCount() const { return assocs_.size(); }
+
+    bool pollReady() const override { return !queue_.empty(); }
+
+  private:
+    friend class Host;
+
+    struct Assoc
+    {
+        sim::SimTime lastUse = 0;
+        /** Ordered delivery: no message may arrive before this. */
+        sim::SimTime deliveryFloor = 0;
+    };
+
+    void deliver(Datagram dgram);
+    void scheduleSweep();
+    void sweepIdle();
+
+    Host &host_;
+    std::uint16_t port_;
+    std::deque<Datagram> queue_;
+    std::deque<sim::Process *> waiters_;
+    std::unordered_map<Addr, Assoc, AddrHash> assocs_;
+    bool sweepScheduled_ = false;
+};
+
+} // namespace siprox::net
+
+#endif // SIPROX_NET_SCTP_HH

@@ -1,0 +1,374 @@
+#include "net/tcp.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/error.hh"
+#include "sim/simulation.hh"
+#include "sim/trace.hh"
+
+namespace siprox::net {
+
+/**
+ * Coroutine bodies for TcpConn operations. TcpConn handles are movable,
+ * so the coroutines capture the endpoint shared_ptr by value instead of
+ * `this`.
+ */
+struct TcpOps
+{
+    static sim::Task
+    send(sim::Process &p, std::shared_ptr<TcpEndpoint> ep,
+         std::string data)
+    {
+        if (!ep) {
+            if (sim::trace::enabled())
+                sim::trace::log(p.sim().now(), "tcp-drop", "null ep");
+            co_return;
+        }
+        if (sim::trace::enabled()) {
+            sim::trace::log(p.sim().now(), "tcp-send",
+                            ep->local_.toString() + "->"
+                                + ep->remote_.toString() + " "
+                                + std::to_string(data.size()) + "B");
+        }
+        Network &net = ep->host_.net();
+        const NetConfig &cfg = net.config();
+        const std::size_t bytes = data.size();
+        co_await p.cpu(cfg.tcpSendCost
+                       + static_cast<SimTime>(bytes) * cfg.perByteCpu,
+                       "kernel:tcp_send");
+        ++net.stats().tcpSegments;
+        net.stats().tcpBytes += bytes;
+        if (ep->closed_ || ep->state_ != TcpState::Established
+            || !ep->peer_) {
+            if (sim::trace::enabled()) {
+                sim::trace::log(p.sim().now(), "tcp-drop",
+                                ep->local_.toString() + "->"
+                                    + ep->remote_.toString()
+                                    + (ep->closed_ ? " closed"
+                                       : !ep->peer_ ? " no-peer"
+                                                    : " not-established"));
+            }
+            co_return; // connection is gone: bytes vanish
+        }
+        auto peer = ep->peer_;
+        // TCP is a single ordered stream: later segments (and the
+        // eventual FIN) must not overtake earlier ones.
+        SimTime arrival =
+            std::max(p.sim().now() + net.wireDelay(bytes),
+                     ep->txArrivalFloor_);
+        ep->txArrivalFloor_ = arrival;
+        net.sim().at(arrival, [peer, d = std::move(data)]() mutable {
+            if (peer->closed_)
+                return;
+            peer->rxBuf_ += d;
+            peer->wakeOneWaiter();
+            peer->notifyPollWaiters();
+        });
+    }
+
+    static sim::Task
+    recv(sim::Process &p, std::shared_ptr<TcpEndpoint> ep,
+         std::string *out, std::size_t max_bytes)
+    {
+        out->clear();
+        if (!ep)
+            co_return;
+        while (ep->rxBuf_.empty() && !ep->peerClosed_ && !ep->closed_
+               && ep->state_ == TcpState::Established) {
+            ep->waiters_.push_back(&p);
+            co_await p.block("tcp recv");
+            auto &q = ep->waiters_;
+            auto it = std::find(q.begin(), q.end(), &p);
+            if (it != q.end())
+                q.erase(it);
+        }
+        const NetConfig &cfg = ep->host_.net().config();
+        if (!ep->rxBuf_.empty()) {
+            std::size_t n = std::min(max_bytes, ep->rxBuf_.size());
+            *out = ep->rxBuf_.substr(0, n);
+            ep->rxBuf_.erase(0, n);
+            co_await p.cpu(cfg.tcpRecvCost
+                           + static_cast<SimTime>(n) * cfg.perByteCpu,
+                           "kernel:tcp_recv");
+        } else {
+            // EOF or reset: an empty read still costs a syscall.
+            co_await p.cpu(cfg.tcpRecvCost, "kernel:tcp_recv");
+        }
+    }
+
+    static sim::Task
+    close(sim::Process &p, std::shared_ptr<TcpEndpoint> ep, bool was_open)
+    {
+        if (!ep)
+            co_return;
+        co_await p.cpu(ep->host_.net().config().tcpCloseCost,
+                       "kernel:tcp_close");
+        if (was_open)
+            ep->closeHandle("closeop");
+    }
+};
+
+// --- TcpEndpoint ----------------------------------------------------------
+
+TcpEndpoint::TcpEndpoint(Host &host, Addr local, Addr remote,
+                         bool owns_port, std::uint64_t id)
+    : host_(host), local_(local), remote_(remote), ownsPort_(owns_port),
+      id_(id)
+{
+}
+
+void
+TcpEndpoint::wakeOneWaiter()
+{
+    if (!waiters_.empty()) {
+        sim::Process *w = waiters_.front();
+        waiters_.pop_front();
+        w->wake();
+    }
+}
+
+void
+TcpEndpoint::wakeAllWaiters()
+{
+    while (!waiters_.empty())
+        wakeOneWaiter();
+}
+
+void
+TcpEndpoint::closeHandle(const char *tag)
+{
+#ifdef SIPROX_TCP_HANDLE_DEBUG
+    handleLog += std::string(tag) + "->"
+        + std::to_string(openHandles_ - 1) + ";";
+    if (openHandles_ <= 0) {
+        std::fprintf(stderr, "DOUBLE CLOSE conn %llu %s->%s log: %s\n",
+                     (unsigned long long)id_, local_.toString().c_str(),
+                     remote_.toString().c_str(), handleLog.c_str());
+        std::abort();
+    }
+#endif
+    assert(openHandles_ > 0);
+    if (--openHandles_ > 0)
+        return;
+    if (closed_)
+        return;
+    closed_ = true;
+    Network &net = host_.net();
+
+    // FIN to the peer, if the connection ever established. The FIN
+    // is sequenced after every data segment already in flight.
+    if (peer_ && state_ == TcpState::Established && !selfClosed_) {
+        selfClosed_ = true;
+        auto peer = peer_;
+        SimTime arrival =
+            std::max(net.sim().now() + net.config().latency,
+                     txArrivalFloor_);
+        txArrivalFloor_ = arrival;
+        net.sim().at(arrival, [peer] {
+            if (peer->closed_)
+                return;
+            peer->peerClosed_ = true;
+            peer->wakeAllWaiters();
+            peer->notifyPollWaiters();
+        });
+    }
+
+    // Port release: a passive close (peer FIN seen first) or a failed
+    // connect frees the port immediately; an active close pins it in
+    // TIME_WAIT.
+    if (ownsPort_) {
+        PortAllocator *ports = &host_.ports();
+        std::uint16_t port = local_.port;
+        if (peerClosed_ || state_ != TcpState::Established) {
+            ports->release(port);
+        } else {
+            net.sim().after(net.config().timeWait,
+                            [ports, port] { ports->release(port); });
+        }
+    }
+
+    host_.socketClosed();
+
+    // Break the peer reference cycle; the dead side can no longer be
+    // written to.
+    if (peer_) {
+        peer_->peer_.reset();
+        peer_.reset();
+    }
+}
+
+// --- TcpConn ---------------------------------------------------------------
+
+TcpConn
+TcpConn::dup() const
+{
+    TcpConn c;
+    if (valid()) {
+        c.ep_ = ep_;
+        c.open_ = true;
+        ++ep_->openHandles_;
+#ifdef SIPROX_TCP_HANDLE_DEBUG
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "dup(%p)->%d;", (void *)&c,
+                      ep_->openHandles_);
+        ep_->handleLog += buf;
+#endif
+    }
+    return c;
+}
+
+sim::Task
+TcpConn::send(sim::Process &p, std::string data) const
+{
+    return TcpOps::send(p, ep_, std::move(data));
+}
+
+sim::Task
+TcpConn::recv(sim::Process &p, std::string &out,
+              std::size_t max_bytes) const
+{
+    return TcpOps::recv(p, ep_, &out, max_bytes);
+}
+
+sim::Task
+TcpConn::close(sim::Process &p)
+{
+    // Transfer handle ownership into the coroutine so the TcpConn can
+    // be safely destroyed or moved while the close is awaited.
+    auto ep = std::move(ep_);
+    bool was_open = open_;
+    open_ = false;
+    return TcpOps::close(p, std::move(ep), was_open);
+}
+
+// --- TcpListener -------------------------------------------------------------
+
+TcpListener::TcpListener(Host &host, std::uint16_t port)
+    : host_(host), port_(port)
+{
+}
+
+TcpListener::~TcpListener() = default;
+
+sim::Task
+TcpListener::accept(sim::Process &p, TcpConn &out)
+{
+    while (acceptQ_.empty()) {
+        waiters_.push_back(&p);
+        co_await p.block("tcp accept");
+        auto it = std::find(waiters_.begin(), waiters_.end(), &p);
+        if (it != waiters_.end())
+            waiters_.erase(it);
+    }
+    auto ep = std::move(acceptQ_.front());
+    acceptQ_.pop_front();
+    co_await p.cpu(host_.net().config().tcpAcceptCost,
+                   "kernel:tcp_accept");
+    out = TcpConn(std::move(ep));
+}
+
+bool
+TcpListener::tryAccept(TcpConn &out)
+{
+    if (acceptQ_.empty())
+        return false;
+    auto ep = std::move(acceptQ_.front());
+    acceptQ_.pop_front();
+    out = TcpConn(std::move(ep));
+    return true;
+}
+
+// --- Host::tcpConnect ---------------------------------------------------------
+
+sim::Task
+Host::tcpConnect(sim::Process &p, Addr remote, TcpConn &out,
+                 std::uint16_t local_port)
+{
+    const NetConfig &cfg = net_.config();
+    if (openSockets_ >= cfg.maxSocketsPerHost)
+        throw NetError(NetErrc::SocketLimit, "host socket table full");
+    std::uint16_t lport;
+    if (local_port != 0) {
+        ports_.reserve(local_port);
+        lport = local_port;
+    } else {
+        lport = ports_.allocEphemeral();
+    }
+
+    co_await p.cpu(cfg.tcpConnectCost, "kernel:tcp_connect");
+
+    auto ep = std::make_shared<TcpEndpoint>(
+        *this, Addr{id_, lport}, remote, /*owns_port=*/true,
+        net_.nextConnId());
+    socketOpened();
+    ++net_.stats().tcpConnects;
+    TcpConn handle(ep);
+
+    Network *net = &net_;
+    // SYN arrives at the server after one latency.
+    net->sim().after(cfg.latency, [net, ep, remote] {
+        const NetConfig &c = net->config();
+        Host *dst = net->hostById(remote.host);
+        TcpListener *listener = nullptr;
+        if (dst) {
+            auto it = dst->listeners_.find(remote.port);
+            if (it != dst->listeners_.end())
+                listener = it->second.get();
+        }
+        bool refuse = !listener
+            || static_cast<int>(listener->acceptQ_.size())
+                >= c.acceptBacklog
+            || dst->openSockets_ >= c.maxSocketsPerHost;
+        if (refuse) {
+            ++net->stats().tcpRefused;
+            net->sim().after(c.latency, [ep] {
+                if (ep->closed_ || ep->state_ != TcpState::SynSent)
+                    return;
+                ep->state_ = TcpState::Reset;
+                ep->wakeAllWaiters();
+                ep->notifyPollWaiters();
+            });
+            return;
+        }
+        // Server-side endpoint is established immediately and queued.
+        auto sep = std::make_shared<TcpEndpoint>(
+            *dst, remote, ep->local_, /*owns_port=*/false, ep->id());
+        sep->state_ = TcpState::Established;
+        sep->peer_ = ep;
+        ep->peer_ = sep;
+        dst->socketOpened();
+        listener->acceptQ_.push_back(std::move(sep));
+        if (!listener->waiters_.empty()) {
+            sim::Process *w = listener->waiters_.front();
+            listener->waiters_.pop_front();
+            w->wake();
+        }
+        listener->notifyPollWaiters();
+        // SYN/ACK completes the client side after another latency.
+        net->sim().after(c.latency, [ep] {
+            if (ep->closed_ || ep->state_ != TcpState::SynSent)
+                return;
+            ep->state_ = TcpState::Established;
+            ep->wakeAllWaiters();
+            ep->notifyPollWaiters();
+        });
+    });
+
+    while (ep->state_ == TcpState::SynSent) {
+        ep->waiters_.push_back(&p);
+        co_await p.block("tcp connect");
+        auto it = std::find(ep->waiters_.begin(), ep->waiters_.end(), &p);
+        if (it != ep->waiters_.end())
+            ep->waiters_.erase(it);
+    }
+    if (ep->state_ == TcpState::Reset) {
+        handle.closeQuiet();
+        throw NetError(NetErrc::ConnectionRefused, remote.toString());
+    }
+    out = std::move(handle);
+}
+
+} // namespace siprox::net

@@ -1,0 +1,92 @@
+#include "net/udp.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/simulation.hh"
+
+namespace siprox::net {
+
+UdpSocket::UdpSocket(Host &host, std::uint16_t port)
+    : host_(host), port_(port)
+{
+}
+
+UdpSocket::~UdpSocket() = default;
+
+// Member coroutine: UdpSocket objects are owned by the Host map and
+// never move, so capturing `this` in the frame is safe.
+sim::Task
+UdpSocket::sendTo(sim::Process &p, Addr dst, std::string payload)
+{
+    Network &net = host_.net();
+    const NetConfig &cfg = net.config();
+    const std::size_t bytes = payload.size();
+    co_await p.cpu(cfg.udpSendCost
+                   + static_cast<SimTime>(bytes) * cfg.perByteCpu,
+                   "kernel:udp_send");
+    ++net.stats().udpSent;
+    if (cfg.udpLossProb > 0.0 && p.sim().rng().chance(cfg.udpLossProb)) {
+        ++net.stats().udpLost;
+        co_return;
+    }
+    Network *netp = &net;
+    Addr src = localAddr();
+    p.sim().after(net.wireDelay(bytes),
+                  [netp, src, dst, data = std::move(payload)]() mutable {
+        Host *target = netp->hostById(dst.host);
+        if (!target)
+            return;
+        auto it = target->udp_.find(dst.port);
+        if (it == target->udp_.end())
+            return; // no receiver: silently dropped
+        it->second->deliver(Datagram{src, dst, std::move(data)});
+    });
+}
+
+sim::Task
+UdpSocket::recvFrom(sim::Process &p, Datagram &out)
+{
+    while (!tryRecvFrom(out)) {
+        waiters_.push_back(&p);
+        co_await p.block("udp recv");
+        auto it = std::find(waiters_.begin(), waiters_.end(), &p);
+        if (it != waiters_.end())
+            waiters_.erase(it);
+    }
+    const NetConfig &cfg = host_.net().config();
+    co_await p.cpu(cfg.udpRecvCost
+                   + static_cast<SimTime>(out.payload.size())
+                       * cfg.perByteCpu,
+                   "kernel:udp_recv");
+}
+
+bool
+UdpSocket::tryRecvFrom(Datagram &out)
+{
+    if (queue_.empty())
+        return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+}
+
+void
+UdpSocket::deliver(Datagram dgram)
+{
+    Network &net = host_.net();
+    if (static_cast<int>(queue_.size()) >= net.config().udpRecvQueue) {
+        ++net.stats().udpDropped;
+        return;
+    }
+    ++net.stats().udpDelivered;
+    queue_.push_back(std::move(dgram));
+    if (!waiters_.empty()) {
+        sim::Process *w = waiters_.front();
+        waiters_.pop_front();
+        w->wake();
+    }
+    notifyPollWaiters();
+}
+
+} // namespace siprox::net

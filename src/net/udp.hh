@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Simulated UDP socket: message-based, connectionless, unreliable.
+ * Multiple processes may block in recvFrom() on the same socket (as
+ * OpenSER's symmetric UDP workers do); each datagram wakes one.
+ */
+
+#ifndef SIPROX_NET_UDP_HH
+#define SIPROX_NET_UDP_HH
+
+#include <deque>
+#include <string>
+
+#include "net/addr.hh"
+#include "net/network.hh"
+#include "sim/pollable.hh"
+#include "sim/process.hh"
+#include "sim/task.hh"
+
+namespace siprox::net {
+
+/** One received message. */
+struct Datagram
+{
+    Addr src;
+    Addr dst;
+    std::string payload;
+};
+
+/**
+ * A bound UDP socket. Created via Host::udpBind().
+ */
+class UdpSocket : public sim::Pollable
+{
+  public:
+    UdpSocket(Host &host, std::uint16_t port);
+    ~UdpSocket() override;
+
+    /**
+     * Send @p payload to @p dst. Charges kernel send cost; the datagram
+     * arrives after the wire delay unless lost or the receiver's queue
+     * overflows.
+     */
+    sim::Task sendTo(sim::Process &p, Addr dst, std::string payload);
+
+    /** Blocking receive; charges kernel receive cost on delivery. */
+    sim::Task recvFrom(sim::Process &p, Datagram &out);
+
+    /** Non-blocking receive (no kernel cost charged). */
+    bool tryRecvFrom(Datagram &out);
+
+    Addr localAddr() const { return Addr{host_.id(), port_}; }
+
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    bool pollReady() const override { return !queue_.empty(); }
+
+  private:
+    friend class Network;
+    friend class Host;
+
+    /** Called by the fabric when a datagram arrives. */
+    void deliver(Datagram dgram);
+
+    Host &host_;
+    std::uint16_t port_;
+    std::deque<Datagram> queue_;
+    std::deque<sim::Process *> waiters_;
+};
+
+} // namespace siprox::net
+
+#endif // SIPROX_NET_UDP_HH

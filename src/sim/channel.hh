@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Bounded FIFO message channel between simulated processes, modeling a
+ * Unix-domain socketpair as OpenSER uses for worker/supervisor IPC
+ * (including file-descriptor passing: channel payloads may carry socket
+ * handles). send() blocks while the buffer is full — the property behind
+ * the §6 supervisor/worker deadlock.
+ */
+
+#ifndef SIPROX_SIM_CHANNEL_HH
+#define SIPROX_SIM_CHANNEL_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "sim/pollable.hh"
+#include "sim/process.hh"
+#include "sim/task.hh"
+
+namespace siprox::sim {
+
+/**
+ * Bounded, blocking, pollable channel.
+ */
+template <typename T>
+class Channel
+{
+  public:
+    explicit Channel(std::size_t capacity, std::string name = "chan")
+        : cap_(capacity), name_(std::move(name)), readable_(*this),
+          writable_(*this)
+    {
+    }
+
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
+
+    /** Blocking send; parks the sender while the buffer is full. */
+    Task
+    send(Process &p, T item)
+    {
+        while (buf_.size() >= cap_) {
+            sendWaiters_.push_back(&p);
+            co_await p.block("chan send (full)");
+            removeWaiter(sendWaiters_, &p);
+        }
+        push(std::move(item));
+    }
+
+    /** Non-blocking send; false if the buffer is full. */
+    bool
+    trySend(T item)
+    {
+        if (buf_.size() >= cap_)
+            return false;
+        push(std::move(item));
+        return true;
+    }
+
+    /** Blocking receive. */
+    Task
+    recv(Process &p, T &out)
+    {
+        while (buf_.empty()) {
+            recvWaiters_.push_back(&p);
+            co_await p.block("chan recv (empty)");
+            removeWaiter(recvWaiters_, &p);
+        }
+        out = std::move(buf_.front());
+        pop();
+    }
+
+    /** Non-blocking receive; false if empty. */
+    bool
+    tryRecv(T &out)
+    {
+        if (buf_.empty())
+            return false;
+        out = std::move(buf_.front());
+        pop();
+        return true;
+    }
+
+    std::size_t size() const { return buf_.size(); }
+    std::size_t capacity() const { return cap_; }
+    bool empty() const { return buf_.empty(); }
+    bool full() const { return buf_.size() >= cap_; }
+    const std::string &name() const { return name_; }
+
+    /** Pollable that is ready when a message can be received. */
+    Pollable &readable() { return readable_; }
+
+    /** Pollable that is ready when a message can be sent. */
+    Pollable &writable() { return writable_; }
+
+  private:
+    struct Readable : Pollable
+    {
+        explicit Readable(Channel &c) : chan(c) {}
+        bool pollReady() const override { return !chan.buf_.empty(); }
+        void notify() { this->notifyPollWaiters(); }
+        Channel &chan;
+    };
+
+    struct Writable : Pollable
+    {
+        explicit Writable(Channel &c) : chan(c) {}
+
+        bool
+        pollReady() const override
+        {
+            return chan.buf_.size() < chan.cap_;
+        }
+
+        void notify() { this->notifyPollWaiters(); }
+        Channel &chan;
+    };
+
+    static void
+    removeWaiter(std::deque<Process *> &q, Process *p)
+    {
+        auto it = std::find(q.begin(), q.end(), p);
+        if (it != q.end())
+            q.erase(it);
+    }
+
+    void
+    push(T item)
+    {
+        buf_.push_back(std::move(item));
+        if (!recvWaiters_.empty()) {
+            Process *w = recvWaiters_.front();
+            recvWaiters_.pop_front();
+            w->wake();
+        }
+        readable_.notify();
+    }
+
+    void
+    pop()
+    {
+        buf_.pop_front();
+        if (!sendWaiters_.empty()) {
+            Process *w = sendWaiters_.front();
+            sendWaiters_.pop_front();
+            w->wake();
+        }
+        writable_.notify();
+    }
+
+    std::deque<T> buf_;
+    std::size_t cap_;
+    std::string name_;
+    std::deque<Process *> sendWaiters_;
+    std::deque<Process *> recvWaiters_;
+    Readable readable_;
+    Writable writable_;
+};
+
+} // namespace siprox::sim
+
+#endif // SIPROX_SIM_CHANNEL_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Cancellable discrete-event queue ordered by (time, insertion sequence).
+ */
+
+#ifndef SIPROX_SIM_EVENT_QUEUE_HH
+#define SIPROX_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace siprox::sim {
+
+/**
+ * Handle to a scheduled event; allows cancellation. Cancelled events stay
+ * in the heap but are skipped when popped.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Cancel the event if it has not fired yet. */
+    void
+    cancel()
+    {
+        if (auto r = rec_.lock())
+            r->cancelled = true;
+        rec_.reset();
+    }
+
+    /** True if the handle refers to a still-pending event. */
+    bool
+    pending() const
+    {
+        auto r = rec_.lock();
+        return r && !r->cancelled && !r->fired;
+    }
+
+  private:
+    friend class EventQueue;
+
+    struct Rec
+    {
+        std::function<void()> fn;
+        bool cancelled = false;
+        bool fired = false;
+    };
+
+    explicit EventHandle(std::weak_ptr<Rec> rec) : rec_(std::move(rec)) {}
+
+    std::weak_ptr<Rec> rec_;
+};
+
+/**
+ * Time-ordered event queue. Events scheduled for the same instant fire
+ * in insertion order, which keeps the simulation deterministic.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule @p fn at absolute simulated time @p at. */
+    EventHandle
+    schedule(SimTime at, std::function<void()> fn)
+    {
+        auto rec = std::make_shared<EventHandle::Rec>();
+        rec->fn = std::move(fn);
+        heap_.push(Entry{at, nextSeq_++, rec});
+        return EventHandle(rec);
+    }
+
+    bool empty() const { return heap_.empty(); }
+
+    std::size_t size() const { return heap_.size(); }
+
+    /** Time of the earliest pending event; kTimeNever if none. */
+    SimTime
+    nextTime() const
+    {
+        return heap_.empty() ? kTimeNever : heap_.top().at;
+    }
+
+    /**
+     * Pop and run the earliest non-cancelled event.
+     * @param now Receives the event's timestamp.
+     * @return false if the queue had no runnable events.
+     */
+    bool
+    runNext(SimTime &now)
+    {
+        while (!heap_.empty()) {
+            Entry e = heap_.top();
+            heap_.pop();
+            if (e.rec->cancelled)
+                continue;
+            now = e.at;
+            e.rec->fired = true;
+            // Move the callback out so the record can be released even
+            // if the callback schedules more events.
+            auto fn = std::move(e.rec->fn);
+            fn();
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    struct Entry
+    {
+        SimTime at;
+        std::uint64_t seq;
+        std::shared_ptr<EventHandle::Rec> rec;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (at != o.at)
+                return at > o.at;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace siprox::sim
+
+#endif // SIPROX_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,29 @@
+#include "sim/machine.hh"
+
+#include "sim/simulation.hh"
+
+namespace siprox::sim {
+
+Machine::Machine(Simulation &sim, std::string name, int cores,
+                 MachineConfig cfg)
+    : sim_(sim), name_(std::move(name)), cfg_(cfg),
+      sched_(*this, cores, cfg.sched)
+{
+}
+
+Process &
+Machine::spawn(std::string name, int nice,
+               std::function<Task(Process &)> factory)
+{
+    auto proc = std::make_unique<Process>(*this, std::move(name), nice);
+    Process &p = *proc;
+    p.pid_ = nextPid_++;
+    p.adoptRoot(factory(p));
+    procs_.push_back(std::move(proc));
+    // Start via an event so spawn order, not call nesting, determines
+    // execution order, and so spawn() is safe during construction.
+    sim_.at(sim_.now(), [&p] { p.root_.start(); });
+    return p;
+}
+
+} // namespace siprox::sim

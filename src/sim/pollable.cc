@@ -1,0 +1,39 @@
+#include "sim/pollable.hh"
+
+#include "sim/simulation.hh"
+
+namespace siprox::sim {
+
+Task
+poll(Process &self, std::vector<Pollable *> items, SimTime timeout,
+     int &ready_index)
+{
+    Simulation &sim = self.sim();
+    SimTime deadline =
+        timeout == kTimeNever ? kTimeNever : sim.now() + timeout;
+    for (;;) {
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (items[i]->pollReady()) {
+                ready_index = static_cast<int>(i);
+                co_return;
+            }
+        }
+        if (sim.now() >= deadline) {
+            ready_index = -1;
+            co_return;
+        }
+        for (Pollable *it : items)
+            it->addPollWaiter(&self);
+        EventHandle timer;
+        if (deadline != kTimeNever) {
+            Process *p = &self;
+            timer = sim.at(deadline, [p] { p->wake(); });
+        }
+        co_await self.block("poll");
+        timer.cancel();
+        for (Pollable *it : items)
+            it->removePollWaiter(&self);
+    }
+}
+
+} // namespace siprox::sim

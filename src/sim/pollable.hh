@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Readiness interface and an epoll/select-style wait. Sockets and
+ * channels implement Pollable; event loops wait on several at once.
+ */
+
+#ifndef SIPROX_SIM_POLLABLE_HH
+#define SIPROX_SIM_POLLABLE_HH
+
+#include <vector>
+
+#include "sim/process.hh"
+#include "sim/task.hh"
+#include "sim/time.hh"
+
+namespace siprox::sim {
+
+/**
+ * Something an event loop can wait on. Implementations call
+ * notifyPollWaiters() whenever pollReady() may have become true.
+ */
+class Pollable
+{
+  public:
+    virtual ~Pollable() = default;
+
+    /** True if a wait on this object would not block. */
+    virtual bool pollReady() const = 0;
+
+    void
+    addPollWaiter(Process *p)
+    {
+        pollWaiters_.push_back(p);
+    }
+
+    void
+    removePollWaiter(Process *p)
+    {
+        for (auto it = pollWaiters_.begin(); it != pollWaiters_.end();
+             ++it) {
+            if (*it == p) {
+                pollWaiters_.erase(it);
+                return;
+            }
+        }
+    }
+
+  protected:
+    /** Wake every process polling on this object. */
+    void
+    notifyPollWaiters()
+    {
+        // Waiters deregister themselves; iterate over a copy.
+        auto waiters = pollWaiters_;
+        for (Process *p : waiters)
+            p->wake();
+    }
+
+  private:
+    std::vector<Process *> pollWaiters_;
+};
+
+/**
+ * Wait until one of @p items is ready or @p timeout elapses.
+ *
+ * @param self The polling process.
+ * @param items Objects to wait on (pointers must stay valid).
+ * @param timeout Relative timeout; kTimeNever blocks indefinitely; 0
+ *        makes the poll non-blocking.
+ * @param ready_index Receives the index of the first ready item, or -1
+ *        on timeout.
+ */
+Task poll(Process &self, std::vector<Pollable *> items, SimTime timeout,
+          int &ready_index);
+
+} // namespace siprox::sim
+
+#endif // SIPROX_SIM_POLLABLE_HH

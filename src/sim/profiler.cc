@@ -1,0 +1,112 @@
+#include "sim/profiler.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace siprox::sim {
+
+namespace {
+
+struct Registry
+{
+    std::vector<std::string> names;
+    std::unordered_map<std::string, CostCenterId> ids;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+CostCenterId
+CostCenters::id(std::string_view name)
+{
+    auto &r = registry();
+    auto it = r.ids.find(std::string(name));
+    if (it != r.ids.end())
+        return it->second;
+    CostCenterId new_id = static_cast<CostCenterId>(r.names.size());
+    r.names.emplace_back(name);
+    r.ids.emplace(std::string(name), new_id);
+    return new_id;
+}
+
+const std::string &
+CostCenters::name(CostCenterId id)
+{
+    auto &r = registry();
+    if (id >= r.names.size())
+        throw std::out_of_range("unknown cost center id");
+    return r.names[id];
+}
+
+std::size_t
+CostCenters::count()
+{
+    return registry().names.size();
+}
+
+SimTime
+Profiler::at(std::string_view name) const
+{
+    auto &r = registry();
+    auto it = r.ids.find(std::string(name));
+    if (it == r.ids.end())
+        return 0;
+    return at(it->second);
+}
+
+double
+Profiler::share(std::string_view name) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(at(name)) / static_cast<double>(total_);
+}
+
+std::vector<Profiler::Line>
+Profiler::top(std::size_t n) const
+{
+    std::vector<Line> lines;
+    for (CostCenterId cc = 0; cc < totals_.size(); ++cc) {
+        if (totals_[cc] == 0)
+            continue;
+        Line line;
+        line.name = CostCenters::name(cc);
+        line.time = totals_[cc];
+        line.pct = total_ > 0
+            ? 100.0 * static_cast<double>(totals_[cc])
+                / static_cast<double>(total_)
+            : 0.0;
+        lines.push_back(std::move(line));
+    }
+    std::sort(lines.begin(), lines.end(),
+              [](const Line &a, const Line &b) { return a.time > b.time; });
+    if (lines.size() > n)
+        lines.resize(n);
+    return lines;
+}
+
+std::string
+Profiler::report(std::size_t n) const
+{
+    std::string out;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-36s %12s %7s\n",
+                  "cost center", "cpu (ms)", "%");
+    out += buf;
+    for (const auto &line : top(n)) {
+        std::snprintf(buf, sizeof(buf), "%-36s %12.3f %6.2f%%\n",
+                      line.name.c_str(), toMsecs(line.time), line.pct);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace siprox::sim

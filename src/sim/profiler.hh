@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Simulated-CPU profiler. Every CPU burst in the simulation is charged
+ * to a named cost center; per-machine totals give an OProfile-style
+ * "top functions" view over simulated time, which the paper's §5 profile
+ * claims are reproduced against.
+ */
+
+#ifndef SIPROX_SIM_PROFILER_HH
+#define SIPROX_SIM_PROFILER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace siprox::sim {
+
+/** Interned identifier for a profiler cost center. */
+using CostCenterId = std::uint32_t;
+
+/**
+ * Global registry of cost-center names. Interning is process-global so
+ * ids can be cached in static locals at charge sites.
+ */
+class CostCenters
+{
+  public:
+    /** Intern @p name, returning its stable id. */
+    static CostCenterId id(std::string_view name);
+
+    /** Name for an interned id. */
+    static const std::string &name(CostCenterId id);
+
+    /** Number of interned centers. */
+    static std::size_t count();
+};
+
+/**
+ * Accumulates simulated CPU time per cost center for one machine.
+ */
+class Profiler
+{
+  public:
+    /** One row of a profile report. */
+    struct Line
+    {
+        std::string name;
+        SimTime time = 0;
+        double pct = 0.0;
+    };
+
+    /** Charge @p t of simulated CPU to center @p cc. */
+    void
+    charge(CostCenterId cc, SimTime t)
+    {
+        if (cc >= totals_.size())
+            totals_.resize(cc + 1, 0);
+        totals_[cc] += t;
+        total_ += t;
+    }
+
+    /** Total busy CPU time across all centers. */
+    SimTime total() const { return total_; }
+
+    /** Time charged to center @p cc. */
+    SimTime
+    at(CostCenterId cc) const
+    {
+        return cc < totals_.size() ? totals_[cc] : 0;
+    }
+
+    /** Time charged to the center named @p name. */
+    SimTime at(std::string_view name) const;
+
+    /** Fraction of busy time spent in @p name, in [0,1]. */
+    double share(std::string_view name) const;
+
+    /** The @p n largest centers, descending. */
+    std::vector<Line> top(std::size_t n = 15) const;
+
+    /** Human-readable top-N report. */
+    std::string report(std::size_t n = 15) const;
+
+    void
+    reset()
+    {
+        totals_.assign(totals_.size(), 0);
+        total_ = 0;
+    }
+
+  private:
+    std::vector<SimTime> totals_;
+    SimTime total_ = 0;
+};
+
+} // namespace siprox::sim
+
+#endif // SIPROX_SIM_PROFILER_HH

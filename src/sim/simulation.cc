@@ -1,0 +1,83 @@
+#include "sim/simulation.hh"
+
+namespace siprox::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+Machine &
+Simulation::addMachine(std::string name, int cores, MachineConfig cfg)
+{
+    machines_.push_back(
+        std::make_unique<Machine>(*this, std::move(name), cores, cfg));
+    return *machines_.back();
+}
+
+void
+Simulation::run()
+{
+    stopped_ = false;
+    while (!stopped_ && !failure_ && events_.runNext(now_)) {
+    }
+    rethrowIfFailed();
+}
+
+void
+Simulation::runUntil(SimTime deadline)
+{
+    stopped_ = false;
+    while (!stopped_ && !failure_ && events_.nextTime() <= deadline) {
+        events_.runNext(now_);
+    }
+    if (!stopped_ && !failure_ && now_ < deadline)
+        now_ = deadline;
+    rethrowIfFailed();
+}
+
+void
+Simulation::reportFailure(const std::string &who, std::exception_ptr e)
+{
+    if (!failure_) {
+        failure_ = e;
+        failureWho_ = who;
+    }
+    stop();
+}
+
+void
+Simulation::rethrowIfFailed()
+{
+    if (failure_) {
+        auto e = failure_;
+        failure_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+std::vector<std::string>
+Simulation::blockedReport() const
+{
+    std::vector<std::string> out;
+    for (const auto &m : machines_) {
+        for (const auto &p : m->processes()) {
+            if (p->state() == Process::State::Blocked) {
+                out.push_back(m->name() + "/" + p->name() + ": "
+                              + p->blockReason());
+            }
+        }
+    }
+    return out;
+}
+
+bool
+Simulation::hasLiveProcesses() const
+{
+    for (const auto &m : machines_) {
+        for (const auto &p : m->processes()) {
+            if (!p->terminated())
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace siprox::sim

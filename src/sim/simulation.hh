@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Top-level simulation: owns the event queue, simulated time, and the
+ * machines. Runs the event loop until quiescence, a deadline, or a
+ * process failure.
+ */
+
+#ifndef SIPROX_SIM_SIMULATION_HH
+#define SIPROX_SIM_SIMULATION_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/machine.hh"
+#include "sim/rng.hh"
+#include "sim/time.hh"
+
+namespace siprox::sim {
+
+/**
+ * A deterministic discrete-event simulation. Single-threaded; all
+ * nondeterminism flows from the seeded Rng.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 1);
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    EventHandle
+    at(SimTime when, std::function<void()> fn)
+    {
+        return events_.schedule(when < now_ ? now_ : when, std::move(fn));
+    }
+
+    /** Schedule @p fn after @p delay. */
+    EventHandle
+    after(SimTime delay, std::function<void()> fn)
+    {
+        return events_.schedule(now_ + delay, std::move(fn));
+    }
+
+    /** Add a machine with @p cores CPU cores. */
+    Machine &addMachine(std::string name, int cores,
+                        MachineConfig cfg = {});
+
+    /**
+     * Run until the event queue drains, stop() is called, or a process
+     * fails. Throws the failing process's exception, if any.
+     */
+    void run();
+
+    /** Run until simulated time @p deadline (inclusive of events at it). */
+    void runUntil(SimTime deadline);
+
+    /** Run for @p d more simulated time. */
+    void runFor(SimTime d) { runUntil(now_ + d); }
+
+    /** Request the run loop to return after the current event. */
+    void stop() { stopped_ = true; }
+
+    /** Record a root-task failure (called by Machine). */
+    void reportFailure(const std::string &who, std::exception_ptr e);
+
+    /** True if any process failed. */
+    bool failed() const { return failure_ != nullptr; }
+
+    /** Names and block reasons of all currently blocked processes. */
+    std::vector<std::string> blockedReport() const;
+
+    /** True if any non-terminated process exists (deadlock check aid). */
+    bool hasLiveProcesses() const;
+
+    Rng &rng() { return rng_; }
+
+    const std::vector<std::unique_ptr<Machine>> &
+    machines() const
+    {
+        return machines_;
+    }
+
+  private:
+    void rethrowIfFailed();
+
+    SimTime now_ = 0;
+    EventQueue events_;
+    bool stopped_ = false;
+    std::exception_ptr failure_;
+    std::string failureWho_;
+    Rng rng_;
+    // Declared after events_ so machines (and coroutine frames they own)
+    // are destroyed before the queue that may reference them.
+    std::vector<std::unique_ptr<Machine>> machines_;
+};
+
+} // namespace siprox::sim
+
+#endif // SIPROX_SIM_SIMULATION_HH

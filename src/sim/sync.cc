@@ -1,0 +1,112 @@
+#include "sim/sync.hh"
+
+#include <algorithm>
+
+#include "sim/machine.hh"
+
+namespace siprox::sim {
+
+namespace {
+
+void
+removeWaiter(std::deque<Process *> &q, Process *p)
+{
+    auto it = std::find(q.begin(), q.end(), p);
+    if (it != q.end())
+        q.erase(it);
+}
+
+void
+wakeOne(std::deque<Process *> &q)
+{
+    if (!q.empty()) {
+        Process *p = q.front();
+        q.pop_front();
+        p->wake();
+    }
+}
+
+} // namespace
+
+SpinLock::SpinLock(std::string name)
+    : name_(std::move(name)),
+      spinCenter_(CostCenters::id("user:spinlock"))
+{
+}
+
+Task
+SpinLock::acquire(Process &p)
+{
+    // Spin-then-yield, with the simulated spin slice growing while the
+    // lock stays held. The total CPU burned matches a real spinner's;
+    // coarsening long waits just caps the event rate (overshoot is at
+    // most one slice against millisecond-scale holds).
+    SimTime slice = p.machine().config().spinTryCost;
+    const SimTime max_slice = 16 * p.machine().config().spinTryCost;
+    while (!tryAcquire()) {
+        ++contentions_;
+        co_await p.cpu(slice, spinCenter_);
+        co_await p.yieldCpu();
+        if (slice < max_slice)
+            slice *= 2;
+    }
+}
+
+Task
+SimMutex::acquire(Process &p)
+{
+    while (held_) {
+        waiters_.push_back(&p);
+        co_await p.block("mutex");
+        removeWaiter(waiters_, &p);
+    }
+    held_ = true;
+}
+
+void
+SimMutex::release()
+{
+    held_ = false;
+    wakeOne(waiters_);
+}
+
+Task
+Semaphore::acquire(Process &p)
+{
+    while (count_ <= 0) {
+        waiters_.push_back(&p);
+        co_await p.block("semaphore");
+        removeWaiter(waiters_, &p);
+    }
+    --count_;
+}
+
+void
+Semaphore::release()
+{
+    ++count_;
+    wakeOne(waiters_);
+}
+
+void
+Latch::arrive()
+{
+    if (remaining_ > 0)
+        --remaining_;
+    if (remaining_ == 0) {
+        while (!waiters_.empty())
+            wakeOne(waiters_);
+    }
+}
+
+Task
+Latch::wait(Process &p)
+{
+    while (remaining_ > 0) {
+        waiters_.push_back(&p);
+        co_await p.block("latch");
+        removeWaiter(waiters_, &p);
+    }
+}
+
+} // namespace siprox::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simulated time. All simulation timestamps and durations are integer
+ * nanosecond counts; helpers below build durations from human units.
+ */
+
+#ifndef SIPROX_SIM_TIME_HH
+#define SIPROX_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace siprox::sim {
+
+/** A point in simulated time or a duration, in nanoseconds. */
+using SimTime = std::int64_t;
+
+/** Duration constructors. Fractional inputs are truncated to whole ns. */
+constexpr SimTime
+nsecs(double n)
+{
+    return static_cast<SimTime>(n);
+}
+
+constexpr SimTime
+usecs(double n)
+{
+    return static_cast<SimTime>(n * 1e3);
+}
+
+constexpr SimTime
+msecs(double n)
+{
+    return static_cast<SimTime>(n * 1e6);
+}
+
+constexpr SimTime
+secs(double n)
+{
+    return static_cast<SimTime>(n * 1e9);
+}
+
+/** Conversions back to floating-point units, for reporting. */
+constexpr double
+toUsecs(SimTime t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+constexpr double
+toMsecs(SimTime t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+constexpr double
+toSecs(SimTime t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+/** Sentinel for "no deadline". */
+constexpr SimTime kTimeNever = INT64_MAX;
+
+} // namespace siprox::sim
+
+#endif // SIPROX_SIM_TIME_HH

@@ -1,0 +1,47 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+
+namespace siprox::sim::trace {
+
+namespace {
+
+Sink &
+sinkSlot()
+{
+    static Sink sink;
+    return sink;
+}
+
+} // namespace
+
+void
+setSink(Sink sink)
+{
+    sinkSlot() = std::move(sink);
+}
+
+bool
+enabled()
+{
+    return static_cast<bool>(sinkSlot());
+}
+
+void
+log(SimTime now, std::string_view category, std::string_view msg)
+{
+    if (auto &sink = sinkSlot())
+        sink(now, category, msg);
+}
+
+Sink
+stdoutSink()
+{
+    return [](SimTime now, std::string_view cat, std::string_view msg) {
+        std::printf("[%12.6f] %-12.*s %.*s\n", toSecs(now),
+                    static_cast<int>(cat.size()), cat.data(),
+                    static_cast<int>(msg.size()), msg.data());
+    };
+}
+
+} // namespace siprox::sim::trace

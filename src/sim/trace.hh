@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Lightweight global trace facility. Disabled by default; examples and
+ * tests install a sink to observe simulation activity (SIP messages,
+ * connection lifecycle, scheduler decisions).
+ */
+
+#ifndef SIPROX_SIM_TRACE_HH
+#define SIPROX_SIM_TRACE_HH
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hh"
+
+namespace siprox::sim::trace {
+
+/** Receives (sim time, category, message) for every trace line. */
+using Sink =
+    std::function<void(SimTime, std::string_view, std::string_view)>;
+
+/** Install a sink; pass nullptr to disable tracing. */
+void setSink(Sink sink);
+
+/** True if a sink is installed; guard expensive message formatting. */
+bool enabled();
+
+/** Emit one trace line. No-op when disabled. */
+void log(SimTime now, std::string_view category, std::string_view msg);
+
+/** Convenience sink that prints "[time] category: msg" to stdout. */
+Sink stdoutSink();
+
+} // namespace siprox::sim::trace
+
+#endif // SIPROX_SIM_TRACE_HH

@@ -1,0 +1,399 @@
+#include "sip/message.hh"
+
+#include <cctype>
+#include <charconv>
+
+namespace siprox::sip {
+
+namespace {
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+        s.remove_suffix(1);
+    return s;
+}
+
+} // namespace
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i]))
+            != std::tolower(static_cast<unsigned char>(b[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+const char *
+methodName(Method m)
+{
+    switch (m) {
+      case Method::Invite:
+        return "INVITE";
+      case Method::Ack:
+        return "ACK";
+      case Method::Bye:
+        return "BYE";
+      case Method::Cancel:
+        return "CANCEL";
+      case Method::Register:
+        return "REGISTER";
+      case Method::Options:
+        return "OPTIONS";
+      case Method::Unknown:
+        break;
+    }
+    return "UNKNOWN";
+}
+
+Method
+methodFromName(std::string_view name)
+{
+    if (name == "INVITE")
+        return Method::Invite;
+    if (name == "ACK")
+        return Method::Ack;
+    if (name == "BYE")
+        return Method::Bye;
+    if (name == "CANCEL")
+        return Method::Cancel;
+    if (name == "REGISTER")
+        return Method::Register;
+    if (name == "OPTIONS")
+        return Method::Options;
+    return Method::Unknown;
+}
+
+const char *
+reasonPhrase(int status)
+{
+    switch (status) {
+      case status::kTrying:
+        return "Trying";
+      case status::kRinging:
+        return "Ringing";
+      case status::kOk:
+        return "OK";
+      case status::kMovedTemporarily:
+        return "Moved Temporarily";
+      case status::kBadRequest:
+        return "Bad Request";
+      case status::kUnauthorized:
+        return "Unauthorized";
+      case status::kNotFound:
+        return "Not Found";
+      case status::kRequestTimeout:
+        return "Request Timeout";
+      case status::kServerError:
+        return "Server Internal Error";
+      case status::kServiceUnavailable:
+        return "Service Unavailable";
+      default:
+        return "Unknown";
+    }
+}
+
+std::optional<Via>
+Via::parse(std::string_view text)
+{
+    // "SIP/2.0/UDP host:port;branch=..."
+    text = trim(text);
+    if (text.substr(0, 8) != "SIP/2.0/")
+        return std::nullopt;
+    text.remove_prefix(8);
+    Via via;
+    auto sp = text.find(' ');
+    if (sp == std::string_view::npos)
+        return std::nullopt;
+    via.transport = std::string(text.substr(0, sp));
+    text.remove_prefix(sp + 1);
+
+    auto semi = text.find(';');
+    std::string_view hostport = trim(text.substr(0, semi));
+    std::string_view params =
+        semi == std::string_view::npos ? std::string_view{}
+                                       : text.substr(semi + 1);
+    auto colon = hostport.find(':');
+    if (colon == std::string_view::npos) {
+        via.host = std::string(hostport);
+    } else {
+        via.host = std::string(hostport.substr(0, colon));
+        auto p = hostport.substr(colon + 1);
+        unsigned v = 0;
+        auto [ptr, ec] = std::from_chars(p.data(), p.data() + p.size(), v);
+        if (ec != std::errc() || ptr != p.data() + p.size() || v > 65535)
+            return std::nullopt;
+        via.port = static_cast<std::uint16_t>(v);
+    }
+    if (via.host.empty())
+        return std::nullopt;
+
+    while (!params.empty()) {
+        auto next = params.find(';');
+        std::string_view param = trim(params.substr(0, next));
+        params = next == std::string_view::npos
+            ? std::string_view{}
+            : params.substr(next + 1);
+        if (param.substr(0, 7) == "branch=")
+            via.branch = std::string(param.substr(7));
+    }
+    return via;
+}
+
+std::string
+Via::toString() const
+{
+    std::string out = "SIP/2.0/" + transport + " " + host;
+    if (port) {
+        out += ':';
+        out += std::to_string(port);
+    }
+    if (!branch.empty()) {
+        out += ";branch=";
+        out += branch;
+    }
+    return out;
+}
+
+std::optional<CSeq>
+CSeq::parse(std::string_view text)
+{
+    text = trim(text);
+    auto sp = text.find(' ');
+    if (sp == std::string_view::npos)
+        return std::nullopt;
+    CSeq cseq;
+    auto num = text.substr(0, sp);
+    auto [ptr, ec] =
+        std::from_chars(num.data(), num.data() + num.size(), cseq.number);
+    if (ec != std::errc() || ptr != num.data() + num.size())
+        return std::nullopt;
+    cseq.method = methodFromName(trim(text.substr(sp + 1)));
+    return cseq;
+}
+
+std::string
+CSeq::toString() const
+{
+    return std::to_string(number) + " " + methodName(method);
+}
+
+SipMessage
+SipMessage::request(Method m, SipUri uri)
+{
+    SipMessage msg;
+    msg.isRequest_ = true;
+    msg.method_ = m;
+    msg.requestUri_ = std::move(uri);
+    return msg;
+}
+
+SipMessage
+SipMessage::response(int status, std::string reason)
+{
+    SipMessage msg;
+    msg.isRequest_ = false;
+    msg.status_ = status;
+    msg.reason_ = reason.empty() ? reasonPhrase(status)
+                                 : std::move(reason);
+    return msg;
+}
+
+void
+SipMessage::addHeader(std::string name, std::string value)
+{
+    headers_.push_back(Header{std::move(name), std::move(value)});
+}
+
+void
+SipMessage::prependHeader(std::string name, std::string value)
+{
+    headers_.insert(headers_.begin(),
+                    Header{std::move(name), std::move(value)});
+}
+
+std::optional<std::string_view>
+SipMessage::header(std::string_view name) const
+{
+    for (const auto &h : headers_) {
+        if (iequals(h.name, name))
+            return std::string_view(h.value);
+    }
+    return std::nullopt;
+}
+
+std::vector<std::string_view>
+SipMessage::headerAll(std::string_view name) const
+{
+    std::vector<std::string_view> out;
+    for (const auto &h : headers_) {
+        if (iequals(h.name, name))
+            out.emplace_back(h.value);
+    }
+    return out;
+}
+
+void
+SipMessage::setHeader(std::string_view name, std::string value)
+{
+    for (auto &h : headers_) {
+        if (iequals(h.name, name)) {
+            h.value = std::move(value);
+            return;
+        }
+    }
+    addHeader(std::string(name), std::move(value));
+}
+
+bool
+SipMessage::removeFirstHeader(std::string_view name)
+{
+    for (auto it = headers_.begin(); it != headers_.end(); ++it) {
+        if (iequals(it->name, name)) {
+            headers_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string_view
+SipMessage::callId() const
+{
+    return header("Call-ID").value_or(std::string_view{});
+}
+
+std::optional<CSeq>
+SipMessage::cseq() const
+{
+    auto h = header("CSeq");
+    if (!h)
+        return std::nullopt;
+    return CSeq::parse(*h);
+}
+
+std::optional<Via>
+SipMessage::topVia() const
+{
+    auto h = header("Via");
+    if (!h)
+        return std::nullopt;
+    return Via::parse(*h);
+}
+
+std::string_view
+SipMessage::from() const
+{
+    return header("From").value_or(std::string_view{});
+}
+
+std::string_view
+SipMessage::to() const
+{
+    return header("To").value_or(std::string_view{});
+}
+
+std::optional<SipUri>
+SipMessage::contactUri() const
+{
+    auto h = header("Contact");
+    if (!h)
+        return std::nullopt;
+    std::string_view v = trim(*h);
+    // Strip "<...>" and display names.
+    auto lt = v.find('<');
+    if (lt != std::string_view::npos) {
+        auto gt = v.find('>', lt);
+        if (gt == std::string_view::npos)
+            return std::nullopt;
+        v = v.substr(lt + 1, gt - lt - 1);
+    }
+    return SipUri::parse(v);
+}
+
+std::optional<int>
+SipMessage::maxForwards() const
+{
+    auto h = header("Max-Forwards");
+    if (!h)
+        return std::nullopt;
+    auto v = trim(*h);
+    int out = 0;
+    auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    if (ec != std::errc() || ptr != v.data() + v.size())
+        return std::nullopt;
+    return out;
+}
+
+void
+SipMessage::setMaxForwards(int v)
+{
+    setHeader("Max-Forwards", std::to_string(v));
+}
+
+void
+SipMessage::setBody(std::string body, std::string content_type)
+{
+    body_ = std::move(body);
+    if (!content_type.empty())
+        setHeader("Content-Type", std::move(content_type));
+}
+
+std::string
+SipMessage::serialize() const
+{
+    std::string out;
+    out.reserve(256 + body_.size());
+    if (isRequest_) {
+        out += methodName(method_);
+        out += ' ';
+        out += requestUri_.toString();
+        out += " SIP/2.0\r\n";
+    } else {
+        out += "SIP/2.0 ";
+        out += std::to_string(status_);
+        out += ' ';
+        out += reason_;
+        out += "\r\n";
+    }
+    for (const auto &h : headers_) {
+        if (iequals(h.name, "Content-Length"))
+            continue; // always recomputed
+        out += h.name;
+        out += ": ";
+        out += h.value;
+        out += "\r\n";
+    }
+    out += "Content-Length: ";
+    out += std::to_string(body_.size());
+    out += "\r\n\r\n";
+    out += body_;
+    return out;
+}
+
+std::string
+SipMessage::summary() const
+{
+    std::string out;
+    if (isRequest_) {
+        out = std::string(methodName(method_)) + " "
+            + requestUri_.toString();
+    } else {
+        out = std::to_string(status_) + " " + reason_;
+    }
+    auto cs = cseq();
+    if (cs)
+        out += " (CSeq " + cs->toString() + ")";
+    return out;
+}
+
+} // namespace siprox::sip

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * SIP message model (RFC 3261): requests and responses with an ordered
+ * header list, typed accessors for the headers proxies route on, and
+ * serialization. Parsing lives in sip/parser.hh.
+ */
+
+#ifndef SIPROX_SIP_MESSAGE_HH
+#define SIPROX_SIP_MESSAGE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sip/uri.hh"
+
+namespace siprox::sip {
+
+/** Request methods used in VoIP call flows. */
+enum class Method
+{
+    Invite,
+    Ack,
+    Bye,
+    Cancel,
+    Register,
+    Options,
+    Unknown,
+};
+
+const char *methodName(Method m);
+Method methodFromName(std::string_view name);
+
+/** Status codes appearing in the paper's call flows. */
+namespace status {
+inline constexpr int kTrying = 100;
+inline constexpr int kRinging = 180;
+inline constexpr int kOk = 200;
+inline constexpr int kMovedTemporarily = 302;
+inline constexpr int kBadRequest = 400;
+inline constexpr int kUnauthorized = 401;
+inline constexpr int kNotFound = 404;
+inline constexpr int kRequestTimeout = 408;
+inline constexpr int kServerError = 500;
+inline constexpr int kServiceUnavailable = 503;
+} // namespace status
+
+/** Default reason phrase for a status code. */
+const char *reasonPhrase(int status);
+
+/** One header field (name is stored in canonical full form). */
+struct Header
+{
+    std::string name;
+    std::string value;
+};
+
+/** Parsed Via header value. */
+struct Via
+{
+    std::string transport; ///< "UDP", "TCP", "SCTP"
+    std::string host;
+    std::uint16_t port = 0;
+    std::string branch;
+
+    static std::optional<Via> parse(std::string_view text);
+    std::string toString() const;
+
+    std::uint16_t effectivePort() const { return port ? port : 5060; }
+};
+
+/** Parsed CSeq header value. */
+struct CSeq
+{
+    std::uint32_t number = 0;
+    Method method = Method::Unknown;
+
+    static std::optional<CSeq> parse(std::string_view text);
+    std::string toString() const;
+};
+
+/**
+ * A SIP request or response.
+ */
+class SipMessage
+{
+  public:
+    SipMessage() = default;
+
+    /** Construct a request line. */
+    static SipMessage request(Method m, SipUri uri);
+
+    /** Construct a response line. */
+    static SipMessage response(int status, std::string reason = "");
+
+    bool isRequest() const { return isRequest_; }
+    bool isResponse() const { return !isRequest_; }
+
+    Method method() const { return method_; }
+    const SipUri &requestUri() const { return requestUri_; }
+    void setRequestUri(SipUri uri) { requestUri_ = std::move(uri); }
+
+    int statusCode() const { return status_; }
+    const std::string &reason() const { return reason_; }
+    bool isProvisional() const { return status_ >= 100 && status_ < 200; }
+    bool isFinal() const { return status_ >= 200; }
+    bool isSuccess() const { return status_ >= 200 && status_ < 300; }
+
+    // --- headers -------------------------------------------------------
+    const std::vector<Header> &headers() const { return headers_; }
+
+    /** Append a header at the end. */
+    void addHeader(std::string name, std::string value);
+
+    /** Prepend a header (used for Via insertion at proxies). */
+    void prependHeader(std::string name, std::string value);
+
+    /** First value of @p name (case-insensitive); nullopt if absent. */
+    std::optional<std::string_view> header(std::string_view name) const;
+
+    /** All values of @p name in order. */
+    std::vector<std::string_view> headerAll(std::string_view name) const;
+
+    /** Replace the first @p name or append it. */
+    void setHeader(std::string_view name, std::string value);
+
+    /** Remove the first @p name; true if one was removed. */
+    bool removeFirstHeader(std::string_view name);
+
+    // --- typed accessors -------------------------------------------------
+    std::string_view callId() const;
+    std::optional<CSeq> cseq() const;
+    std::optional<Via> topVia() const;
+    std::string_view from() const;
+    std::string_view to() const;
+
+    /** Contact header's URI, if present and parseable. */
+    std::optional<SipUri> contactUri() const;
+
+    /** Max-Forwards value; nullopt if absent/garbled. */
+    std::optional<int> maxForwards() const;
+    void setMaxForwards(int v);
+
+    // --- body ------------------------------------------------------------
+    const std::string &body() const { return body_; }
+    void setBody(std::string body, std::string content_type = "");
+
+    /** Render the message; recomputes Content-Length. */
+    std::string serialize() const;
+
+    /** Short one-line description for traces. */
+    std::string summary() const;
+
+  private:
+    friend class Parser;
+
+    bool isRequest_ = true;
+    Method method_ = Method::Unknown;
+    SipUri requestUri_;
+    int status_ = 0;
+    std::string reason_;
+    std::vector<Header> headers_;
+    std::string body_;
+};
+
+/** Case-insensitive ASCII string compare. */
+bool iequals(std::string_view a, std::string_view b);
+
+} // namespace siprox::sip
+
+#endif // SIPROX_SIP_MESSAGE_HH

@@ -1,0 +1,253 @@
+#include "sip/parser.hh"
+
+#include <cctype>
+#include <charconv>
+
+namespace siprox::sip {
+
+namespace {
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'
+                          || s.back() == '\r'))
+        s.remove_suffix(1);
+    return s;
+}
+
+/** Pop one line (without terminator) off @p text; handles \r\n and \n. */
+std::optional<std::string_view>
+takeLine(std::string_view &text)
+{
+    auto nl = text.find('\n');
+    if (nl == std::string_view::npos)
+        return std::nullopt;
+    std::string_view line = text.substr(0, nl);
+    if (!line.empty() && line.back() == '\r')
+        line.remove_suffix(1);
+    text.remove_prefix(nl + 1);
+    return line;
+}
+
+ParseResult
+fail(std::string why)
+{
+    ParseResult r;
+    r.error = std::move(why);
+    return r;
+}
+
+/**
+ * Locate the end of the header section (index just past the blank
+ * line), or npos if incomplete. Accepts \r\n\r\n and \n\n.
+ */
+std::size_t
+findHeaderEnd(std::string_view text)
+{
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] != '\n')
+            continue;
+        std::size_t j = i + 1;
+        if (j < text.size() && text[j] == '\r')
+            ++j;
+        if (j < text.size() && text[j] == '\n')
+            return j + 1;
+    }
+    return std::string_view::npos;
+}
+
+/** Scan the header section for Content-Length (or compact "l"). */
+std::size_t
+scanContentLength(std::string_view headers)
+{
+    while (!headers.empty()) {
+        auto line = takeLine(headers);
+        if (!line)
+            break;
+        auto colon = line->find(':');
+        if (colon == std::string_view::npos)
+            continue;
+        std::string_view name = trim(line->substr(0, colon));
+        if (!iequals(name, "Content-Length") && !iequals(name, "l"))
+            continue;
+        std::string_view value = trim(line->substr(colon + 1));
+        std::size_t n = 0;
+        auto [ptr, ec] =
+            std::from_chars(value.data(), value.data() + value.size(), n);
+        if (ec == std::errc() && ptr == value.data() + value.size())
+            return n;
+        return 0;
+    }
+    return 0;
+}
+
+} // namespace
+
+std::string_view
+expandHeaderName(std::string_view name)
+{
+    if (name.size() != 1)
+        return name;
+    switch (std::tolower(static_cast<unsigned char>(name[0]))) {
+      case 'i':
+        return "Call-ID";
+      case 'm':
+        return "Contact";
+      case 'f':
+        return "From";
+      case 't':
+        return "To";
+      case 'v':
+        return "Via";
+      case 'l':
+        return "Content-Length";
+      case 'c':
+        return "Content-Type";
+      case 's':
+        return "Subject";
+      case 'k':
+        return "Supported";
+      default:
+        return name;
+    }
+}
+
+ParseResult
+parseMessage(std::string_view text)
+{
+    // Skip leading keep-alive newlines.
+    while (!text.empty() && (text.front() == '\r' || text.front() == '\n'))
+        text.remove_prefix(1);
+
+    auto start = takeLine(text);
+    if (!start || start->empty())
+        return fail("missing start line");
+
+    ParseResult result;
+    SipMessage &msg = result.message;
+
+    if (start->substr(0, 8) == "SIP/2.0 ") {
+        // Status line: SIP/2.0 200 OK
+        std::string_view rest = start->substr(8);
+        auto sp = rest.find(' ');
+        std::string_view code =
+            sp == std::string_view::npos ? rest : rest.substr(0, sp);
+        int status = 0;
+        auto [ptr, ec] =
+            std::from_chars(code.data(), code.data() + code.size(),
+                            status);
+        if (ec != std::errc() || ptr != code.data() + code.size()
+            || status < 100 || status > 699) {
+            return fail("bad status code");
+        }
+        msg = SipMessage::response(
+            status,
+            sp == std::string_view::npos
+                ? ""
+                : std::string(trim(rest.substr(sp + 1))));
+    } else {
+        // Request line: METHOD uri SIP/2.0
+        auto sp1 = start->find(' ');
+        if (sp1 == std::string_view::npos)
+            return fail("bad request line");
+        auto sp2 = start->find(' ', sp1 + 1);
+        if (sp2 == std::string_view::npos)
+            return fail("bad request line");
+        if (trim(start->substr(sp2 + 1)) != "SIP/2.0")
+            return fail("bad SIP version");
+        Method m = methodFromName(start->substr(0, sp1));
+        auto uri = SipUri::parse(start->substr(sp1 + 1, sp2 - sp1 - 1));
+        if (!uri)
+            return fail("bad request URI");
+        msg = SipMessage::request(m, std::move(*uri));
+    }
+
+    // Headers, with folding: continuation lines start with SP/HT.
+    std::string pending_name;
+    std::string pending_value;
+    auto flush = [&] {
+        if (!pending_name.empty()) {
+            msg.addHeader(pending_name, pending_value);
+            pending_name.clear();
+            pending_value.clear();
+        }
+    };
+    for (;;) {
+        auto line = takeLine(text);
+        if (!line)
+            return fail("unterminated headers");
+        if (line->empty())
+            break; // end of headers
+        if (line->front() == ' ' || line->front() == '\t') {
+            if (pending_name.empty())
+                return fail("continuation without header");
+            pending_value += ' ';
+            pending_value += trim(*line);
+            continue;
+        }
+        flush();
+        auto colon = line->find(':');
+        if (colon == std::string_view::npos)
+            return fail("header without colon");
+        std::string_view name = trim(line->substr(0, colon));
+        if (name.empty())
+            return fail("empty header name");
+        pending_name = std::string(expandHeaderName(name));
+        pending_value = std::string(trim(line->substr(colon + 1)));
+    }
+    flush();
+
+    // Body per Content-Length (truncated input is an error).
+    std::size_t content_length = 0;
+    if (auto cl = msg.header("Content-Length")) {
+        auto v = trim(*cl);
+        auto [ptr, ec] =
+            std::from_chars(v.data(), v.data() + v.size(),
+                            content_length);
+        if (ec != std::errc() || ptr != v.data() + v.size())
+            return fail("bad Content-Length");
+    } else {
+        content_length = text.size();
+    }
+    if (text.size() < content_length)
+        return fail("truncated body");
+    msg.setBody(std::string(text.substr(0, content_length)));
+
+    result.ok = true;
+    return result;
+}
+
+std::optional<std::string>
+StreamFramer::next()
+{
+    // Skip keep-alive CRLFs between messages.
+    std::size_t skip = 0;
+    while (skip < buf_.size()
+           && (buf_[skip] == '\r' || buf_[skip] == '\n')) {
+        ++skip;
+    }
+    if (skip)
+        buf_.erase(0, skip);
+    if (buf_.empty())
+        return std::nullopt;
+
+    std::size_t header_end = findHeaderEnd(buf_);
+    if (header_end == std::string_view::npos) {
+        if (buf_.size() > kMaxHeaderBytes)
+            poisoned_ = true;
+        return std::nullopt;
+    }
+    std::size_t content_length =
+        scanContentLength(std::string_view(buf_).substr(0, header_end));
+    std::size_t total = header_end + content_length;
+    if (buf_.size() < total)
+        return std::nullopt;
+    std::string raw = buf_.substr(0, total);
+    buf_.erase(0, total);
+    return raw;
+}
+
+} // namespace siprox::sip

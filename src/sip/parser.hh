@@ -1,0 +1,77 @@
+/**
+ * @file
+ * SIP message parsing (RFC 3261 §7) and stream framing.
+ *
+ * The parser accepts CRLF or bare LF line endings, header folding,
+ * compact header names, and case-insensitive header matching. The
+ * StreamFramer carves complete messages out of a TCP byte stream using
+ * Content-Length — the per-connection reassembly that forces OpenSER's
+ * one-reader-per-connection rule (§3.1).
+ */
+
+#ifndef SIPROX_SIP_PARSER_HH
+#define SIPROX_SIP_PARSER_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sip/message.hh"
+
+namespace siprox::sip {
+
+/** Outcome of a parse attempt. */
+struct ParseResult
+{
+    bool ok = false;
+    SipMessage message;
+    std::string error;
+};
+
+/** Parse a complete SIP message from @p text. */
+ParseResult parseMessage(std::string_view text);
+
+/** Expand a compact header name ("i" -> "Call-ID"); identity otherwise. */
+std::string_view expandHeaderName(std::string_view name);
+
+/**
+ * Incremental framer for stream transports.
+ *
+ * Feed arbitrary byte chunks; next() yields the raw text of each
+ * complete message (start line through body) as soon as it is fully
+ * buffered. Interleaved keep-alive CRLFs are skipped.
+ */
+class StreamFramer
+{
+  public:
+    /** Append received bytes. */
+    void feed(std::string_view bytes) { buf_.append(bytes); }
+
+    /**
+     * Extract the next complete message.
+     * @return the raw message text, or nullopt if more bytes are needed.
+     */
+    std::optional<std::string> next();
+
+    /** Bytes buffered but not yet framed. */
+    std::size_t buffered() const { return buf_.size(); }
+
+    /**
+     * True if the buffer starts with data that can never frame (no
+     * header terminator within the cap). Callers should drop the
+     * connection.
+     */
+    bool poisoned() const { return poisoned_; }
+
+    /** Cap on header-section size before declaring the stream broken. */
+    static constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
+
+  private:
+    std::string buf_;
+    bool poisoned_ = false;
+};
+
+} // namespace siprox::sip
+
+#endif // SIPROX_SIP_PARSER_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * RFC 3261 timer constants (§17, Table 4), used by the stateful proxy's
+ * retransmission machinery and by the phones' UAC/UAS loops.
+ */
+
+#ifndef SIPROX_SIP_TIMERS_HH
+#define SIPROX_SIP_TIMERS_HH
+
+#include "sim/time.hh"
+
+namespace siprox::sip::timers {
+
+using sim::SimTime;
+
+/** RTT estimate: base retransmission interval. */
+inline constexpr SimTime kT1 = sim::msecs(500);
+/** Maximum retransmission interval for non-INVITE requests. */
+inline constexpr SimTime kT2 = sim::secs(4);
+/** Maximum duration a message remains in the network. */
+inline constexpr SimTime kT4 = sim::secs(5);
+/** INVITE transaction timeout (Timer B/F): 64*T1. */
+inline constexpr SimTime kTimerB = 64 * kT1;
+/** Completed-state linger for INVITE server transactions (Timer H). */
+inline constexpr SimTime kTimerH = 64 * kT1;
+
+} // namespace siprox::sip::timers
+
+#endif // SIPROX_SIP_TIMERS_HH

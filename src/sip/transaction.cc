@@ -1,0 +1,22 @@
+#include "sip/transaction.hh"
+
+namespace siprox::sip {
+
+std::optional<TransactionKey>
+transactionKey(const SipMessage &msg)
+{
+    auto via = msg.topVia();
+    if (!via || via->branch.empty())
+        return std::nullopt;
+    auto cseq = msg.cseq();
+    if (!cseq)
+        return std::nullopt;
+    Method m = cseq->method;
+    // ACK for a non-2xx response and CANCEL match the INVITE
+    // transaction they refer to (RFC 3261 17.2.3): same branch.
+    if (m == Method::Ack || m == Method::Cancel)
+        m = Method::Invite;
+    return TransactionKey{std::string(via->branch), m};
+}
+
+} // namespace siprox::sip

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Transaction identification (RFC 3261 §17.2.3). A transaction is keyed
+ * by the top Via branch plus the CSeq method (with ACK and CANCEL
+ * matching the INVITE they refer to). The stateful proxy's shared
+ * transaction table and the phones' pending-request maps key on this.
+ */
+
+#ifndef SIPROX_SIP_TRANSACTION_HH
+#define SIPROX_SIP_TRANSACTION_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sip/message.hh"
+
+namespace siprox::sip {
+
+/** Magic cookie required at the start of RFC 3261 branches. */
+inline constexpr const char *kBranchCookie = "z9hG4bK";
+
+/** Key identifying one transaction at one element. */
+struct TransactionKey
+{
+    std::string branch;
+    Method method = Method::Unknown;
+
+    bool operator==(const TransactionKey &) const = default;
+};
+
+struct TransactionKeyHash
+{
+    std::size_t
+    operator()(const TransactionKey &k) const
+    {
+        return std::hash<std::string>{}(k.branch)
+            ^ (static_cast<std::size_t>(k.method) << 1);
+    }
+};
+
+/**
+ * Transaction key for a message arriving at a proxy/UAS. ACK matches
+ * its INVITE transaction; CANCEL likewise. Returns nullopt when the
+ * message lacks a Via branch or CSeq.
+ */
+std::optional<TransactionKey> transactionKey(const SipMessage &msg);
+
+/**
+ * Deterministic branch-parameter generator (one per sending element).
+ */
+class BranchGenerator
+{
+  public:
+    explicit BranchGenerator(std::uint64_t salt) : salt_(salt) {}
+
+    std::string
+    next()
+    {
+        return std::string(kBranchCookie) + std::to_string(salt_) + "."
+            + std::to_string(++counter_);
+    }
+
+  private:
+    std::uint64_t salt_;
+    std::uint64_t counter_ = 0;
+};
+
+} // namespace siprox::sip
+
+#endif // SIPROX_SIP_TRANSACTION_HH

@@ -1,0 +1,127 @@
+#include "sip/uri.hh"
+
+#include <charconv>
+
+namespace siprox::sip {
+
+namespace {
+
+/** Split @p text at the first @p sep; returns {text, ""} if absent. */
+std::pair<std::string_view, std::string_view>
+splitFirst(std::string_view text, char sep)
+{
+    auto pos = text.find(sep);
+    if (pos == std::string_view::npos)
+        return {text, {}};
+    return {text.substr(0, pos), text.substr(pos + 1)};
+}
+
+bool
+parsePort(std::string_view text, std::uint16_t &out)
+{
+    unsigned value = 0;
+    auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()
+        || value == 0 || value > 65535) {
+        return false;
+    }
+    out = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+} // namespace
+
+std::optional<SipUri>
+SipUri::parse(std::string_view text)
+{
+    if (text.substr(0, 4) != "sip:")
+        return std::nullopt;
+    text.remove_prefix(4);
+
+    SipUri uri;
+    // Split off URI parameters first.
+    auto [core, params] = splitFirst(text, ';');
+    // user@hostport or hostport
+    auto at = core.find('@');
+    std::string_view hostport = core;
+    if (at != std::string_view::npos) {
+        uri.user = std::string(core.substr(0, at));
+        hostport = core.substr(at + 1);
+    }
+    auto [host, port] = splitFirst(hostport, ':');
+    if (host.empty())
+        return std::nullopt;
+    uri.host = std::string(host);
+    if (!port.empty() && !parsePort(port, uri.port))
+        return std::nullopt;
+
+    while (!params.empty()) {
+        auto [param, rest] = splitFirst(params, ';');
+        params = rest;
+        if (param.empty())
+            continue;
+        auto [name, value] = splitFirst(param, '=');
+        uri.params.emplace_back(std::string(name), std::string(value));
+    }
+    return uri;
+}
+
+std::string
+SipUri::toString() const
+{
+    std::string out = "sip:";
+    if (!user.empty()) {
+        out += user;
+        out += '@';
+    }
+    out += host;
+    if (port) {
+        out += ':';
+        out += std::to_string(port);
+    }
+    for (const auto &[name, value] : params) {
+        out += ';';
+        out += name;
+        if (!value.empty()) {
+            out += '=';
+            out += value;
+        }
+    }
+    return out;
+}
+
+std::optional<std::string_view>
+SipUri::param(std::string_view name) const
+{
+    for (const auto &[pname, pvalue] : params) {
+        if (pname == name)
+            return std::string_view(pvalue);
+    }
+    return std::nullopt;
+}
+
+std::optional<net::Addr>
+addrFromUri(const SipUri &uri)
+{
+    if (uri.host.size() < 2 || uri.host[0] != 'h')
+        return std::nullopt;
+    std::uint32_t id = 0;
+    auto sv = std::string_view(uri.host).substr(1);
+    auto [ptr, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), id);
+    if (ec != std::errc() || ptr != sv.data() + sv.size())
+        return std::nullopt;
+    return net::Addr{id, uri.effectivePort()};
+}
+
+SipUri
+uriForAddr(std::string user, net::Addr addr)
+{
+    SipUri uri;
+    uri.user = std::move(user);
+    uri.host = "h" + std::to_string(addr.host);
+    uri.port = addr.port;
+    return uri;
+}
+
+} // namespace siprox::sip

@@ -1,0 +1,55 @@
+#include "stats/histogram.hh"
+
+#include <bit>
+
+namespace siprox::stats {
+
+int
+LatencyHistogram::bucketFor(SimTime value)
+{
+    // Buckets indexed by (log2(value) << kSubBits) | next-4-bits.
+    std::uint64_t v = static_cast<std::uint64_t>(value);
+    if (v < (1u << kSubBits))
+        return static_cast<int>(v);
+    int log2 = 63 - std::countl_zero(v);
+    int sub = static_cast<int>((v >> (log2 - kSubBits)) & ((1 << kSubBits) - 1));
+    int idx = ((log2 - kSubBits + 1) << kSubBits) | sub;
+    if (idx >= kBuckets)
+        idx = kBuckets - 1;
+    return idx;
+}
+
+SimTime
+LatencyHistogram::bucketUpperBound(int bucket)
+{
+    if (bucket < (1 << kSubBits))
+        return bucket;
+    int log2 = (bucket >> kSubBits) + kSubBits - 1;
+    int sub = bucket & ((1 << kSubBits) - 1);
+    std::uint64_t base = 1ull << log2;
+    std::uint64_t step = base >> kSubBits;
+    return static_cast<SimTime>(base + step * (sub + 1) - 1);
+}
+
+SimTime
+LatencyHistogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1))
+        + 1;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return bucketUpperBound(i);
+    }
+    return max_;
+}
+
+} // namespace siprox::stats

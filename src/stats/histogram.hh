@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Log-bucketed latency histogram with percentile queries, used for
+ * per-transaction latency reporting in the workload harness.
+ */
+
+#ifndef SIPROX_STATS_HISTOGRAM_HH
+#define SIPROX_STATS_HISTOGRAM_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace siprox::stats {
+
+using sim::SimTime;
+
+/**
+ * Histogram over durations with ~4% relative bucket resolution.
+ */
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+    void
+    record(SimTime value)
+    {
+        if (value < 0)
+            value = 0;
+        ++buckets_[bucketFor(value)];
+        ++count_;
+        sum_ += value;
+        if (value > max_)
+            max_ = value;
+        if (count_ == 1 || value < min_)
+            min_ = value;
+    }
+
+    std::uint64_t count() const { return count_; }
+    SimTime min() const { return count_ ? min_ : 0; }
+    SimTime max() const { return max_; }
+
+    SimTime
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<SimTime>(count_) : 0;
+    }
+
+    /** Value at quantile @p q in [0,1] (bucket upper bound). */
+    SimTime percentile(double q) const;
+
+    /** Accumulate another histogram into this one. */
+    void
+    merge(const LatencyHistogram &other)
+    {
+        for (int i = 0; i < kBuckets; ++i)
+            buckets_[static_cast<std::size_t>(i)] +=
+                other.buckets_[static_cast<std::size_t>(i)];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        max_ = std::max(max_, other.max_);
+        if (other.count_ && (count_ == other.count_ || other.min_ < min_))
+            min_ = other.min_;
+    }
+
+    void
+    reset()
+    {
+        buckets_.assign(kBuckets, 0);
+        count_ = 0;
+        sum_ = 0;
+        max_ = 0;
+        min_ = 0;
+    }
+
+  private:
+    // 16 log2 major buckets/decade over [1us, ~17min].
+    static constexpr int kSubBits = 4;
+    static constexpr int kBuckets = 64 << kSubBits;
+
+    static int bucketFor(SimTime value);
+    static SimTime bucketUpperBound(int bucket);
+
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    SimTime sum_ = 0;
+    SimTime max_ = 0;
+    SimTime min_ = 0;
+};
+
+} // namespace siprox::stats
+
+#endif // SIPROX_STATS_HISTOGRAM_HH

@@ -1,0 +1,138 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace siprox::stats {
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != columns_.size())
+        throw std::invalid_argument("row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.'
+            && c != '-' && c != '+' && c != '%' && c != 'x'
+            && c != ',') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string> &cells,
+                    std::string &out) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            std::size_t pad = widths[c] - cells[c].size();
+            bool right = c > 0 && looksNumeric(cells[c]);
+            if (c)
+                out += "  ";
+            if (right)
+                out.append(pad, ' ');
+            out += cells[c];
+            if (!right)
+                out.append(pad, ' ');
+        }
+        // Trim trailing spaces.
+        while (!out.empty() && out.back() == ' ')
+            out.pop_back();
+        out += '\n';
+    };
+
+    std::string out;
+    emit(columns_, out);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+    for (const auto &row : rows_)
+        emit(row, out);
+    return out;
+}
+
+namespace {
+
+std::string
+csvCell(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+Table::csv() const
+{
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                out += ',';
+            out += csvCell(cells[c]);
+        }
+        out += '\n';
+    };
+    emit(columns_);
+    for (const auto &row : rows_)
+        emit(row);
+    return out;
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+} // namespace siprox::stats

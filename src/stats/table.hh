@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal fixed-width table formatter for bench output, so every bench
+ * binary prints paper-style rows consistently.
+ */
+
+#ifndef SIPROX_STATS_TABLE_HH
+#define SIPROX_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace siprox::stats {
+
+/**
+ * Column-aligned text table.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> columns);
+
+    /** Append a row; must match the column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with a header rule and right-aligned numeric cells. */
+    std::string render() const;
+
+    /** Render as RFC-4180-style CSV (quotes cells containing commas,
+     *  quotes, or newlines). */
+    std::string csv() const;
+
+    /** Format helpers. */
+    static std::string num(double v, int precision = 0);
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace siprox::stats
+
+#endif // SIPROX_STATS_TABLE_HH

@@ -1,0 +1,238 @@
+#include "workload/scenario.hh"
+
+#include <algorithm>
+#include <climits>
+#include <memory>
+
+#include "core/proxy.hh"
+#include "net/network.hh"
+#include "phone/phone.hh"
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+
+namespace siprox::workload {
+
+namespace {
+
+/** Manager bookkeeping shared with the manager process. */
+struct Phases
+{
+    sim::Latch registered;
+    sim::Latch start{1};
+    sim::Latch done;
+    sim::SimTime measureStart = 0;
+    sim::SimTime measureEnd = 0;
+    sim::SimTime serverBusyAtStart = 0;
+    std::vector<sim::SimTime> clientBusyAtStart;
+    bool finished = false;
+    /** Time-based mode: set after the measurement window elapses. */
+    bool stopCalling = false;
+    sim::SimTime window = 0;
+
+    Phases(int phones, int callers)
+        : registered(phones), done(callers)
+    {
+    }
+};
+
+/**
+ * The manager program (§4.2): waits for every phone to register,
+ * starts the measured phase, and records its end.
+ */
+sim::Task
+managerMain(sim::Process &p, Phases *phases, sim::Machine *server,
+            std::vector<sim::Machine *> client_machines)
+{
+    co_await phases->registered.wait(p);
+    phases->measureStart = p.sim().now();
+    // Profile and utilization cover only the measured phase.
+    server->profiler().reset();
+    phases->serverBusyAtStart = server->scheduler().busyTime();
+    for (auto *m : client_machines)
+        phases->clientBusyAtStart.push_back(m->scheduler().busyTime());
+    phases->start.arrive();
+    if (phases->window > 0) {
+        co_await p.sleepFor(phases->window);
+        phases->stopCalling = true;
+    }
+    co_await phases->done.wait(p);
+    phases->measureEnd = p.sim().now();
+    phases->finished = true;
+}
+
+} // namespace
+
+RunResult
+runScenario(const Scenario &sc)
+{
+    sim::Simulation simu(sc.seed);
+    auto &server_machine = simu.addMachine("server", sc.serverCores);
+    net::Network network(simu, sc.net);
+    auto &server_host = network.attach(server_machine);
+
+    core::Proxy proxy(server_machine, server_host, sc.proxy);
+    proxy.start();
+
+    std::vector<sim::Machine *> client_machines;
+    std::vector<net::Host *> client_hosts;
+    for (int i = 0; i < sc.clientMachines; ++i) {
+        auto &m = simu.addMachine("client" + std::to_string(i),
+                                  sc.clientCores);
+        client_machines.push_back(&m);
+        client_hosts.push_back(&network.attach(m));
+    }
+
+    Phases phases(2 * sc.clients, sc.clients);
+    phases.window = sc.measureWindow;
+    const int calls_per_client = sc.measureWindow > 0
+        ? INT_MAX / 4
+        : sc.callsPerClient;
+    std::vector<std::unique_ptr<phone::Phone>> callers, callees;
+    callers.reserve(static_cast<std::size_t>(sc.clients));
+    callees.reserve(static_cast<std::size_t>(sc.clients));
+    for (int i = 0; i < sc.clients; ++i) {
+        int m = i % sc.clientMachines;
+        auto mk_cfg = [&](const std::string &user,
+                          std::uint16_t port) {
+            phone::PhoneConfig cfg;
+            cfg.user = user;
+            cfg.port = port;
+            cfg.transport = sc.proxy.transport;
+            cfg.proxyAddr = proxy.addr();
+            cfg.opsPerConn = sc.opsPerConn;
+            cfg.answerDelay = sc.answerDelay;
+            cfg.responseTimeout = sc.phoneResponseTimeout;
+            return cfg;
+        };
+        callees.push_back(std::make_unique<phone::Phone>(
+            *client_machines[static_cast<std::size_t>(m)],
+            *client_hosts[static_cast<std::size_t>(m)],
+            mk_cfg("c" + std::to_string(i),
+                   static_cast<std::uint16_t>(16000 + i))));
+        callees.back()->startCallee(calls_per_client,
+                                    &phases.registered, nullptr);
+        callers.push_back(std::make_unique<phone::Phone>(
+            *client_machines[static_cast<std::size_t>(m)],
+            *client_hosts[static_cast<std::size_t>(m)],
+            mk_cfg("a" + std::to_string(i),
+                   static_cast<std::uint16_t>(6000 + i))));
+        callers.back()->startCaller(calls_per_client,
+                                    "c" + std::to_string(i),
+                                    &phases.registered, &phases.start,
+                                    &phases.done, &phases.stopCalling);
+    }
+
+    client_machines[0]->spawn(
+        "manager", 0, [&](sim::Process &p) {
+            return managerMain(p, &phases, &server_machine,
+                               client_machines);
+        });
+
+    // Registration phase has no explicit cap; the measured phase is
+    // capped at maxDuration past its start.
+    while (!phases.finished) {
+        sim::SimTime deadline = phases.measureStart > 0
+            ? phases.measureStart + sc.maxDuration
+            : simu.now() + sim::secs(30);
+        simu.runUntil(std::min(deadline, simu.now() + sim::secs(1)));
+        if (phases.measureStart > 0
+            && simu.now() >= phases.measureStart + sc.maxDuration) {
+            break;
+        }
+        if (phases.measureStart == 0
+            && simu.now() > sim::secs(3600)) {
+            break; // registration wedged: report what we have
+        }
+    }
+
+    if (phases.finished && sc.settleTime > 0)
+        simu.runFor(sc.settleTime);
+
+    RunResult result;
+    result.timedOut = !phases.finished;
+    sim::SimTime end = phases.finished ? phases.measureEnd : simu.now();
+    result.duration = end - phases.measureStart;
+
+    // Operations are counted at the callers (each transaction once).
+    sim::SimTime last_op = phases.measureStart;
+    for (const auto &ph : callers) {
+        const auto &st = ph->stats();
+        result.ops += st.opsCompleted;
+        result.callsCompleted += st.callsCompleted;
+        result.callsFailed += st.callsFailed;
+        last_op = std::max(last_op, st.lastOpDone);
+    }
+    for (const auto &ph : callees) {
+        const auto &st = ph->stats();
+        result.phoneRetransmissions += st.retransmissions;
+        result.reconnects += st.reconnects;
+        result.reconnectFailures += st.reconnectFailures;
+    }
+    for (const auto &ph : callers) {
+        const auto &st = ph->stats();
+        result.phoneRetransmissions += st.retransmissions;
+        result.reconnects += st.reconnects;
+        result.reconnectFailures += st.reconnectFailures;
+    }
+    if (result.timedOut)
+        result.duration = last_op - phases.measureStart;
+    if (result.duration > 0) {
+        result.opsPerSec = static_cast<double>(result.ops)
+            / sim::toSecs(result.duration);
+    }
+
+    // Latency percentiles over all callers' INVITE transactions.
+    stats::LatencyHistogram invite;
+    for (const auto &ph : callers)
+        invite.merge(ph->stats().inviteLatency);
+    result.inviteP50 = invite.percentile(0.5);
+    result.inviteP99 = invite.percentile(0.99);
+
+    result.counters = proxy.shared().counters;
+    result.serverProfile = server_machine.profiler();
+    if (result.duration > 0) {
+        double capacity = sim::toSecs(result.duration)
+            * server_machine.scheduler().cores();
+        // Bursts spanning the phase boundary are charged when they
+        // end, so clamp the tiny resulting over-count.
+        result.serverUtilization = std::min(
+            1.0, sim::toSecs(server_machine.scheduler().busyTime()
+                             - phases.serverBusyAtStart)
+                / capacity);
+        for (std::size_t i = 0; i < client_machines.size(); ++i) {
+            double busy = sim::toSecs(
+                client_machines[i]->scheduler().busyTime()
+                - (i < phases.clientBusyAtStart.size()
+                       ? phases.clientBusyAtStart[i]
+                       : 0));
+            double cap = sim::toSecs(result.duration)
+                * client_machines[i]->scheduler().cores();
+            result.maxClientUtilization = std::max(
+                result.maxClientUtilization, busy / cap);
+        }
+    }
+
+    proxy.requestStop();
+    return result;
+}
+
+Scenario
+paperScenario(core::Transport transport, int clients, int ops_per_conn)
+{
+    Scenario sc;
+    sc.proxy.transport = transport;
+    sc.clients = clients;
+    sc.opsPerConn = ops_per_conn;
+    sc.proxy.workers = transport == core::Transport::Tcp ? 32 : 24;
+    sc.proxy.stateful = true;
+    // Scale call counts so each grid point runs a similar number of
+    // operations regardless of client count.
+    sc.callsPerClient = std::max(10, 12000 / clients);
+    sc.name = std::string(core::transportName(transport)) + "/"
+        + (ops_per_conn == 0 ? std::string("persistent")
+                             : std::to_string(ops_per_conn) + "ops")
+        + "/" + std::to_string(clients) + "c";
+    return sc;
+}
+
+} // namespace siprox::workload

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Benchmark scenario description and results — the §4.2 methodology: a
+ * registration phase (excluded from measurement), then a measured
+ * phase in which every caller places a fixed number of calls to its
+ * designated callee. Throughput is operations (SIP transactions — one
+ * invite or one bye) per second.
+ */
+
+#ifndef SIPROX_WORKLOAD_SCENARIO_HH
+#define SIPROX_WORKLOAD_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/shared.hh"
+#include "net/config.hh"
+#include "sim/profiler.hh"
+#include "sim/time.hh"
+
+namespace siprox::workload {
+
+/** One benchmark configuration. */
+struct Scenario
+{
+    std::string name = "scenario";
+    /** Concurrent caller/callee pairs ("clients" in the paper). */
+    int clients = 100;
+    /** Calls each caller places during the measured phase. */
+    int callsPerClient = 50;
+    /**
+     * If nonzero, run time-based instead: callers keep placing calls
+     * until this much simulated time has elapsed since the measured
+     * phase started (callsPerClient becomes an upper bound per call
+     * loop and is ignored). Needed for workloads whose steady state
+     * depends on the idle-connection timeout.
+     */
+    sim::SimTime measureWindow = 0;
+    /** TCP: phone reconnect period in operations (0 = persistent). */
+    int opsPerConn = 0;
+    core::ProxyConfig proxy;
+    net::NetConfig net;
+    int serverCores = 4;
+    int clientMachines = 3;
+    int clientCores = 2;
+    std::uint64_t seed = 1;
+    /** Safety cap on the measured phase (simulated time). */
+    sim::SimTime maxDuration = sim::secs(300);
+    sim::SimTime answerDelay = 0;
+    /** Phone-side give-up deadline per transaction. */
+    sim::SimTime phoneResponseTimeout = sim::secs(4);
+    /** Extra simulated time after the last call before counters are
+     *  sampled (lets idle-connection machinery drain). */
+    sim::SimTime settleTime = 0;
+};
+
+/** Measured outcome of one scenario run. */
+struct RunResult
+{
+    double opsPerSec = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t callsCompleted = 0;
+    std::uint64_t callsFailed = 0;
+    std::uint64_t phoneRetransmissions = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t reconnectFailures = 0;
+    sim::SimTime duration = 0;
+    double serverUtilization = 0;
+    double maxClientUtilization = 0;
+    sim::SimTime inviteP50 = 0;
+    sim::SimTime inviteP99 = 0;
+    core::ProxyCounters counters;
+    /** Server CPU profile over the measured phase. */
+    sim::Profiler serverProfile;
+    /** True if the safety cap cut the run short. */
+    bool timedOut = false;
+};
+
+/** Build, run, and tear down one scenario. */
+RunResult runScenario(const Scenario &scenario);
+
+/**
+ * Scenario presets for the paper's evaluation grid.
+ * @param clients 100 / 500 / 1000.
+ * @param ops_per_conn 0 (persistent), 50, or 500 (TCP only).
+ */
+Scenario paperScenario(core::Transport transport, int clients,
+                       int ops_per_conn);
+
+} // namespace siprox::workload
+
+#endif // SIPROX_WORKLOAD_SCENARIO_HH

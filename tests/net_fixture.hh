@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared fixture for network-layer tests: a simulation with two
+ * machines attached to one network.
+ */
+
+#ifndef SIPROX_TESTS_NET_FIXTURE_HH
+#define SIPROX_TESTS_NET_FIXTURE_HH
+
+#include <gtest/gtest.h>
+
+#include "net/network.hh"
+#include "net/sctp.hh"
+#include "net/tcp.hh"
+#include "net/udp.hh"
+#include "sim/simulation.hh"
+
+namespace siprox::tests {
+
+class NetFixture : public ::testing::Test
+{
+  protected:
+    NetFixture() : NetFixture(net::NetConfig{}) {}
+
+    explicit NetFixture(net::NetConfig cfg)
+        : sim(42), net(sim, cfg),
+          serverMachine(sim.addMachine("server", 4)),
+          clientMachine(sim.addMachine("client", 2)),
+          server(net.attach(serverMachine)),
+          client(net.attach(clientMachine))
+    {
+    }
+
+    sim::Simulation sim;
+    net::Network net;
+    sim::Machine &serverMachine;
+    sim::Machine &clientMachine;
+    net::Host &server;
+    net::Host &client;
+};
+
+} // namespace siprox::tests
+
+#endif // SIPROX_TESTS_NET_FIXTURE_HH

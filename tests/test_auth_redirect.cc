@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the extension features from the paper's context: digest
+ * authentication (the dominant cost factor per Nahum et al., cited in
+ * §7) and redirect-server operation (§2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.hh"
+
+namespace {
+
+using namespace siprox;
+using namespace siprox::workload;
+using core::Transport;
+
+Scenario
+smallScenario(Transport transport)
+{
+    Scenario sc;
+    sc.proxy.transport = transport;
+    sc.proxy.workers = 4;
+    sc.clients = 4;
+    sc.callsPerClient = 6;
+    sc.clientMachines = 2;
+    sc.maxDuration = sim::secs(60);
+    return sc;
+}
+
+TEST(AuthTest, ChallengedCallsStillComplete)
+{
+    Scenario sc = smallScenario(Transport::Udp);
+    sc.proxy.authenticate = true;
+    RunResult r = runScenario(sc);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.callsFailed, 0u);
+    EXPECT_EQ(r.callsCompleted, 4u * 6u);
+    // Every phone was challenged at least once (first REGISTER) and
+    // every subsequent request carried verified credentials.
+    EXPECT_GE(r.counters.authChallenges, 8u);
+    EXPECT_GT(r.counters.authAccepted, 0u);
+}
+
+TEST(AuthTest, AuthWorksOverTcp)
+{
+    Scenario sc = smallScenario(Transport::Tcp);
+    sc.proxy.authenticate = true;
+    sc.proxy.fdCache = true;
+    RunResult r = runScenario(sc);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.callsFailed, 0u);
+    EXPECT_GT(r.counters.authAccepted, 0u);
+}
+
+TEST(AuthTest, AuthCostsReduceThroughput)
+{
+    Scenario base = smallScenario(Transport::Udp);
+    base.clients = 20;
+    base.callsPerClient = 40;
+    RunResult plain = runScenario(base);
+    base.proxy.authenticate = true;
+    RunResult authed = runScenario(base);
+    EXPECT_EQ(authed.callsFailed, 0u);
+    // Nahum et al.: authentication is a large, first-order cost.
+    EXPECT_LT(authed.opsPerSec, plain.opsPerSec * 0.95);
+    EXPECT_GT(authed.serverProfile.at("ser:auth"), 0);
+}
+
+TEST(RedirectTest, CallsCompleteViaDirectSignaling)
+{
+    Scenario sc = smallScenario(Transport::Udp);
+    sc.proxy.redirect = true;
+    RunResult r = runScenario(sc);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.callsFailed, 0u);
+    EXPECT_EQ(r.callsCompleted, 4u * 6u);
+    // One 302 per call; no INVITE forwarding through the server.
+    EXPECT_EQ(r.counters.redirects, 4u * 6u);
+    EXPECT_EQ(r.reconnects, 0u);
+}
+
+TEST(RedirectTest, ServerHandlesFarFewerMessages)
+{
+    Scenario proxy_sc = smallScenario(Transport::Udp);
+    proxy_sc.clients = 10;
+    proxy_sc.callsPerClient = 20;
+    RunResult proxied = runScenario(proxy_sc);
+    proxy_sc.proxy.redirect = true;
+    RunResult redirected = runScenario(proxy_sc);
+    EXPECT_EQ(redirected.callsFailed, 0u);
+    // Proxied: ~8 messages per call at the server. Redirected: ~2
+    // (INVITE in, 302 out); everything else goes phone-to-phone.
+    EXPECT_LT(redirected.counters.messagesIn,
+              proxied.counters.messagesIn / 2);
+    EXPECT_EQ(redirected.counters.forwards, 0u);
+}
+
+TEST(RedirectTest, SctpRedirectAlsoWorks)
+{
+    Scenario sc = smallScenario(Transport::Sctp);
+    sc.proxy.redirect = true;
+    RunResult r = runScenario(sc);
+    EXPECT_EQ(r.callsFailed, 0u);
+    EXPECT_GT(r.counters.redirects, 0u);
+}
+
+TEST(RedirectTest, AuthAndRedirectCompose)
+{
+    Scenario sc = smallScenario(Transport::Udp);
+    sc.proxy.redirect = true;
+    sc.proxy.authenticate = true;
+    RunResult r = runScenario(sc);
+    EXPECT_EQ(r.callsFailed, 0u);
+    EXPECT_GT(r.counters.redirects, 0u);
+    EXPECT_GT(r.counters.authAccepted, 0u);
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for network-layer pieces not exercised by the socket
+ * tests: addresses, the port allocator (TIME_WAIT bookkeeping is
+ * covered in test_net_tcp), error taxonomy, and fabric arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/error.hh"
+#include "net/network.hh"
+#include "net/port_alloc.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace siprox;
+using namespace siprox::net;
+
+TEST(AddrTest, OrderingAndValidity)
+{
+    Addr a{1, 5060}, b{1, 5061}, c{2, 5060};
+    EXPECT_LT(a, b);
+    EXPECT_LT(a, c);
+    EXPECT_EQ(a, (Addr{1, 5060}));
+    EXPECT_TRUE(a.valid());
+    EXPECT_FALSE(Addr{}.valid());
+    EXPECT_EQ(a.toString(), "h1:5060");
+}
+
+TEST(AddrTest, HashDistinguishesHostAndPort)
+{
+    AddrHash h;
+    EXPECT_NE(h(Addr{1, 5060}), h(Addr{1, 5061}));
+    EXPECT_NE(h(Addr{1, 5060}), h(Addr{2, 5060}));
+    EXPECT_EQ(h(Addr{3, 9}), h(Addr{3, 9}));
+}
+
+TEST(PortAllocatorTest, ReserveAndConflict)
+{
+    PortAllocator ports(40000, 40010);
+    ports.reserve(5060);
+    EXPECT_TRUE(ports.taken(5060));
+    EXPECT_THROW(ports.reserve(5060), NetError);
+    ports.release(5060);
+    EXPECT_FALSE(ports.taken(5060));
+    ports.reserve(5060); // reusable after release
+}
+
+TEST(PortAllocatorTest, EphemeralPoolExhaustsAndRecovers)
+{
+    PortAllocator ports(40000, 40004);
+    std::set<std::uint16_t> got;
+    for (int i = 0; i < 4; ++i) {
+        auto p = ports.allocEphemeral();
+        EXPECT_GE(p, 40000);
+        EXPECT_LT(p, 40004);
+        got.insert(p);
+    }
+    EXPECT_EQ(got.size(), 4u);
+    EXPECT_THROW(ports.allocEphemeral(), NetError);
+    ports.release(*got.begin());
+    EXPECT_NO_THROW(ports.allocEphemeral());
+}
+
+TEST(PortAllocatorTest, SkipsReservedWellKnownPortsOutsidePool)
+{
+    PortAllocator ports(40000, 40002);
+    ports.reserve(40000);
+    EXPECT_EQ(ports.allocEphemeral(), 40001);
+    EXPECT_EQ(ports.inUse(), 2u);
+    EXPECT_EQ(ports.poolSize(), 2u);
+}
+
+TEST(NetErrorTest, CodesAndMessages)
+{
+    NetError e(NetErrc::ConnectionRefused, "h2:5060");
+    EXPECT_EQ(e.code(), NetErrc::ConnectionRefused);
+    EXPECT_NE(std::string(e.what()).find("ConnectionRefused"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("h2:5060"),
+              std::string::npos);
+    for (auto c : {NetErrc::PortExhausted, NetErrc::AddressInUse,
+                   NetErrc::SocketLimit, NetErrc::NotConnected}) {
+        EXPECT_NE(std::string(netErrcName(c)), "NetError");
+    }
+}
+
+TEST(NetworkTest, WireDelayScalesWithPayload)
+{
+    sim::Simulation simulation;
+    NetConfig cfg;
+    cfg.latency = sim::usecs(100);
+    cfg.perByteWire = sim::nsecs(8);
+    Network network(simulation, cfg);
+    EXPECT_EQ(network.wireDelay(0), sim::usecs(100));
+    EXPECT_EQ(network.wireDelay(1000),
+              sim::usecs(100) + sim::nsecs(8000));
+}
+
+TEST(NetworkTest, HostIdsAreStableAndResolvable)
+{
+    sim::Simulation simulation;
+    Network network(simulation);
+    auto &m1 = simulation.addMachine("a", 1);
+    auto &m2 = simulation.addMachine("b", 1);
+    Host &h1 = network.attach(m1);
+    Host &h2 = network.attach(m2);
+    EXPECT_NE(h1.id(), h2.id());
+    EXPECT_EQ(network.hostById(h1.id()), &h1);
+    EXPECT_EQ(network.hostById(h2.id()), &h2);
+    EXPECT_EQ(network.hostById(0), nullptr);
+    EXPECT_EQ(network.hostById(99), nullptr);
+    EXPECT_EQ(h1.addr(5060), (Addr{h1.id(), 5060}));
+    EXPECT_EQ(&h1.machine(), &m1);
+}
+
+TEST(NetworkTest, ConnIdsMonotonic)
+{
+    sim::Simulation simulation;
+    Network network(simulation);
+    auto a = network.nextConnId();
+    auto b = network.nextConnId();
+    EXPECT_LT(a, b);
+}
+
+TEST(NetworkTest, SocketAccountingOnBind)
+{
+    sim::Simulation simulation;
+    Network network(simulation);
+    auto &m = simulation.addMachine("a", 1);
+    Host &h = network.attach(m);
+    EXPECT_EQ(h.openSockets(), 0);
+    h.udpBind(5060);
+    h.tcpListen(5061);
+    h.sctpBind(5062);
+    EXPECT_EQ(h.openSockets(), 3);
+    EXPECT_EQ(h.ports().inUse(), 3u);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * SCTP socket tests: message boundaries, kernel association setup and
+ * reuse, idle association reaping, and bidirectional traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net_fixture.hh"
+
+namespace {
+
+using namespace siprox;
+using namespace siprox::sim;
+using namespace siprox::net;
+using siprox::tests::NetFixture;
+
+using SctpTest = NetFixture;
+
+Task
+sctpSendN(Process &p, SctpSocket *sock, Addr dst, int n,
+          std::string prefix, std::vector<SimTime> *sent_at = nullptr)
+{
+    for (int i = 0; i < n; ++i) {
+        co_await sock->sendTo(p, dst, prefix + std::to_string(i));
+        if (sent_at)
+            sent_at->push_back(p.sim().now());
+    }
+}
+
+Task
+sctpRecvN(Process &p, SctpSocket *sock, int n, std::vector<Datagram> *out,
+          std::vector<SimTime> *recv_at = nullptr)
+{
+    for (int i = 0; i < n; ++i) {
+        Datagram d;
+        co_await sock->recvFrom(p, d);
+        out->push_back(std::move(d));
+        if (recv_at)
+            recv_at->push_back(p.sim().now());
+    }
+}
+
+TEST_F(SctpTest, MessageBoundariesPreserved)
+{
+    auto &ssock = server.sctpBind(5060);
+    auto &csock = client.sctpBind(9000);
+    std::vector<Datagram> got;
+    serverMachine.spawn("rx", 0, [&](Process &p) {
+        return sctpRecvN(p, &ssock, 20, &got);
+    });
+    clientMachine.spawn("tx", 0, [&](Process &p) {
+        return sctpSendN(p, &csock, server.addr(5060), 20, "msg");
+    });
+    sim.run();
+    ASSERT_EQ(got.size(), 20u);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(got[i].payload, "msg" + std::to_string(i));
+        EXPECT_EQ(got[i].src, client.addr(9000));
+    }
+}
+
+TEST_F(SctpTest, FirstMessagePaysAssociationSetup)
+{
+    auto &ssock = server.sctpBind(5060);
+    auto &csock = client.sctpBind(9000);
+    std::vector<Datagram> got;
+    std::vector<SimTime> recv_at;
+    serverMachine.spawn("rx", 0, [&](Process &p) {
+        return sctpRecvN(p, &ssock, 2, &got, &recv_at);
+    });
+    clientMachine.spawn("tx", 0, [&](Process &p) {
+        return sctpSendN(p, &csock, server.addr(5060), 2, "m");
+    });
+    // Observe before the idle sweeper reaps the association.
+    sim.runUntil(sim::secs(1));
+    ASSERT_EQ(recv_at.size(), 2u);
+    // First message: assoc CPU + ~3x latency; second: ~1x latency gap.
+    EXPECT_GT(recv_at[0], 3 * net.config().latency);
+    EXPECT_EQ(net.stats().sctpAssocs, 1u);
+    EXPECT_EQ(csock.assocCount(), 1u);
+    EXPECT_EQ(ssock.assocCount(), 1u);
+}
+
+TEST_F(SctpTest, AssociationReusedAcrossMessages)
+{
+    auto &ssock = server.sctpBind(5060);
+    auto &csock = client.sctpBind(9000);
+    std::vector<Datagram> got;
+    serverMachine.spawn("rx", 0, [&](Process &p) {
+        return sctpRecvN(p, &ssock, 100, &got);
+    });
+    clientMachine.spawn("tx", 0, [&](Process &p) {
+        return sctpSendN(p, &csock, server.addr(5060), 100, "m");
+    });
+    sim.run();
+    EXPECT_EQ(net.stats().sctpAssocs, 1u);
+    EXPECT_EQ(got.size(), 100u);
+}
+
+Task
+sctpEcho(Process &p, SctpSocket *sock, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        Datagram d;
+        co_await sock->recvFrom(p, d);
+        co_await sock->sendTo(p, d.src, "re:" + d.payload);
+    }
+}
+
+TEST_F(SctpTest, BidirectionalEchoSharesAssociation)
+{
+    auto &ssock = server.sctpBind(5060);
+    auto &csock = client.sctpBind(9000);
+    std::vector<Datagram> replies;
+    serverMachine.spawn("echo", 0, [&](Process &p) {
+        return sctpEcho(p, &ssock, 5);
+    });
+    clientMachine.spawn("tx", 0, [&](Process &p) {
+        return sctpSendN(p, &csock, server.addr(5060), 5, "q");
+    });
+    clientMachine.spawn("rx", 0, [&](Process &p) {
+        return sctpRecvN(p, &csock, 5, &replies);
+    });
+    sim.run();
+    ASSERT_EQ(replies.size(), 5u);
+    EXPECT_EQ(replies[0].payload, "re:q0");
+    // The server's replies ride the existing association: one setup.
+    EXPECT_EQ(net.stats().sctpAssocs, 1u);
+}
+
+TEST_F(SctpTest, IdleAssociationsReaped)
+{
+    auto &ssock = server.sctpBind(5060);
+    auto &csock = client.sctpBind(9000);
+    std::vector<Datagram> got;
+    serverMachine.spawn("rx", 0, [&](Process &p) {
+        return sctpRecvN(p, &ssock, 1, &got);
+    });
+    clientMachine.spawn("tx", 0, [&](Process &p) {
+        return sctpSendN(p, &csock, server.addr(5060), 1, "m");
+    });
+    sim.runUntil(sim::secs(1));
+    EXPECT_EQ(csock.assocCount(), 1u);
+    // Run past the idle timeout plus a sweep interval.
+    sim.run();
+    EXPECT_EQ(csock.assocCount(), 0u);
+    EXPECT_EQ(ssock.assocCount(), 0u);
+}
+
+} // namespace

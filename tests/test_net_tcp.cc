@@ -1,0 +1,502 @@
+/**
+ * @file
+ * TCP tests: handshake, byte-stream semantics, EOF/close protocol,
+ * descriptor duplication (fd passing), refusal, port lifecycle
+ * including TIME_WAIT, and resource limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/error.hh"
+#include "net_fixture.hh"
+
+namespace {
+
+using namespace siprox;
+using namespace siprox::sim;
+using namespace siprox::net;
+using siprox::tests::NetFixture;
+
+using TcpTest = NetFixture;
+
+Task
+acceptOne(Process &p, TcpListener *l, TcpConn *out)
+{
+    co_await l->accept(p, *out);
+}
+
+Task
+connectTo(Process &p, Host *host, Addr remote, TcpConn *out,
+          NetErrc *err = nullptr)
+{
+    try {
+        co_await host->tcpConnect(p, remote, *out);
+    } catch (const NetError &e) {
+        if (err)
+            *err = e.code();
+    }
+}
+
+TEST_F(TcpTest, ConnectAndAcceptEstablish)
+{
+    auto &listener = server.tcpListen(5060);
+    TcpConn sconn, cconn;
+    serverMachine.spawn("acc", 0, [&](Process &p) {
+        return acceptOne(p, &listener, &sconn);
+    });
+    clientMachine.spawn("conn", 0, [&](Process &p) {
+        return connectTo(p, &client, server.addr(5060), &cconn);
+    });
+    sim.run();
+    ASSERT_TRUE(cconn.valid());
+    ASSERT_TRUE(sconn.valid());
+    EXPECT_EQ(cconn.id(), sconn.id());
+    EXPECT_EQ(cconn.remote(), server.addr(5060));
+    EXPECT_EQ(sconn.remote(), cconn.local());
+    EXPECT_EQ(net.stats().tcpConnects, 1u);
+    // Handshake took at least one round trip.
+    EXPECT_GE(sim.now(), 2 * net.config().latency);
+}
+
+Task
+echoServer(Process &p, TcpListener *l, int bursts)
+{
+    TcpConn c;
+    co_await l->accept(p, c);
+    for (int i = 0; i < bursts; ++i) {
+        std::string data;
+        co_await c.recv(p, data);
+        if (data.empty())
+            break; // EOF
+        co_await c.send(p, data);
+    }
+    co_await c.close(p);
+}
+
+Task
+pingClient(Process &p, Host *host, Addr remote, int bursts,
+           std::vector<std::string> *echoes)
+{
+    TcpConn c;
+    co_await host->tcpConnect(p, remote, c);
+    for (int i = 0; i < bursts; ++i) {
+        co_await c.send(p, "ping" + std::to_string(i));
+        std::string data;
+        co_await c.recv(p, data);
+        echoes->push_back(data);
+    }
+    co_await c.close(p);
+}
+
+TEST_F(TcpTest, EchoRoundTrips)
+{
+    auto &listener = server.tcpListen(5060);
+    std::vector<std::string> echoes;
+    serverMachine.spawn("srv", 0, [&](Process &p) {
+        return echoServer(p, &listener, 10);
+    });
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return pingClient(p, &client, server.addr(5060), 10, &echoes);
+    });
+    sim.run();
+    ASSERT_EQ(echoes.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(echoes[i], "ping" + std::to_string(i));
+}
+
+Task
+sendChunks(Process &p, Host *host, Addr remote,
+           std::vector<std::string> chunks, TcpConn *keep)
+{
+    co_await host->tcpConnect(p, remote, *keep);
+    for (auto &chunk : chunks)
+        co_await keep->send(p, chunk);
+}
+
+Task
+recvAll(Process &p, TcpListener *l, std::size_t total, std::size_t max,
+        std::string *out, int *reads)
+{
+    TcpConn c;
+    co_await l->accept(p, c);
+    while (out->size() < total) {
+        std::string data;
+        co_await c.recv(p, data, max);
+        if (data.empty())
+            break;
+        *out += data;
+        ++*reads;
+    }
+}
+
+TEST_F(TcpTest, StreamHasNoMessageBoundaries)
+{
+    auto &listener = server.tcpListen(5060);
+    std::string got;
+    int reads = 0;
+    TcpConn cconn;
+    // Sends arrive as a byte stream; a 5-byte read cap forces
+    // reassembly across reads regardless of send sizes.
+    serverMachine.spawn("srv", 0, [&](Process &p) {
+        return recvAll(p, &listener, 26, 5, &got, &reads);
+    });
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return sendChunks(p, &client, server.addr(5060),
+                          {"abcdefghij", "klm", "nopqrstuvwxyz"}, &cconn);
+    });
+    sim.run();
+    EXPECT_EQ(got, "abcdefghijklmnopqrstuvwxyz");
+    EXPECT_GE(reads, 6);
+}
+
+Task
+closeAfterConnect(Process &p, Host *host, Addr remote)
+{
+    TcpConn c;
+    co_await host->tcpConnect(p, remote, c);
+    co_await c.close(p);
+}
+
+Task
+readUntilEof(Process &p, TcpListener *l, bool *eof_seen)
+{
+    TcpConn c;
+    co_await l->accept(p, c);
+    std::string data;
+    co_await c.recv(p, data);
+    *eof_seen = data.empty();
+    co_await c.close(p);
+}
+
+TEST_F(TcpTest, CloseDeliversEof)
+{
+    auto &listener = server.tcpListen(5060);
+    bool eof = false;
+    serverMachine.spawn("srv", 0, [&](Process &p) {
+        return readUntilEof(p, &listener, &eof);
+    });
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return closeAfterConnect(p, &client, server.addr(5060));
+    });
+    sim.run();
+    EXPECT_TRUE(eof);
+}
+
+Task
+sendBigThenClose(Process &p, Host *host, Addr remote)
+{
+    TcpConn c;
+    co_await host->tcpConnect(p, remote, c);
+    // Large payload (big wire delay) followed by an immediate close:
+    // the FIN must still arrive after the data.
+    co_await c.send(p, std::string(60000, 'z'));
+    co_await c.close(p);
+}
+
+Task
+recvAllThenEof(Process &p, TcpListener *l, std::size_t *got,
+               bool *clean_eof)
+{
+    TcpConn c;
+    co_await l->accept(p, c);
+    for (;;) {
+        std::string data;
+        co_await c.recv(p, data);
+        if (data.empty()) {
+            *clean_eof = true;
+            co_return;
+        }
+        *got += data.size();
+    }
+}
+
+TEST_F(TcpTest, FinNeverOvertakesData)
+{
+    auto &listener = server.tcpListen(5060);
+    std::size_t got = 0;
+    bool clean_eof = false;
+    serverMachine.spawn("srv", 0, [&](Process &p) {
+        return recvAllThenEof(p, &listener, &got, &clean_eof);
+    });
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return sendBigThenClose(p, &client, server.addr(5060));
+    });
+    sim.run();
+    EXPECT_EQ(got, 60000u);
+    EXPECT_TRUE(clean_eof);
+}
+
+TEST_F(TcpTest, SegmentsNeverReorder)
+{
+    // A large segment followed immediately by a tiny one: the tiny
+    // one's smaller wire delay must not let it overtake.
+    auto &listener = server.tcpListen(5060);
+    std::string gotd;
+    int reads = 0;
+    TcpConn cconn;
+    serverMachine.spawn("srv", 0, [&](Process &p) {
+        return recvAll(p, &listener, 50003, 65536, &gotd, &reads);
+    });
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return sendChunks(p, &client, server.addr(5060),
+                          {std::string(50000, 'A'), "end"}, &cconn);
+    });
+    sim.run();
+    ASSERT_EQ(gotd.size(), 50003u);
+    EXPECT_EQ(gotd.substr(50000), "end");
+    EXPECT_EQ(gotd.find("end"), 50000u);
+}
+
+TEST_F(TcpTest, ConnectWithoutListenerRefused)
+{
+    TcpConn c;
+    NetErrc err{};
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return connectTo(p, &client, server.addr(5060), &c, &err);
+    });
+    sim.run();
+    EXPECT_FALSE(c.valid());
+    EXPECT_EQ(err, NetErrc::ConnectionRefused);
+    EXPECT_EQ(net.stats().tcpRefused, 1u);
+    // Failed connect releases the ephemeral port immediately.
+    EXPECT_EQ(client.ports().inUse(), 0u);
+}
+
+TEST_F(TcpTest, DupKeepsConnectionOpenAfterOriginalCloses)
+{
+    auto &listener = server.tcpListen(5060);
+    TcpConn sconn, cconn;
+    serverMachine.spawn("acc", 0, [&](Process &p) {
+        return acceptOne(p, &listener, &sconn);
+    });
+    clientMachine.spawn("conn", 0, [&](Process &p) {
+        return connectTo(p, &client, server.addr(5060), &cconn);
+    });
+    sim.run();
+    ASSERT_TRUE(sconn.valid());
+
+    TcpConn dup = sconn.dup();
+    EXPECT_EQ(sconn.endpoint()->openHandles(), 2);
+    sconn.closeQuiet();
+    // One handle remains: no FIN was sent.
+    EXPECT_EQ(dup.endpoint()->openHandles(), 1);
+    EXPECT_FALSE(dup.endpoint()->closed());
+    dup.closeQuiet();
+    EXPECT_TRUE(cconn.endpoint() != nullptr);
+}
+
+TEST_F(TcpTest, ActiveCloserPortEntersTimeWait)
+{
+    auto &listener = server.tcpListen(5060);
+    TcpConn sconn;
+    serverMachine.spawn("srv", 0, [&](Process &p) {
+        return acceptOne(p, &listener, &sconn);
+    });
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return closeAfterConnect(p, &client, server.addr(5060));
+    });
+    // Client actively closed: its ephemeral port sits in TIME_WAIT
+    // (observe before the release event fires, then after).
+    sim.runUntil(sim::secs(5));
+    EXPECT_EQ(client.ports().inUse(), 1u);
+    sim.run();
+    EXPECT_EQ(client.ports().inUse(), 0u);
+}
+
+Task
+closeAfterEof(Process &p, Host *host, Addr remote, TcpConn *conn)
+{
+    co_await host->tcpConnect(p, remote, *conn);
+    std::string data;
+    co_await conn->recv(p, data); // blocks until server FIN
+    EXPECT_TRUE(data.empty());
+    co_await conn->close(p);
+}
+
+Task
+acceptAndClose(Process &p, TcpListener *l)
+{
+    TcpConn c;
+    co_await l->accept(p, c);
+    co_await c.close(p);
+}
+
+TEST_F(TcpTest, PassiveCloserPortFreesImmediately)
+{
+    auto &listener = server.tcpListen(5060);
+    TcpConn cconn;
+    serverMachine.spawn("srv", 0, [&](Process &p) {
+        return acceptAndClose(p, &listener);
+    });
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return closeAfterEof(p, &client, server.addr(5060), &cconn);
+    });
+    sim.run();
+    // Client closed after seeing the server's FIN: passive close, no
+    // TIME_WAIT on its port.
+    EXPECT_EQ(client.ports().inUse(), 0u);
+}
+
+TEST_F(TcpTest, SpecificLocalPortIsUsed)
+{
+    auto &listener = server.tcpListen(5060);
+    TcpConn sconn, cconn;
+    serverMachine.spawn("acc", 0, [&](Process &p) {
+        return acceptOne(p, &listener, &sconn);
+    });
+    clientMachine.spawn("conn", 0, [&](Process &p) -> Task {
+        struct Body
+        {
+            static Task
+            run(Process &p, Host *h, Addr remote, TcpConn *out)
+            {
+                co_await h->tcpConnect(p, remote, *out, 12345);
+            }
+        };
+        return Body::run(p, &client, server.addr(5060), &cconn);
+    });
+    sim.run();
+    EXPECT_EQ(cconn.local().port, 12345);
+    EXPECT_EQ(sconn.remote().port, 12345);
+}
+
+TEST_F(TcpTest, SendAfterPeerFullCloseIsDropped)
+{
+    auto &listener = server.tcpListen(5060);
+    TcpConn sconn, cconn;
+    serverMachine.spawn("acc", 0, [&](Process &p) {
+        return acceptOne(p, &listener, &sconn);
+    });
+    clientMachine.spawn("conn", 0, [&](Process &p) {
+        return connectTo(p, &client, server.addr(5060), &cconn);
+    });
+    sim.run();
+    ASSERT_TRUE(sconn.valid());
+    sconn.closeQuiet();
+    auto bytes_before = net.stats().tcpBytes;
+    clientMachine.spawn("tx", 0, [&](Process &p) -> Task {
+        struct Body
+        {
+            static Task
+            run(Process &p, TcpConn *c)
+            {
+                co_await c->send(p, "into the void");
+            }
+        };
+        return Body::run(p, &cconn);
+    });
+    sim.run();
+    // Kernel accepted the bytes but nothing was delivered anywhere.
+    EXPECT_GT(net.stats().tcpBytes, bytes_before);
+    EXPECT_EQ(cconn.endpoint()->rxAvailable(), 0u);
+}
+
+class TcpTinyPoolTest : public NetFixture
+{
+  protected:
+    TcpTinyPoolTest()
+        : NetFixture([] {
+              NetConfig cfg;
+              cfg.ephemeralLo = 40000;
+              cfg.ephemeralHi = 40004; // 4 ports
+              return cfg;
+          }())
+    {
+    }
+};
+
+Task
+connectMany(Process &p, Host *host, Addr remote, int n,
+            std::vector<TcpConn> *keep, int *failures)
+{
+    for (int i = 0; i < n; ++i) {
+        TcpConn c;
+        try {
+            co_await host->tcpConnect(p, remote, c);
+            keep->push_back(std::move(c));
+        } catch (const NetError &e) {
+            if (e.code() == NetErrc::PortExhausted)
+                ++*failures;
+        }
+    }
+}
+
+TEST_F(TcpTinyPoolTest, EphemeralPortExhaustionFailsConnect)
+{
+    auto &listener = server.tcpListen(5060);
+    std::vector<TcpConn> server_conns;
+    serverMachine.spawn("acc", 0, [&](Process &p) -> Task {
+        struct Body
+        {
+            static Task
+            run(Process &p, TcpListener *l, std::vector<TcpConn> *keep)
+            {
+                for (int i = 0; i < 4; ++i) {
+                    TcpConn c;
+                    co_await l->accept(p, c);
+                    keep->push_back(std::move(c));
+                }
+            }
+        };
+        return Body::run(p, &listener, &server_conns);
+    });
+    std::vector<TcpConn> conns;
+    int failures = 0;
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return connectMany(p, &client, server.addr(5060), 6, &conns,
+                           &failures);
+    });
+    sim.run();
+    EXPECT_EQ(conns.size(), 4u);
+    EXPECT_EQ(failures, 2);
+}
+
+class TcpSocketCapTest : public NetFixture
+{
+  protected:
+    TcpSocketCapTest()
+        : NetFixture([] {
+              NetConfig cfg;
+              cfg.maxSocketsPerHost = 3;
+              return cfg;
+          }())
+    {
+    }
+};
+
+TEST_F(TcpSocketCapTest, ServerSocketLimitRefusesSyn)
+{
+    // Listener consumes one socket slot; two accepted endpoints fill
+    // the table; further connects are refused.
+    auto &listener = server.tcpListen(5060);
+    std::vector<TcpConn> server_conns;
+    serverMachine.spawn("acc", 0, [&](Process &p) -> Task {
+        struct Body
+        {
+            static Task
+            run(Process &p, TcpListener *l, std::vector<TcpConn> *keep)
+            {
+                for (int i = 0; i < 2; ++i) {
+                    TcpConn c;
+                    co_await l->accept(p, c);
+                    keep->push_back(std::move(c));
+                }
+            }
+        };
+        return Body::run(p, &listener, &server_conns);
+    });
+    std::vector<TcpConn> conns;
+    int failures = 0;
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return connectMany(p, &client, server.addr(5060), 4, &conns,
+                           &failures);
+    });
+    sim.run();
+    EXPECT_EQ(conns.size(), 2u);
+    EXPECT_EQ(net.stats().tcpRefused, 2u);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Exercises the proxy's outbound-connect path: when a request targets
+ * a contact the proxy has no connection to, the worker opens a TCP
+ * connection itself (OpenSER's tcpconn_connect), registers the new
+ * descriptor with the supervisor, and owns the connection thereafter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/proxy.hh"
+#include "net/network.hh"
+#include "phone/phone.hh"
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+#include "sim/trace.hh"
+#include "sip/builders.hh"
+#include "sip/parser.hh"
+
+namespace {
+
+using namespace siprox;
+
+/**
+ * A bare-bones listening UAS: accepts proxy-initiated connections and
+ * answers one INVITE (180 + 200), the ACK, and one BYE (200). It never
+ * contacts the proxy first, so the proxy cannot have a connection.
+ */
+sim::Task
+listeningCallee(sim::Process &p, net::TcpListener *listener,
+                bool *answered)
+{
+    net::TcpConn conn;
+    co_await listener->accept(p, conn);
+    sip::StreamFramer framer;
+    bool done = false;
+    while (!done) {
+        std::string bytes;
+        co_await conn.recv(p, bytes);
+        if (bytes.empty())
+            co_return; // EOF
+        framer.feed(bytes);
+        while (auto raw = framer.next()) {
+            auto parsed = sip::parseMessage(*raw);
+            if (getenv("OBC_TRACE"))
+                std::printf("callee got: %s\n",
+                            parsed.ok
+                                ? parsed.message.summary().c_str()
+                                : "UNPARSEABLE");
+            if (!parsed.ok)
+                co_return; // fails the test via answered == false
+            sip::SipMessage &msg = parsed.message;
+            if (!msg.isRequest())
+                continue;
+            switch (msg.method()) {
+              case sip::Method::Invite: {
+                auto ringing = sip::buildResponse(
+                    msg, sip::status::kRinging, "ct");
+                co_await conn.send(p, ringing.serialize());
+                auto contact = sip::uriForAddr(
+                    "standalone",
+                    net::Addr{listener->localAddr().host,
+                              listener->localAddr().port});
+                auto ok = sip::buildResponse(msg, sip::status::kOk,
+                                             "ct", contact);
+                co_await conn.send(p, ok.serialize());
+                *answered = true;
+                break;
+              }
+              case sip::Method::Bye: {
+                auto ok = sip::buildResponse(msg, sip::status::kOk,
+                                             "ct");
+                co_await conn.send(p, ok.serialize());
+                done = true;
+                break;
+              }
+              default:
+                break; // ACK: nothing to send
+            }
+        }
+    }
+}
+
+TEST(OutboundConnectTest, ProxyDialsUnconnectedContact)
+{
+    if (getenv("OBC_TRACE"))
+        sim::trace::setSink(sim::trace::stdoutSink());
+    sim::Simulation simulation;
+    auto &server_machine = simulation.addMachine("server", 4);
+    auto &client_machine = simulation.addMachine("client", 2);
+    net::Network network(simulation);
+    auto &server_host = network.attach(server_machine);
+    auto &client_host = network.attach(client_machine);
+
+    core::ProxyConfig cfg;
+    cfg.transport = core::Transport::Tcp;
+    cfg.workers = 2;
+    core::Proxy proxy(server_machine, server_host, cfg);
+    proxy.start();
+
+    // The callee only *listens*; its location binding is provisioned
+    // directly (as an administratively configured route would be).
+    auto &listener = client_host.tcpListen(17000);
+    bool answered = false;
+    client_machine.spawn("standalone", 0, [&](sim::Process &p) {
+        return listeningCallee(p, &listener, &answered);
+    });
+    proxy.shared().registrar.update(
+        "standalone",
+        core::Binding{sip::uriForAddr("standalone",
+                                      client_host.addr(17000)),
+                      0});
+
+    sim::Latch registered(1), start(1), done(1);
+    phone::PhoneConfig caller_cfg;
+    caller_cfg.user = "alice";
+    caller_cfg.port = 6000;
+    caller_cfg.transport = core::Transport::Tcp;
+    caller_cfg.proxyAddr = proxy.addr();
+    phone::Phone alice(client_machine, client_host, caller_cfg);
+    alice.startCaller(1, "standalone", &registered, &start, &done);
+    start.arrive();
+
+    simulation.runUntil(sim::secs(30));
+    proxy.requestStop();
+
+    if (getenv("OBC_TRACE")) {
+        const auto &c = proxy.shared().counters;
+        std::printf("msgsIn=%llu fwd=%llu local=%llu parseErr=%llu "
+                    "routeFail=%llu fdReq=%llu dead=%llu outb=%llu\n",
+                    (unsigned long long)c.messagesIn,
+                    (unsigned long long)c.forwards,
+                    (unsigned long long)c.localReplies,
+                    (unsigned long long)c.parseErrors,
+                    (unsigned long long)c.routeFailures,
+                    (unsigned long long)c.fdRequests,
+                    (unsigned long long)c.sendsToDeadConns,
+                    (unsigned long long)c.outboundConnects);
+        for (auto &line : simulation.blockedReport())
+            std::printf("blocked: %s\n", line.c_str());
+    }
+    EXPECT_TRUE(answered);
+    EXPECT_EQ(alice.stats().callsCompleted, 1u);
+    EXPECT_EQ(alice.stats().callsFailed, 0u);
+    // The INVITE had no inbound connection to ride: the worker dialed
+    // out exactly once and reused that connection for ACK and BYE.
+    EXPECT_EQ(proxy.shared().counters.outboundConnects, 1u);
+    EXPECT_EQ(proxy.shared().counters.sendsToDeadConns, 0u);
+}
+
+} // namespace

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * End-to-end integration tests: real SIP calls from simulated phones
+ * through each proxy architecture (UDP, TCP process-mode with and
+ * without the paper's fixes, TCP thread-mode, SCTP), including loss
+ * recovery, non-persistent connections, and stateless operation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.hh"
+
+namespace {
+
+using namespace siprox;
+using namespace siprox::workload;
+using core::ConcurrencyModel;
+using core::IdleStrategy;
+using core::Transport;
+
+Scenario
+tinyScenario(Transport transport)
+{
+    Scenario sc;
+    sc.proxy.transport = transport;
+    sc.proxy.workers = 4;
+    sc.clients = 3;
+    sc.callsPerClient = 4;
+    sc.clientMachines = 2;
+    sc.maxDuration = sim::secs(60);
+    return sc;
+}
+
+void
+expectAllCallsSucceeded(const Scenario &sc, const RunResult &r)
+{
+    const std::uint64_t calls = static_cast<std::uint64_t>(sc.clients)
+        * static_cast<std::uint64_t>(sc.callsPerClient);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.callsCompleted, calls);
+    EXPECT_EQ(r.callsFailed, 0u);
+    EXPECT_EQ(r.ops, 2 * calls); // one invite + one bye per call
+    EXPECT_GT(r.opsPerSec, 0.0);
+    EXPECT_EQ(r.counters.parseErrors, 0u);
+    EXPECT_EQ(r.counters.routeFailures, 0u);
+}
+
+TEST(ProxyIntegrationTest, UdpCallsComplete)
+{
+    Scenario sc = tinyScenario(Transport::Udp);
+    RunResult r = runScenario(sc);
+    expectAllCallsSucceeded(sc, r);
+    // Stateful proxy sent 100 Trying for every INVITE plus REGISTER
+    // 200s.
+    EXPECT_GT(r.counters.localReplies, 0u);
+    EXPECT_GE(r.counters.registrations, 2u * 3u);
+}
+
+TEST(ProxyIntegrationTest, UdpStatelessCallsComplete)
+{
+    Scenario sc = tinyScenario(Transport::Udp);
+    sc.proxy.stateful = false;
+    RunResult r = runScenario(sc);
+    expectAllCallsSucceeded(sc, r);
+    EXPECT_EQ(r.counters.retransAbsorbed, 0u);
+}
+
+TEST(ProxyIntegrationTest, UdpRecoversFromLoss)
+{
+    Scenario sc = tinyScenario(Transport::Udp);
+    sc.clients = 4;
+    sc.callsPerClient = 10;
+    sc.net.udpLossProb = 0.05;
+    sc.proxy.timerTick = sim::msecs(50);
+    sc.phoneResponseTimeout = sim::secs(20); // ~RFC Timer B headroom
+    RunResult r = runScenario(sc);
+    // All calls must eventually succeed thanks to retransmissions.
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.callsCompleted + r.callsFailed,
+              static_cast<std::uint64_t>(sc.clients)
+                  * static_cast<std::uint64_t>(sc.callsPerClient));
+    EXPECT_EQ(r.callsFailed, 0u);
+    EXPECT_GT(r.phoneRetransmissions + r.counters.retransSent, 0u);
+}
+
+TEST(ProxyIntegrationTest, TcpPersistentCallsComplete)
+{
+    Scenario sc = tinyScenario(Transport::Tcp);
+    RunResult r = runScenario(sc);
+    expectAllCallsSucceeded(sc, r);
+    // One connection per phone, accepted by the supervisor.
+    EXPECT_EQ(r.counters.connsAccepted, 2u * 3u);
+    // Forwarding between differently-owned connections used IPC.
+    EXPECT_GT(r.counters.fdRequests, 0u);
+    EXPECT_EQ(r.counters.fdCacheHits, 0u); // cache off by default
+}
+
+TEST(ProxyIntegrationTest, TcpNonPersistentReconnects)
+{
+    Scenario sc = tinyScenario(Transport::Tcp);
+    sc.opsPerConn = 4; // reconnect every 2 calls
+    sc.callsPerClient = 6;
+    RunResult r = runScenario(sc);
+    expectAllCallsSucceeded(sc, r);
+    EXPECT_GT(r.reconnects, 0u);
+    EXPECT_GT(r.counters.connsAccepted, 2u * 3u);
+    EXPECT_EQ(r.reconnectFailures, 0u);
+}
+
+TEST(ProxyIntegrationTest, TcpFdCacheHitsAndCompletes)
+{
+    Scenario sc = tinyScenario(Transport::Tcp);
+    sc.proxy.fdCache = true;
+    RunResult r = runScenario(sc);
+    expectAllCallsSucceeded(sc, r);
+    EXPECT_GT(r.counters.fdCacheHits, 0u);
+    // With caching, far fewer supervisor round trips than forwards.
+    EXPECT_LT(r.counters.fdRequests, r.counters.forwards);
+}
+
+TEST(ProxyIntegrationTest, TcpPriorityQueueCompletes)
+{
+    Scenario sc = tinyScenario(Transport::Tcp);
+    sc.proxy.fdCache = true;
+    sc.proxy.idleStrategy = IdleStrategy::PriorityQueue;
+    sc.opsPerConn = 4;
+    sc.callsPerClient = 6;
+    RunResult r = runScenario(sc);
+    expectAllCallsSucceeded(sc, r);
+}
+
+TEST(ProxyIntegrationTest, TcpIdleConnectionsEventuallyDestroyed)
+{
+    Scenario sc = tinyScenario(Transport::Tcp);
+    sc.opsPerConn = 4;
+    sc.callsPerClient = 6;
+    sc.proxy.idleTimeout = sim::secs(2);
+    sc.settleTime = sim::secs(10); // let the idle machinery drain
+    RunResult r = runScenario(sc);
+    expectAllCallsSucceeded(sc, r);
+    // Abandoned connections were reclaimed by the idle machinery.
+    EXPECT_GT(r.counters.connsReturnedByWorkers, 0u);
+    EXPECT_GT(r.counters.connsDestroyed, 0u);
+}
+
+TEST(ProxyIntegrationTest, TcpThreadModeCompletesWithoutIpc)
+{
+    Scenario sc = tinyScenario(Transport::Tcp);
+    sc.proxy.concurrency = ConcurrencyModel::Thread;
+    RunResult r = runScenario(sc);
+    expectAllCallsSucceeded(sc, r);
+    // §6: threads share the descriptor table; no fd-request IPC at all.
+    EXPECT_EQ(r.counters.fdRequests, 0u);
+}
+
+TEST(ProxyIntegrationTest, TcpEventDrivenIpcCompletes)
+{
+    Scenario sc = tinyScenario(Transport::Tcp);
+    sc.proxy.eventDrivenIpc = true;
+    sc.proxy.dispatchChannelCapacity = 1;
+    sc.opsPerConn = 4;
+    sc.callsPerClient = 6;
+    RunResult r = runScenario(sc);
+    expectAllCallsSucceeded(sc, r);
+}
+
+TEST(ProxyIntegrationTest, SctpCallsComplete)
+{
+    Scenario sc = tinyScenario(Transport::Sctp);
+    RunResult r = runScenario(sc);
+    expectAllCallsSucceeded(sc, r);
+}
+
+TEST(ProxyIntegrationTest, DeterministicAcrossRuns)
+{
+    Scenario sc = tinyScenario(Transport::Tcp);
+    sc.proxy.fdCache = true;
+    RunResult a = runScenario(sc);
+    RunResult b = runScenario(sc);
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_DOUBLE_EQ(a.opsPerSec, b.opsPerSec);
+    EXPECT_EQ(a.counters.fdRequests, b.counters.fdRequests);
+    EXPECT_EQ(a.duration, b.duration);
+}
+
+TEST(ProxyIntegrationTest, ClientMachinesNeverBottleneck)
+{
+    Scenario sc = tinyScenario(Transport::Udp);
+    sc.clients = 8;
+    sc.callsPerClient = 20;
+    RunResult r = runScenario(sc);
+    expectAllCallsSucceeded(sc, r);
+    EXPECT_LT(r.maxClientUtilization, 0.9);
+}
+
+} // namespace

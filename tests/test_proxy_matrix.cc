@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Parameterized correctness sweep over the proxy configuration space:
+ * every transport x statefulness x (for TCP) fd cache, idle strategy,
+ * concurrency model, and IPC style must complete the same call
+ * workload with zero failures. Performance differs; correctness must
+ * not.
+ */
+
+#include <gtest/gtest.h>
+
+#include <ostream>
+#include <string>
+
+#include "workload/scenario.hh"
+
+namespace {
+
+using namespace siprox;
+using namespace siprox::workload;
+using core::ConcurrencyModel;
+using core::IdleStrategy;
+using core::Transport;
+
+struct MatrixParam
+{
+    std::string name;
+    Transport transport = Transport::Udp;
+    bool stateful = true;
+    bool fdCache = false;
+    IdleStrategy idle = IdleStrategy::LinearScan;
+    ConcurrencyModel concurrency = ConcurrencyModel::Process;
+    bool eventDrivenIpc = false;
+    int opsPerConn = 0;
+};
+
+void
+PrintTo(const MatrixParam &p, std::ostream *os)
+{
+    *os << p.name;
+}
+
+class ProxyMatrixTest : public ::testing::TestWithParam<MatrixParam>
+{
+};
+
+TEST_P(ProxyMatrixTest, AllCallsComplete)
+{
+    const MatrixParam &param = GetParam();
+    Scenario sc;
+    sc.proxy.transport = param.transport;
+    sc.proxy.stateful = param.stateful;
+    sc.proxy.fdCache = param.fdCache;
+    sc.proxy.idleStrategy = param.idle;
+    sc.proxy.concurrency = param.concurrency;
+    sc.proxy.eventDrivenIpc = param.eventDrivenIpc;
+    sc.proxy.workers = 6;
+    sc.clients = 5;
+    sc.callsPerClient = 8;
+    sc.opsPerConn = param.opsPerConn;
+    sc.clientMachines = 2;
+    sc.maxDuration = sim::secs(60);
+
+    RunResult r = runScenario(sc);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.callsCompleted, 5u * 8u);
+    EXPECT_EQ(r.callsFailed, 0u);
+    EXPECT_EQ(r.counters.parseErrors, 0u);
+    EXPECT_EQ(r.counters.routeFailures, 0u);
+    // The proxy handled every transaction exactly once.
+    EXPECT_EQ(r.ops, 2u * 5u * 8u);
+}
+
+std::vector<MatrixParam>
+matrix()
+{
+    std::vector<MatrixParam> params;
+    auto add = [&](MatrixParam p) { params.push_back(std::move(p)); };
+
+    add({.name = "udp_stateful", .transport = Transport::Udp});
+    add({.name = "udp_stateless",
+         .transport = Transport::Udp,
+         .stateful = false});
+    add({.name = "sctp_stateful", .transport = Transport::Sctp});
+    add({.name = "sctp_stateless",
+         .transport = Transport::Sctp,
+         .stateful = false});
+
+    for (bool stateful : {true, false}) {
+        for (bool cache : {false, true}) {
+            for (auto idle : {IdleStrategy::LinearScan,
+                              IdleStrategy::PriorityQueue}) {
+                MatrixParam p;
+                p.transport = Transport::Tcp;
+                p.stateful = stateful;
+                p.fdCache = cache;
+                p.idle = idle;
+                p.opsPerConn = 4; // exercise churn everywhere
+                p.name = std::string("tcp_")
+                    + (stateful ? "stateful" : "stateless")
+                    + (cache ? "_cache" : "_nocache")
+                    + (idle == IdleStrategy::PriorityQueue ? "_pq"
+                                                           : "_scan");
+                add(p);
+            }
+        }
+    }
+    add({.name = "tcp_thread_mode",
+         .transport = Transport::Tcp,
+         .concurrency = ConcurrencyModel::Thread,
+         .opsPerConn = 4});
+    add({.name = "tcp_thread_mode_pq",
+         .transport = Transport::Tcp,
+         .idle = IdleStrategy::PriorityQueue,
+         .concurrency = ConcurrencyModel::Thread,
+         .opsPerConn = 4});
+    add({.name = "tcp_event_driven",
+         .transport = Transport::Tcp,
+         .eventDrivenIpc = true,
+         .opsPerConn = 4});
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, ProxyMatrixTest, ::testing::ValuesIn(matrix()),
+    [](const ::testing::TestParamInfo<MatrixParam> &info) {
+        return info.param.name;
+    });
+
+} // namespace

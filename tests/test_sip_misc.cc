@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Remaining SIP-stack edges: message summaries, contact parsing
+ * variants, SDP bodies, compact-name expansion table, and framer
+ * recovery behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sip/builders.hh"
+#include "sip/parser.hh"
+
+namespace {
+
+using namespace siprox;
+using namespace siprox::sip;
+
+TEST(SummaryTest, RequestAndResponseForms)
+{
+    SipMessage req =
+        SipMessage::request(Method::Invite, *SipUri::parse("sip:b@h1"));
+    req.addHeader("CSeq", "3 INVITE");
+    std::string s = req.summary();
+    EXPECT_NE(s.find("INVITE"), std::string::npos);
+    EXPECT_NE(s.find("CSeq 3"), std::string::npos);
+
+    SipMessage rsp = SipMessage::response(180);
+    EXPECT_NE(rsp.summary().find("180 Ringing"), std::string::npos);
+}
+
+TEST(ContactTest, ParsesBareAndBracketedAndDisplayName)
+{
+    SipMessage m = SipMessage::response(200);
+    m.setHeader("Contact", "sip:a@h1:5060");
+    ASSERT_TRUE(m.contactUri());
+    EXPECT_EQ(m.contactUri()->user, "a");
+
+    m.setHeader("Contact", "<sip:b@h2:6000>;expires=3600");
+    ASSERT_TRUE(m.contactUri());
+    EXPECT_EQ(m.contactUri()->user, "b");
+    EXPECT_EQ(m.contactUri()->port, 6000);
+
+    m.setHeader("Contact", "\"Bob X\" <sip:c@h3>");
+    ASSERT_TRUE(m.contactUri());
+    EXPECT_EQ(m.contactUri()->user, "c");
+
+    m.setHeader("Contact", "<sip:broken");
+    EXPECT_FALSE(m.contactUri());
+}
+
+TEST(SdpTest, BodyCarriesOriginHost)
+{
+    std::string sdp = defaultSdp(*SipUri::parse("sip:alice@h7:6000"));
+    EXPECT_NE(sdp.find("o=alice"), std::string::npos);
+    EXPECT_NE(sdp.find("IN IP4 h7"), std::string::npos);
+    EXPECT_NE(sdp.find("m=audio"), std::string::npos);
+    // Empty origin still produces a valid body.
+    EXPECT_NE(defaultSdp(SipUri{}).find("v=0"), std::string::npos);
+}
+
+TEST(CompactNameTest, FullTable)
+{
+    EXPECT_EQ(expandHeaderName("i"), "Call-ID");
+    EXPECT_EQ(expandHeaderName("I"), "Call-ID");
+    EXPECT_EQ(expandHeaderName("m"), "Contact");
+    EXPECT_EQ(expandHeaderName("f"), "From");
+    EXPECT_EQ(expandHeaderName("t"), "To");
+    EXPECT_EQ(expandHeaderName("v"), "Via");
+    EXPECT_EQ(expandHeaderName("l"), "Content-Length");
+    EXPECT_EQ(expandHeaderName("c"), "Content-Type");
+    EXPECT_EQ(expandHeaderName("s"), "Subject");
+    EXPECT_EQ(expandHeaderName("k"), "Supported");
+    EXPECT_EQ(expandHeaderName("x"), "x");       // unknown compact
+    EXPECT_EQ(expandHeaderName("Via"), "Via");   // already full
+}
+
+TEST(FramerTest, RecoversAcrossManyMessagesAfterBigBody)
+{
+    StreamFramer framer;
+    SipMessage big =
+        SipMessage::request(Method::Invite, *SipUri::parse("sip:b@h1"));
+    big.setBody(std::string(8000, 'x'), "application/octet-stream");
+    SipMessage small = SipMessage::response(200);
+    std::string stream = big.serialize() + small.serialize();
+    framer.feed(stream);
+    auto first = framer.next();
+    ASSERT_TRUE(first);
+    EXPECT_EQ(first->size(), big.serialize().size());
+    auto second = framer.next();
+    ASSERT_TRUE(second);
+    EXPECT_TRUE(parseMessage(*second).ok);
+    EXPECT_FALSE(framer.next());
+    EXPECT_FALSE(framer.poisoned());
+}
+
+TEST(FramerTest, ZeroContentLengthBackToBack)
+{
+    StreamFramer framer;
+    std::string msg = "OPTIONS sip:h1 SIP/2.0\r\n"
+                      "Content-Length: 0\r\n\r\n";
+    framer.feed(msg + msg + msg);
+    int count = 0;
+    while (framer.next())
+        ++count;
+    EXPECT_EQ(count, 3);
+}
+
+TEST(BuildersTest, RegisterCarriesNoBody)
+{
+    RequestSpec spec;
+    spec.method = Method::Register;
+    spec.requestUri = *SipUri::parse("sip:h1");
+    spec.from = *SipUri::parse("sip:a@h2");
+    spec.to = *SipUri::parse("sip:a@h1");
+    spec.callId = "r1";
+    spec.viaSentBy = *SipUri::parse("sip:h2:6000");
+    spec.branch = "z9hG4bK-r";
+    SipMessage msg = buildRequest(spec);
+    EXPECT_TRUE(msg.body().empty());
+    EXPECT_NE(msg.serialize().find("Content-Length: 0"),
+              std::string::npos);
+}
+
+TEST(ResponseTest, PreservesExistingToTag)
+{
+    RequestSpec spec;
+    spec.method = Method::Bye;
+    spec.requestUri = *SipUri::parse("sip:b@h1");
+    spec.from = *SipUri::parse("sip:a@h2");
+    spec.to = *SipUri::parse("sip:b@h1");
+    spec.toTag = "already-there";
+    spec.callId = "c1";
+    spec.viaSentBy = *SipUri::parse("sip:h2:6000");
+    spec.branch = "z9hG4bK-b";
+    SipMessage req = buildRequest(spec);
+    SipMessage rsp = buildResponse(req, 200, "new-tag");
+    // §8.2.6.2: do not double-tag a To that already carries one.
+    EXPECT_EQ(std::string(rsp.to()).find("new-tag"), std::string::npos);
+    EXPECT_NE(std::string(rsp.to()).find("already-there"),
+              std::string::npos);
+}
+
+} // namespace

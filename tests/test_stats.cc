@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the stats utilities: latency histogram percentiles and
+ * merging (parameterized over distributions), and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+
+namespace {
+
+using namespace siprox;
+using namespace siprox::stats;
+using siprox::sim::SimTime;
+
+TEST(HistogramTest, EmptyIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0);
+    EXPECT_EQ(h.mean(), 0);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SingleValue)
+{
+    LatencyHistogram h;
+    h.record(sim::usecs(100));
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.mean(), sim::usecs(100));
+    // Bucketed: within ~7% of the true value.
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.5)),
+                static_cast<double>(sim::usecs(100)),
+                0.07 * sim::usecs(100));
+}
+
+TEST(HistogramTest, MinMaxMeanTracked)
+{
+    LatencyHistogram h;
+    h.record(10);
+    h.record(30);
+    h.record(20);
+    EXPECT_EQ(h.min(), 10);
+    EXPECT_EQ(h.max(), 30);
+    EXPECT_EQ(h.mean(), 20);
+}
+
+TEST(HistogramTest, NegativeClampedToZero)
+{
+    LatencyHistogram h;
+    h.record(-5);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, PercentilesMonotonic)
+{
+    LatencyHistogram h;
+    sim::Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        h.record(static_cast<SimTime>(rng.below(sim::secs(1))));
+    SimTime last = 0;
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        SimTime v = h.percentile(q);
+        EXPECT_GE(v, last) << "q=" << q;
+        last = v;
+    }
+}
+
+class HistogramAccuracyTest
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(HistogramAccuracyTest, PercentileWithinBucketResolution)
+{
+    auto [qlow, qhigh] = GetParam();
+    LatencyHistogram h;
+    std::vector<SimTime> values;
+    sim::Rng rng(17);
+    for (int i = 0; i < 20000; ++i) {
+        // Log-uniform over [1us, 1s): stresses every bucket scale.
+        double u = rng.uniform();
+        auto v = static_cast<SimTime>(
+            sim::usecs(1)
+            * std::pow(10.0, u * 6.0));
+        values.push_back(v);
+        h.record(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (double q : {qlow, qhigh}) {
+        SimTime expect = values[static_cast<std::size_t>(
+            q * (values.size() - 1))];
+        SimTime got = h.percentile(q);
+        EXPECT_NEAR(static_cast<double>(got),
+                    static_cast<double>(expect),
+                    0.10 * static_cast<double>(expect))
+            << "q=" << q;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, HistogramAccuracyTest,
+                         ::testing::Values(std::pair{0.10, 0.50},
+                                           std::pair{0.25, 0.75},
+                                           std::pair{0.90, 0.99}));
+
+TEST(HistogramTest, MergeMatchesCombinedRecording)
+{
+    LatencyHistogram a, b, combined;
+    sim::Rng rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        auto v = static_cast<SimTime>(rng.below(sim::msecs(100)));
+        if (i % 2) {
+            a.record(v);
+        } else {
+            b.record(v);
+        }
+        combined.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    EXPECT_EQ(a.mean(), combined.mean());
+    for (double q : {0.1, 0.5, 0.9, 0.99})
+        EXPECT_EQ(a.percentile(q), combined.percentile(q));
+}
+
+TEST(HistogramTest, ResetClears)
+{
+    LatencyHistogram h;
+    h.record(100);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+// --- Table --------------------------------------------------------------------
+
+TEST(TableTest, AlignsColumnsAndRightAlignsNumbers)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    std::string out = t.render();
+    // Header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    // Numbers right-aligned under the wider number.
+    EXPECT_NE(out.find("alpha      1"), std::string::npos);
+    EXPECT_NE(out.find("b      22222"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, CsvEscapesSpecials)
+{
+    Table t({"name", "note"});
+    t.addRow({"plain", "simple"});
+    t.addRow({"with,comma", "say \"hi\""});
+    std::string csv = t.csv();
+    EXPECT_EQ(csv, "name,note\n"
+                   "plain,simple\n"
+                   "\"with,comma\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableTest, NumAndPctFormat)
+{
+    EXPECT_EQ(Table::num(1234.56), "1235");
+    EXPECT_EQ(Table::num(1234.56, 1), "1234.6");
+    EXPECT_EQ(Table::pct(0.5), "50.0%");
+    EXPECT_EQ(Table::pct(0.123, 0), "12%");
+}
+
+} // namespace

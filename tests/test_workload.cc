@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the workload layer: the §4.2 two-phase methodology,
+ * fixed-call vs time-based measurement, scenario presets, and result
+ * bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.hh"
+
+namespace {
+
+using namespace siprox;
+using namespace siprox::workload;
+using core::Transport;
+
+TEST(PaperScenarioTest, PresetsMatchPaperConfiguration)
+{
+    Scenario udp = paperScenario(Transport::Udp, 500, 0);
+    EXPECT_EQ(udp.proxy.workers, 24);
+    EXPECT_EQ(udp.clients, 500);
+    EXPECT_TRUE(udp.proxy.stateful);
+    EXPECT_EQ(udp.opsPerConn, 0);
+
+    Scenario tcp = paperScenario(Transport::Tcp, 1000, 50);
+    EXPECT_EQ(tcp.proxy.workers, 32);
+    EXPECT_EQ(tcp.opsPerConn, 50);
+    EXPECT_EQ(tcp.proxy.supervisorNice, -20); // elevated, as in §4.3
+    EXPECT_EQ(tcp.proxy.idleTimeout, sim::secs(10));
+}
+
+TEST(PaperScenarioTest, NamesAreDescriptive)
+{
+    EXPECT_EQ(paperScenario(Transport::Udp, 100, 0).name,
+              "UDP/persistent/100c");
+    EXPECT_EQ(paperScenario(Transport::Tcp, 1000, 50).name,
+              "TCP/50ops/1000c");
+}
+
+Scenario
+smallScenario()
+{
+    Scenario sc;
+    sc.proxy.transport = Transport::Udp;
+    sc.proxy.workers = 4;
+    sc.clients = 4;
+    sc.callsPerClient = 10;
+    sc.clientMachines = 2;
+    sc.maxDuration = sim::secs(60);
+    return sc;
+}
+
+TEST(RunnerTest, FixedCallModeCountsExactOps)
+{
+    RunResult r = runScenario(smallScenario());
+    EXPECT_EQ(r.ops, 4u * 10u * 2u);
+    EXPECT_EQ(r.callsCompleted, 40u);
+    EXPECT_GT(r.duration, 0);
+    EXPECT_GT(r.opsPerSec, 0.0);
+}
+
+TEST(RunnerTest, TimeBasedModeStopsNearWindow)
+{
+    Scenario sc = smallScenario();
+    sc.measureWindow = sim::msecs(500);
+    RunResult r = runScenario(sc);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_GT(r.callsCompleted, 40u); // far more than 10 calls each
+    // Callers stop at the first call boundary past the window.
+    EXPECT_GE(r.duration, sc.measureWindow);
+    EXPECT_LT(r.duration, sc.measureWindow + sim::secs(5));
+}
+
+TEST(RunnerTest, RegistrationPhaseExcludedFromMeasurement)
+{
+    RunResult r = runScenario(smallScenario());
+    // Registrations happened (both phone sets) but are not ops.
+    EXPECT_EQ(r.counters.registrations, 8u);
+    EXPECT_EQ(r.ops, 80u);
+}
+
+TEST(RunnerTest, LatencyPercentilesPopulated)
+{
+    RunResult r = runScenario(smallScenario());
+    EXPECT_GT(r.inviteP50, 0);
+    EXPECT_GE(r.inviteP99, r.inviteP50);
+    // On an idle 100us-latency LAN, call setup is well under 50 ms.
+    EXPECT_LT(r.inviteP50, sim::msecs(50));
+}
+
+TEST(RunnerTest, UtilizationsBounded)
+{
+    RunResult r = runScenario(smallScenario());
+    EXPECT_GE(r.serverUtilization, 0.0);
+    EXPECT_LE(r.serverUtilization, 1.0);
+    EXPECT_GE(r.maxClientUtilization, 0.0);
+    EXPECT_LE(r.maxClientUtilization, 1.0);
+}
+
+TEST(RunnerTest, ProfileCoversMeasuredPhaseOnly)
+{
+    RunResult r = runScenario(smallScenario());
+    // The profiler was reset at measurement start; parse time must be
+    // visible, and total busy time close to utilization*duration.
+    EXPECT_GT(r.serverProfile.at("ser:parse_msg"), 0);
+    EXPECT_GT(r.serverProfile.total(), 0);
+}
+
+TEST(RunnerTest, SeedChangesScheduleNotCorrectness)
+{
+    Scenario a = smallScenario();
+    a.seed = 1;
+    Scenario b = smallScenario();
+    b.seed = 99;
+    RunResult ra = runScenario(a);
+    RunResult rb = runScenario(b);
+    EXPECT_EQ(ra.callsCompleted, rb.callsCompleted);
+    EXPECT_EQ(ra.callsFailed + rb.callsFailed, 0u);
+}
+
+TEST(RunnerTest, ScalesClientMachinesWithoutFailures)
+{
+    Scenario sc = smallScenario();
+    sc.clients = 30;
+    sc.callsPerClient = 5;
+    sc.clientMachines = 3;
+    RunResult r = runScenario(sc);
+    EXPECT_EQ(r.callsFailed, 0u);
+    EXPECT_EQ(r.callsCompleted, 150u);
+}
+
+} // namespace

@@ -1,0 +1,45 @@
+#include <cstdio>
+#include <cstdlib>
+#include "workload/scenario.hh"
+using namespace siprox;
+using namespace siprox::workload;
+
+int main(int argc, char** argv) {
+    const char* t = argc > 1 ? argv[1] : "udp";
+    int clients = argc > 2 ? atoi(argv[2]) : 100;
+    int opc = argc > 3 ? atoi(argv[3]) : 0;
+    int fdcache = argc > 4 ? atoi(argv[4]) : 0;
+    int pq = argc > 5 ? atoi(argv[5]) : 0;
+    int nice = argc > 6 ? atoi(argv[6]) : -20;
+    core::Transport tr = t[0]=='u' ? core::Transport::Udp :
+                         t[0]=='s' ? core::Transport::Sctp : core::Transport::Tcp;
+    Scenario sc = paperScenario(tr, clients, opc);
+    if (const char* w = getenv("WINDOW"))
+        sc.measureWindow = sim::secs(atof(w));
+    sc.proxy.fdCache = fdcache;
+    sc.proxy.idleStrategy = pq ? core::IdleStrategy::PriorityQueue : core::IdleStrategy::LinearScan;
+    sc.proxy.supervisorNice = nice;
+    RunResult r = runScenario(sc);
+    double ipc = r.serverProfile.share("ser:tcp_send_fd_request")
+               + r.serverProfile.share("kernel:unix_ipc");
+    printf("ipcShare=%.1f%% schedShare=%.1f%% spinShare=%.1f%% scanShare=%.1f%%\n",
+           ipc * 100, r.serverProfile.share("kernel:schedule") * 100,
+           r.serverProfile.share("user:spinlock") * 100,
+           r.serverProfile.share("ser:tcpconn_timeout") * 100);
+    printf("%s: %.0f ops/s  ops=%lu dur=%.2fs failed=%lu srvUtil=%.2f cliUtil=%.2f "
+           "fdReq=%lu hits=%lu scansVisited=%lu retransAbs=%lu retransSent=%lu p50=%.2fms timedOut=%d\n",
+           sc.name.c_str(), r.opsPerSec, (unsigned long)r.ops, sim::toSecs(r.duration),
+           (unsigned long)r.callsFailed, r.serverUtilization, r.maxClientUtilization,
+           (unsigned long)r.counters.fdRequests, (unsigned long)r.counters.fdCacheHits,
+           (unsigned long)r.counters.idleScanVisited,
+           (unsigned long)r.counters.retransAbsorbed, (unsigned long)r.counters.retransSent,
+           sim::toMsecs(r.inviteP50), r.timedOut);
+    printf("conns: accepted=%lu destroyed=%lu returned=%lu outbound=%lu scans=%lu reconnects=%lu reconnFail=%lu deadSends=%lu\n",
+           (unsigned long)r.counters.connsAccepted, (unsigned long)r.counters.connsDestroyed,
+           (unsigned long)r.counters.connsReturnedByWorkers, (unsigned long)r.counters.outboundConnects,
+           (unsigned long)r.counters.idleScans, (unsigned long)r.reconnects,
+           (unsigned long)r.reconnectFailures, (unsigned long)r.counters.sendsToDeadConns);
+    puts("top profile:");
+    fputs(r.serverProfile.report(12).c_str(), stdout);
+    return 0;
+}
