@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_idle_timeout.dir/ablation_idle_timeout.cc.o"
+  "CMakeFiles/ablation_idle_timeout.dir/ablation_idle_timeout.cc.o.d"
+  "ablation_idle_timeout"
+  "ablation_idle_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_idle_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

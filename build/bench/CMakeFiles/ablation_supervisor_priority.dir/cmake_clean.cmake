@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_supervisor_priority.dir/ablation_supervisor_priority.cc.o"
+  "CMakeFiles/ablation_supervisor_priority.dir/ablation_supervisor_priority.cc.o.d"
+  "ablation_supervisor_priority"
+  "ablation_supervisor_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_supervisor_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_worker_count.dir/ablation_worker_count.cc.o"
+  "CMakeFiles/ablation_worker_count.dir/ablation_worker_count.cc.o.d"
+  "ablation_worker_count"
+  "ablation_worker_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_worker_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

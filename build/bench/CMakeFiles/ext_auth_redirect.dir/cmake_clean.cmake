@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_auth_redirect.dir/ext_auth_redirect.cc.o"
+  "CMakeFiles/ext_auth_redirect.dir/ext_auth_redirect.cc.o.d"
+  "ext_auth_redirect"
+  "ext_auth_redirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_auth_redirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

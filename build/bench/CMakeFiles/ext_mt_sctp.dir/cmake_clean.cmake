@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mt_sctp.dir/ext_mt_sctp.cc.o"
+  "CMakeFiles/ext_mt_sctp.dir/ext_mt_sctp.cc.o.d"
+  "ext_mt_sctp"
+  "ext_mt_sctp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mt_sctp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

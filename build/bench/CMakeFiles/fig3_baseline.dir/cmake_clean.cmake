@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_baseline.dir/fig3_baseline.cc.o"
+  "CMakeFiles/fig3_baseline.dir/fig3_baseline.cc.o.d"
+  "fig3_baseline"
+  "fig3_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fdcache.dir/fig4_fdcache.cc.o"
+  "CMakeFiles/fig4_fdcache.dir/fig4_fdcache.cc.o.d"
+  "fig4_fdcache"
+  "fig4_fdcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fdcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_prioqueue.dir/fig5_prioqueue.cc.o"
+  "CMakeFiles/fig5_prioqueue.dir/fig5_prioqueue.cc.o.d"
+  "fig5_prioqueue"
+  "fig5_prioqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_prioqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sip.dir/micro_sip.cc.o"
+  "CMakeFiles/micro_sip.dir/micro_sip.cc.o.d"
+  "micro_sip"
+  "micro_sip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

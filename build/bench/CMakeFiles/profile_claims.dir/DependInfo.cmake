@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/profile_claims.cc" "bench/CMakeFiles/profile_claims.dir/profile_claims.cc.o" "gcc" "bench/CMakeFiles/profile_claims.dir/profile_claims.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/siprox_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/siprox_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/siprox_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/siprox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/siprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sip/CMakeFiles/siprox_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/siprox_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/siprox_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

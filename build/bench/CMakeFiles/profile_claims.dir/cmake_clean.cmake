@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_claims.dir/profile_claims.cc.o"
+  "CMakeFiles/profile_claims.dir/profile_claims.cc.o.d"
+  "profile_claims"
+  "profile_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siprox_bench_common.dir/fig_common.cc.o"
+  "CMakeFiles/siprox_bench_common.dir/fig_common.cc.o.d"
+  "libsiprox_bench_common.a"
+  "libsiprox_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siprox_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsiprox_bench_common.a"
+)

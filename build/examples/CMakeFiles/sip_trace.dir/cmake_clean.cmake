@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sip_trace.dir/sip_trace.cpp.o"
+  "CMakeFiles/sip_trace.dir/sip_trace.cpp.o.d"
+  "sip_trace"
+  "sip_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sip_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

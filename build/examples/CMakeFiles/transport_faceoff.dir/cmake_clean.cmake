@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_faceoff.dir/transport_faceoff.cpp.o"
+  "CMakeFiles/transport_faceoff.dir/transport_faceoff.cpp.o.d"
+  "transport_faceoff"
+  "transport_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/siprox_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/siprox_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/proxy.cc" "src/core/CMakeFiles/siprox_core.dir/proxy.cc.o" "gcc" "src/core/CMakeFiles/siprox_core.dir/proxy.cc.o.d"
+  "/root/repo/src/core/tcp_arch.cc" "src/core/CMakeFiles/siprox_core.dir/tcp_arch.cc.o" "gcc" "src/core/CMakeFiles/siprox_core.dir/tcp_arch.cc.o.d"
+  "/root/repo/src/core/txn_table.cc" "src/core/CMakeFiles/siprox_core.dir/txn_table.cc.o" "gcc" "src/core/CMakeFiles/siprox_core.dir/txn_table.cc.o.d"
+  "/root/repo/src/core/udp_arch.cc" "src/core/CMakeFiles/siprox_core.dir/udp_arch.cc.o" "gcc" "src/core/CMakeFiles/siprox_core.dir/udp_arch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/siprox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/siprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sip/CMakeFiles/siprox_sip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

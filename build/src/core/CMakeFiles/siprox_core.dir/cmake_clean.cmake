@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siprox_core.dir/engine.cc.o"
+  "CMakeFiles/siprox_core.dir/engine.cc.o.d"
+  "CMakeFiles/siprox_core.dir/proxy.cc.o"
+  "CMakeFiles/siprox_core.dir/proxy.cc.o.d"
+  "CMakeFiles/siprox_core.dir/tcp_arch.cc.o"
+  "CMakeFiles/siprox_core.dir/tcp_arch.cc.o.d"
+  "CMakeFiles/siprox_core.dir/txn_table.cc.o"
+  "CMakeFiles/siprox_core.dir/txn_table.cc.o.d"
+  "CMakeFiles/siprox_core.dir/udp_arch.cc.o"
+  "CMakeFiles/siprox_core.dir/udp_arch.cc.o.d"
+  "libsiprox_core.a"
+  "libsiprox_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siprox_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siprox_net.dir/network.cc.o"
+  "CMakeFiles/siprox_net.dir/network.cc.o.d"
+  "CMakeFiles/siprox_net.dir/sctp.cc.o"
+  "CMakeFiles/siprox_net.dir/sctp.cc.o.d"
+  "CMakeFiles/siprox_net.dir/tcp.cc.o"
+  "CMakeFiles/siprox_net.dir/tcp.cc.o.d"
+  "CMakeFiles/siprox_net.dir/udp.cc.o"
+  "CMakeFiles/siprox_net.dir/udp.cc.o.d"
+  "libsiprox_net.a"
+  "libsiprox_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siprox_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siprox_phone.dir/phone.cc.o"
+  "CMakeFiles/siprox_phone.dir/phone.cc.o.d"
+  "libsiprox_phone.a"
+  "libsiprox_phone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siprox_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/siprox_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/siprox_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/pollable.cc" "src/sim/CMakeFiles/siprox_sim.dir/pollable.cc.o" "gcc" "src/sim/CMakeFiles/siprox_sim.dir/pollable.cc.o.d"
+  "/root/repo/src/sim/process.cc" "src/sim/CMakeFiles/siprox_sim.dir/process.cc.o" "gcc" "src/sim/CMakeFiles/siprox_sim.dir/process.cc.o.d"
+  "/root/repo/src/sim/profiler.cc" "src/sim/CMakeFiles/siprox_sim.dir/profiler.cc.o" "gcc" "src/sim/CMakeFiles/siprox_sim.dir/profiler.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/siprox_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/siprox_sim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/sim/CMakeFiles/siprox_sim.dir/simulation.cc.o" "gcc" "src/sim/CMakeFiles/siprox_sim.dir/simulation.cc.o.d"
+  "/root/repo/src/sim/sync.cc" "src/sim/CMakeFiles/siprox_sim.dir/sync.cc.o" "gcc" "src/sim/CMakeFiles/siprox_sim.dir/sync.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/siprox_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/siprox_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siprox_sim.dir/machine.cc.o"
+  "CMakeFiles/siprox_sim.dir/machine.cc.o.d"
+  "CMakeFiles/siprox_sim.dir/pollable.cc.o"
+  "CMakeFiles/siprox_sim.dir/pollable.cc.o.d"
+  "CMakeFiles/siprox_sim.dir/process.cc.o"
+  "CMakeFiles/siprox_sim.dir/process.cc.o.d"
+  "CMakeFiles/siprox_sim.dir/profiler.cc.o"
+  "CMakeFiles/siprox_sim.dir/profiler.cc.o.d"
+  "CMakeFiles/siprox_sim.dir/scheduler.cc.o"
+  "CMakeFiles/siprox_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/siprox_sim.dir/simulation.cc.o"
+  "CMakeFiles/siprox_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/siprox_sim.dir/sync.cc.o"
+  "CMakeFiles/siprox_sim.dir/sync.cc.o.d"
+  "CMakeFiles/siprox_sim.dir/trace.cc.o"
+  "CMakeFiles/siprox_sim.dir/trace.cc.o.d"
+  "libsiprox_sim.a"
+  "libsiprox_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siprox_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sip/builders.cc" "src/sip/CMakeFiles/siprox_sip.dir/builders.cc.o" "gcc" "src/sip/CMakeFiles/siprox_sip.dir/builders.cc.o.d"
+  "/root/repo/src/sip/message.cc" "src/sip/CMakeFiles/siprox_sip.dir/message.cc.o" "gcc" "src/sip/CMakeFiles/siprox_sip.dir/message.cc.o.d"
+  "/root/repo/src/sip/parser.cc" "src/sip/CMakeFiles/siprox_sip.dir/parser.cc.o" "gcc" "src/sip/CMakeFiles/siprox_sip.dir/parser.cc.o.d"
+  "/root/repo/src/sip/transaction.cc" "src/sip/CMakeFiles/siprox_sip.dir/transaction.cc.o" "gcc" "src/sip/CMakeFiles/siprox_sip.dir/transaction.cc.o.d"
+  "/root/repo/src/sip/uri.cc" "src/sip/CMakeFiles/siprox_sip.dir/uri.cc.o" "gcc" "src/sip/CMakeFiles/siprox_sip.dir/uri.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/siprox_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siprox_sip.dir/builders.cc.o"
+  "CMakeFiles/siprox_sip.dir/builders.cc.o.d"
+  "CMakeFiles/siprox_sip.dir/message.cc.o"
+  "CMakeFiles/siprox_sip.dir/message.cc.o.d"
+  "CMakeFiles/siprox_sip.dir/parser.cc.o"
+  "CMakeFiles/siprox_sip.dir/parser.cc.o.d"
+  "CMakeFiles/siprox_sip.dir/transaction.cc.o"
+  "CMakeFiles/siprox_sip.dir/transaction.cc.o.d"
+  "CMakeFiles/siprox_sip.dir/uri.cc.o"
+  "CMakeFiles/siprox_sip.dir/uri.cc.o.d"
+  "libsiprox_sip.a"
+  "libsiprox_sip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siprox_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siprox_stats.dir/histogram.cc.o"
+  "CMakeFiles/siprox_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/siprox_stats.dir/table.cc.o"
+  "CMakeFiles/siprox_stats.dir/table.cc.o.d"
+  "libsiprox_stats.a"
+  "libsiprox_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siprox_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siprox_workload.dir/runner.cc.o"
+  "CMakeFiles/siprox_workload.dir/runner.cc.o.d"
+  "libsiprox_workload.a"
+  "libsiprox_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siprox_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auth_redirect.dir/test_auth_redirect.cc.o"
+  "CMakeFiles/test_auth_redirect.dir/test_auth_redirect.cc.o.d"
+  "test_auth_redirect"
+  "test_auth_redirect.pdb"
+  "test_auth_redirect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auth_redirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

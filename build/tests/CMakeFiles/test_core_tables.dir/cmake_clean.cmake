@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_tables.dir/test_core_tables.cc.o"
+  "CMakeFiles/test_core_tables.dir/test_core_tables.cc.o.d"
+  "test_core_tables"
+  "test_core_tables.pdb"
+  "test_core_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_misc.dir/test_net_misc.cc.o"
+  "CMakeFiles/test_net_misc.dir/test_net_misc.cc.o.d"
+  "test_net_misc"
+  "test_net_misc.pdb"
+  "test_net_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_sctp.dir/test_net_sctp.cc.o"
+  "CMakeFiles/test_net_sctp.dir/test_net_sctp.cc.o.d"
+  "test_net_sctp"
+  "test_net_sctp.pdb"
+  "test_net_sctp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_sctp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_udp.dir/test_net_udp.cc.o"
+  "CMakeFiles/test_net_udp.dir/test_net_udp.cc.o.d"
+  "test_net_udp"
+  "test_net_udp.pdb"
+  "test_net_udp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

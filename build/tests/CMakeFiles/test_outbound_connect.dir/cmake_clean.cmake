@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outbound_connect.dir/test_outbound_connect.cc.o"
+  "CMakeFiles/test_outbound_connect.dir/test_outbound_connect.cc.o.d"
+  "test_outbound_connect"
+  "test_outbound_connect.pdb"
+  "test_outbound_connect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outbound_connect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proxy_behavior.dir/test_proxy_behavior.cc.o"
+  "CMakeFiles/test_proxy_behavior.dir/test_proxy_behavior.cc.o.d"
+  "test_proxy_behavior"
+  "test_proxy_behavior.pdb"
+  "test_proxy_behavior[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proxy_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

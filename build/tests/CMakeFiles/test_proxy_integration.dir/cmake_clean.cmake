@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proxy_integration.dir/test_proxy_integration.cc.o"
+  "CMakeFiles/test_proxy_integration.dir/test_proxy_integration.cc.o.d"
+  "test_proxy_integration"
+  "test_proxy_integration.pdb"
+  "test_proxy_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proxy_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

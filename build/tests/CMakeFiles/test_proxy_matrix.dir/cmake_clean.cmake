@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proxy_matrix.dir/test_proxy_matrix.cc.o"
+  "CMakeFiles/test_proxy_matrix.dir/test_proxy_matrix.cc.o.d"
+  "test_proxy_matrix"
+  "test_proxy_matrix.pdb"
+  "test_proxy_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proxy_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

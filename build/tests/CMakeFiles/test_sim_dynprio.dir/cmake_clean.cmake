@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_dynprio.dir/test_sim_dynprio.cc.o"
+  "CMakeFiles/test_sim_dynprio.dir/test_sim_dynprio.cc.o.d"
+  "test_sim_dynprio"
+  "test_sim_dynprio.pdb"
+  "test_sim_dynprio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_dynprio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sip_misc.dir/test_sip_misc.cc.o"
+  "CMakeFiles/test_sip_misc.dir/test_sip_misc.cc.o.d"
+  "test_sip_misc"
+  "test_sip_misc.pdb"
+  "test_sip_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sip_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sip_uri.dir/test_sip_uri.cc.o"
+  "CMakeFiles/test_sip_uri.dir/test_sip_uri.cc.o.d"
+  "test_sip_uri"
+  "test_sip_uri.pdb"
+  "test_sip_uri[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sip_uri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_core[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_net_udp[1]_include.cmake")
+include("/root/repo/build/tests/test_net_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_net_sctp[1]_include.cmake")
+include("/root/repo/build/tests/test_sip_uri[1]_include.cmake")
+include("/root/repo/build/tests/test_sip_message[1]_include.cmake")
+include("/root/repo/build/tests/test_sip_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_proxy_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_core_tables[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_proxy_behavior[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_dynprio[1]_include.cmake")
+include("/root/repo/build/tests/test_auth_redirect[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_net_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_sip_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_proxy_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_outbound_connect[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[OutboundConnectTest.ProxyDialsUnconnectedContact]=]  /root/repo/build/tests/test_outbound_connect [==[--gtest_filter=OutboundConnectTest.ProxyDialsUnconnectedContact]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[OutboundConnectTest.ProxyDialsUnconnectedContact]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_outbound_connect_TESTS OutboundConnectTest.ProxyDialsUnconnectedContact)
