@@ -380,6 +380,51 @@ Engine::handleRequest(sim::Process &p, sip::SipMessage msg,
 }
 
 sim::Task
+Engine::handleTimeout(sim::Process &p, const RetransList::TimedOut &to,
+                      std::vector<SendAction> *out)
+{
+    ++shared_.counters.retransTimeouts;
+    // Rebuild the timed-out branch from the stored forwarded request
+    // and answer for the silent downstream (§16.8: acting as a UAS).
+    co_await p.cpu(scaled(cfg_.costs.parse), ccParse_);
+    auto parsed = sip::parseMessage(to.wire);
+    if (!parsed.ok)
+        co_return;
+    sip::SipMessage rsp =
+        sip::buildResponse(parsed.message, sip::status::kRequestTimeout);
+    // The top Via is the proxy's own branch; pop it as if the 408 had
+    // arrived from downstream (§16.7).
+    rsp.removeFirstHeader("Via");
+    co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
+    std::string wire = rsp.serialize();
+
+    co_await shared_.txns.lock().acquire(p);
+    co_await p.cpu(scaled(cfg_.costs.txnLookup), ccTm_);
+    auto rec = shared_.txns.find(to.key);
+    if (!rec || rec->state != TxnRecord::State::Proceeding) {
+        // Already answered (or stateless): nothing to time out.
+        shared_.txns.lock().release();
+        co_return;
+    }
+    co_await p.cpu(scaled(cfg_.costs.txnUpdate), ccTm_);
+    rec->state = TxnRecord::State::Completed;
+    rec->lastResponse = wire;
+    shared_.txns.scheduleExpiry(rec, p.sim().now() + cfg_.txnLinger);
+    net::Addr dst = rec->upstreamAddr;
+    std::uint64_t dst_conn = rec->upstreamConnId;
+    shared_.txns.lock().release();
+
+    ++shared_.counters.timerB408s;
+    ++shared_.counters.localReplies;
+    SendAction action;
+    action.wire = std::move(wire);
+    action.dstAddr = dst;
+    action.dstConnId = dst_conn;
+    action.toUpstream = true;
+    out->push_back(std::move(action));
+}
+
+sim::Task
 Engine::handleResponse(sim::Process &p, sip::SipMessage msg,
                        MsgSource src, std::vector<SendAction> *out)
 {

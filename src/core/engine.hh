@@ -68,6 +68,16 @@ class Engine
                             MsgSource src,
                             std::vector<SendAction> &out);
 
+    /**
+     * Timer B/F fired for a forwarded request that never drew a final
+     * response: answer the caller with 408 Request Timeout and put the
+     * transaction record on the expiry queue so the table is reclaimed
+     * even under sustained loss.
+     */
+    sim::Task handleTimeout(sim::Process &p,
+                            const RetransList::TimedOut &to,
+                            std::vector<SendAction> *out);
+
   private:
     sim::Task handleRegister(sim::Process &p, sip::SipMessage msg,
                              MsgSource src,

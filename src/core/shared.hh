@@ -28,6 +28,7 @@ struct ProxyCounters
     std::uint64_t retransAbsorbed = 0; ///< request retransmits answered
     std::uint64_t retransSent = 0;     ///< timer-driven retransmissions
     std::uint64_t retransTimeouts = 0;
+    std::uint64_t timerB408s = 0; ///< 408s generated on Timer B expiry
     std::uint64_t registrations = 0;
     std::uint64_t authChallenges = 0;
     std::uint64_t authAccepted = 0;

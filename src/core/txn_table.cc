@@ -8,6 +8,16 @@ std::size_t
 RetransList::collectDue(SimTime now, std::vector<Due> &out,
                         std::size_t &timeouts)
 {
+    std::vector<TimedOut> expired;
+    std::size_t visited = collectDue(now, out, expired);
+    timeouts += expired.size();
+    return visited;
+}
+
+std::size_t
+RetransList::collectDue(SimTime now, std::vector<Due> &out,
+                        std::vector<TimedOut> &timed_out)
+{
     std::size_t visited = 0;
     for (auto it = entries_.begin(); it != entries_.end();) {
         ++visited;
@@ -16,7 +26,8 @@ RetransList::collectDue(SimTime now, std::vector<Due> &out,
             continue;
         }
         if (now >= it->deadline) {
-            ++timeouts;
+            timed_out.push_back(
+                TimedOut{it->key, std::move(it->wire), it->invite});
             index_.erase(it->key);
             it = entries_.erase(it);
             continue;

@@ -149,6 +149,14 @@ class RetransList
         net::Addr dst;
     };
 
+    /** An entry whose Timer B/F deadline expired without a response. */
+    struct TimedOut
+    {
+        sip::TransactionKey key;
+        std::string wire; ///< the forwarded request, for the 408
+        bool invite = false;
+    };
+
     sim::SpinLock &lock() { return lock_; }
 
     /** All methods below require the lock to be held. */
@@ -185,6 +193,11 @@ class RetransList
      */
     std::size_t collectDue(SimTime now, std::vector<Due> &out,
                            std::size_t &timeouts);
+
+    /** As above, but expired entries are returned so the caller can
+     *  answer the transaction with a 408 and reclaim its record. */
+    std::size_t collectDue(SimTime now, std::vector<Due> &out,
+                           std::vector<TimedOut> &timed_out);
 
     std::size_t size() const { return entries_.size(); }
 

@@ -97,10 +97,10 @@ UdpArch::timerMain(sim::Process &p)
         // Walk the global retransmission list (§3.2). The walk holds
         // the shared lock for its full duration, as OpenSER does.
         std::vector<RetransList::Due> due;
-        std::size_t timeouts = 0;
+        std::vector<RetransList::TimedOut> timed_out;
         co_await shared_.retrans.lock().acquire(p);
         std::size_t visited =
-            shared_.retrans.collectDue(now, due, timeouts);
+            shared_.retrans.collectDue(now, due, timed_out);
         if (visited) {
             co_await p.cpu(static_cast<sim::SimTime>(visited)
                                * cfg_.costs.timerScanPerEntry,
@@ -109,9 +109,20 @@ UdpArch::timerMain(sim::Process &p)
         shared_.retrans.lock().release();
 
         shared_.counters.retransSent += due.size();
-        shared_.counters.retransTimeouts += timeouts;
         for (auto &d : due)
             co_await sendOne(p, d.dst, std::move(d.wire));
+
+        // Timer B/F expiry: answer the caller with 408 and reclaim
+        // the transaction so sustained loss cannot grow the table.
+        std::vector<SendAction> actions;
+        for (auto &to : timed_out) {
+            actions.clear();
+            co_await engines_[0]->handleTimeout(p, to, &actions);
+            for (auto &action : actions) {
+                co_await sendOne(p, action.dstAddr,
+                                 std::move(action.wire));
+            }
+        }
     }
 }
 

@@ -1,0 +1,191 @@
+#include "net/impairment.hh"
+
+namespace siprox::net {
+
+FaultInjector::FaultInjector(std::uint64_t seed)
+    // Derive the fault stream from the simulation seed without
+    // consuming from the simulation's own RNG, so enabling the
+    // subsystem does not perturb existing seeded workloads.
+    : rng_(seed ^ 0xfa17117ec7ed5eedULL)
+{
+}
+
+void
+FaultInjector::setDefault(Impairment imp)
+{
+    default_ = std::move(imp);
+    enabled_ = enabled_ || !default_.trivial();
+}
+
+void
+FaultInjector::setLink(std::uint32_t src, std::uint32_t dst,
+                       Impairment imp)
+{
+    enabled_ = enabled_ || !imp.trivial();
+    links_[LinkKey{src, dst}] = std::move(imp);
+}
+
+void
+FaultInjector::setLinkSymmetric(std::uint32_t a, std::uint32_t b,
+                                const Impairment &imp)
+{
+    setLink(a, b, imp);
+    setLink(b, a, imp);
+}
+
+void
+FaultInjector::addPartition(std::uint32_t a, std::uint32_t b,
+                            SimTime start, SimTime stop)
+{
+    for (auto [src, dst] : {LinkKey{a, b}, LinkKey{b, a}}) {
+        auto it = links_.find(LinkKey{src, dst});
+        if (it == links_.end())
+            it = links_.emplace(LinkKey{src, dst}, default_).first;
+        it->second.partitions.push_back(PartitionWindow{start, stop});
+    }
+    enabled_ = true;
+}
+
+const Impairment &
+FaultInjector::lookup(std::uint32_t src, std::uint32_t dst) const
+{
+    auto it = links_.find(LinkKey{src, dst});
+    return it == links_.end() ? default_ : it->second;
+}
+
+bool
+FaultInjector::partitioned(std::uint32_t src, std::uint32_t dst,
+                           SimTime now) const
+{
+    for (const auto &w : lookup(src, dst).partitions) {
+        if (w.active(now))
+            return true;
+    }
+    return false;
+}
+
+SimTime
+FaultInjector::partitionHealsAt(const Impairment &imp,
+                                SimTime now) const
+{
+    SimTime heal = sim::kTimeNever;
+    for (const auto &w : imp.partitions) {
+        if (w.active(now) && w.stop < heal)
+            heal = w.stop;
+    }
+    return heal;
+}
+
+SimTime
+FaultInjector::rollDelay(const Impairment &imp, bool allow_reorder,
+                         stats::LinkFaultCounters &c)
+{
+    SimTime extra = imp.extraDelay;
+    if (imp.jitter > 0)
+        extra += static_cast<SimTime>(
+            rng_.below(static_cast<std::uint64_t>(imp.jitter)));
+    if (extra > 0)
+        ++c.delayed;
+    if (allow_reorder && imp.reorderProb > 0
+        && rng_.chance(imp.reorderProb)) {
+        ++c.reordered;
+        extra += static_cast<SimTime>(
+            rng_.below(static_cast<std::uint64_t>(
+                imp.reorderWindow > 0 ? imp.reorderWindow : 1)));
+    }
+    return extra;
+}
+
+FaultInjector::DatagramVerdict
+FaultInjector::onDatagram(SimTime now, std::uint32_t src,
+                          std::uint32_t dst)
+{
+    DatagramVerdict v;
+    const Impairment &imp = lookup(src, dst);
+    auto &c = stats_.link(src, dst);
+    ++c.offered;
+    for (const auto &w : imp.partitions) {
+        if (w.active(now)) {
+            ++c.partitionDrops;
+            v.drop = true;
+            return v;
+        }
+    }
+    if (imp.lossProb > 0 && rng_.chance(imp.lossProb)) {
+        ++c.lost;
+        v.drop = true;
+        return v;
+    }
+    if (imp.dupProb > 0 && rng_.chance(imp.dupProb)) {
+        ++c.duplicated;
+        v.copies = 2;
+    }
+    v.extraDelay = rollDelay(imp, /*allow_reorder=*/true, c);
+    return v;
+}
+
+bool
+FaultInjector::onConnect(SimTime now, std::uint32_t src,
+                         std::uint32_t dst)
+{
+    const Impairment &imp = lookup(src, dst);
+    auto &c = stats_.link(src, dst);
+    ++c.offered;
+    for (const auto &w : imp.partitions) {
+        if (w.active(now)) {
+            ++c.connectsRefused;
+            return true;
+        }
+    }
+    if (imp.connectRefuseProb > 0
+        && rng_.chance(imp.connectRefuseProb)) {
+        ++c.connectsRefused;
+        return true;
+    }
+    return false;
+}
+
+FaultInjector::SegmentVerdict
+FaultInjector::onSegment(SimTime now, std::uint32_t src,
+                         std::uint32_t dst)
+{
+    SegmentVerdict v;
+    const Impairment &imp = lookup(src, dst);
+    auto &c = stats_.link(src, dst);
+    ++c.offered;
+    if (imp.stalled) {
+        ++c.stalledDrops;
+        v.fate = SegmentFate::Blackhole;
+        return v;
+    }
+    SimTime heal = partitionHealsAt(imp, now);
+    if (heal != sim::kTimeNever) {
+        // The kernel keeps retransmitting; data flows once the
+        // partition closes (plus one recovery interval).
+        ++c.partitionHeld;
+        v.extraDelay = (heal - now) + imp.recoveryDelay;
+        return v;
+    }
+    if (partitioned(src, dst, now)) {
+        // Unbounded partition: the stream is dead; bytes never arrive.
+        ++c.partitionDrops;
+        v.fate = SegmentFate::Blackhole;
+        return v;
+    }
+    if (imp.rstProb > 0 && rng_.chance(imp.rstProb)) {
+        ++c.rstsInjected;
+        v.fate = SegmentFate::Rst;
+        return v;
+    }
+    if (imp.lossProb > 0 && rng_.chance(imp.lossProb)) {
+        // Reliable transports recover in-kernel: the segment (and the
+        // ordered stream behind it) arrives late instead of never.
+        ++c.recoveries;
+        v.recovered = true;
+        v.extraDelay += imp.recoveryDelay;
+    }
+    v.extraDelay += rollDelay(imp, /*allow_reorder=*/false, c);
+    return v;
+}
+
+} // namespace siprox::net

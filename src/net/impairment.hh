@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Link-level fault injection. An Impairment describes what can go
+ * wrong on one directed host-to-host link (loss, duplication,
+ * reordering, delay/jitter, hard partitions, and TCP-specific faults);
+ * the FaultInjector holds the per-link policies, rolls the dice with
+ * its own seed-derived RNG, and records per-link counters.
+ *
+ * The transport split mirrors the paper's argument: on UDP a lost
+ * datagram simply vanishes and RFC 3261 retransmission at the
+ * endpoints must recover it, while on TCP/SCTP the kernel recovers
+ * losses itself — modeled as an added recovery delay that stalls the
+ * ordered stream (head-of-line blocking) instead of a drop.
+ *
+ * Determinism: the injector's RNG is derived from the simulation seed
+ * and is consulted in event order, so the same seed reproduces the
+ * exact same fault pattern; different seeds give different patterns.
+ */
+
+#ifndef SIPROX_NET_IMPAIRMENT_HH
+#define SIPROX_NET_IMPAIRMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/time.hh"
+#include "stats/fault_stats.hh"
+
+namespace siprox::net {
+
+using sim::SimTime;
+
+/** One scheduled connectivity outage: [start, stop). */
+struct PartitionWindow
+{
+    SimTime start = 0;
+    SimTime stop = sim::kTimeNever;
+
+    bool
+    active(SimTime now) const
+    {
+        return now >= start && now < stop;
+    }
+};
+
+/** What can go wrong on one directed link. All-defaults = clean. */
+struct Impairment
+{
+    // --- datagram transports (UDP; loss on SCTP recovers in-kernel) ---
+    /** Probability an individual datagram/segment is lost. */
+    double lossProb = 0.0;
+    /** Probability a datagram is delivered twice (UDP only). */
+    double dupProb = 0.0;
+    /** Probability a datagram is held back for up to reorderWindow,
+     *  letting later datagrams overtake it (UDP only). */
+    double reorderProb = 0.0;
+    SimTime reorderWindow = sim::msecs(20);
+
+    // --- all transports -----------------------------------------------
+    /** Fixed extra one-way delay. */
+    SimTime extraDelay = 0;
+    /** Uniform random extra delay in [0, jitter). */
+    SimTime jitter = 0;
+    /** Hard outages; deliveries inside a window are dropped (UDP) or
+     *  held until the window closes (TCP/SCTP, finite windows). */
+    std::vector<PartitionWindow> partitions;
+
+    // --- TCP-specific --------------------------------------------------
+    /** Probability a connection attempt is refused (SYN -> RST). */
+    double connectRefuseProb = 0.0;
+    /** Probability a data segment triggers a mid-stream RST. */
+    double rstProb = 0.0;
+    /** Stalled peer: segments are accepted by the kernel but never
+     *  arrive (send-side blackhole without any error signal). */
+    bool stalled = false;
+    /** In-kernel recovery time per lost TCP/SCTP segment; stalls the
+     *  ordered stream behind the recovered segment. */
+    SimTime recoveryDelay = sim::msecs(200);
+
+    /** True when this impairment can never alter a delivery. */
+    bool
+    trivial() const
+    {
+        return lossProb <= 0 && dupProb <= 0 && reorderProb <= 0
+            && extraDelay <= 0 && jitter <= 0 && partitions.empty()
+            && connectRefuseProb <= 0 && rstProb <= 0 && !stalled;
+    }
+};
+
+/**
+ * Per-link fault policies plus the dice and counters. Owned by the
+ * Network; consulted by the UDP/TCP/SCTP delivery paths.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(std::uint64_t seed);
+
+    /** Policy for every link without an explicit one. */
+    void setDefault(Impairment imp);
+
+    /** Policy for the directed link @p src -> @p dst. */
+    void setLink(std::uint32_t src, std::uint32_t dst, Impairment imp);
+
+    /** Same policy in both directions between @p a and @p b. */
+    void setLinkSymmetric(std::uint32_t a, std::uint32_t b,
+                          const Impairment &imp);
+
+    /** Schedule a hard two-way partition of @p a from @p b. Existing
+     *  per-link policies (or a copy of the default) gain the window. */
+    void addPartition(std::uint32_t a, std::uint32_t b, SimTime start,
+                      SimTime stop = sim::kTimeNever);
+
+    /** Effective policy for @p src -> @p dst. */
+    const Impairment &lookup(std::uint32_t src,
+                             std::uint32_t dst) const;
+
+    /** True if any direction between the hosts is partitioned now. */
+    bool partitioned(std::uint32_t src, std::uint32_t dst,
+                     SimTime now) const;
+
+    /** Fast-path check: no policy configured anywhere. */
+    bool enabled() const { return enabled_; }
+
+    // --- delivery decisions (consume RNG; record counters) ------------
+
+    /** Fate of one datagram (UDP). */
+    struct DatagramVerdict
+    {
+        bool drop = false;
+        int copies = 1;
+        SimTime extraDelay = 0;
+    };
+    DatagramVerdict onDatagram(SimTime now, std::uint32_t src,
+                               std::uint32_t dst);
+
+    /** True if the SYN @p src -> @p dst must be refused. */
+    bool onConnect(SimTime now, std::uint32_t src, std::uint32_t dst);
+
+    /** Fate of one TCP/SCTP segment on the ordered stream. */
+    enum class SegmentFate
+    {
+        Deliver,   ///< arrives after extraDelay more than usual
+        Rst,       ///< connection is reset mid-stream
+        Blackhole, ///< accepted by the kernel, never arrives
+    };
+    struct SegmentVerdict
+    {
+        SegmentFate fate = SegmentFate::Deliver;
+        SimTime extraDelay = 0;
+        bool recovered = false; ///< extraDelay includes a loss recovery
+    };
+    SegmentVerdict onSegment(SimTime now, std::uint32_t src,
+                             std::uint32_t dst);
+
+    stats::FaultStats &stats() { return stats_; }
+    const stats::FaultStats &stats() const { return stats_; }
+
+  private:
+    using LinkKey = std::pair<std::uint32_t, std::uint32_t>;
+
+    /** Earliest close of an active finite partition, or kTimeNever. */
+    SimTime partitionHealsAt(const Impairment &imp, SimTime now) const;
+
+    /** Shared delay model: extraDelay + jitter (+ reorder for UDP). */
+    SimTime rollDelay(const Impairment &imp, bool allow_reorder,
+                      stats::LinkFaultCounters &c);
+
+    Impairment default_;
+    std::map<LinkKey, Impairment> links_;
+    stats::FaultStats stats_;
+    sim::Rng rng_;
+    bool enabled_ = false;
+};
+
+} // namespace siprox::net
+
+#endif // SIPROX_NET_IMPAIRMENT_HH

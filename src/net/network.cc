@@ -31,7 +31,32 @@ Host::Host(Network &net, sim::Machine &machine, std::uint32_t id)
 {
 }
 
-Host::~Host() = default;
+Host::~Host()
+{
+    // TcpConn handles living in coroutine frames can outlive this
+    // host (process teardown happens after network teardown). Mark
+    // the endpoints closed so their close path becomes a no-op
+    // instead of touching a dead Host/Network.
+    for (auto &weak : tcpEndpoints_) {
+        if (auto ep = weak.lock())
+            ep->closed_ = true;
+    }
+}
+
+void
+Host::adoptEndpoint(const std::shared_ptr<TcpEndpoint> &ep)
+{
+    // Opportunistically compact so long runs with connection churn
+    // don't accumulate dead entries.
+    if (tcpEndpoints_.size() >= 64
+        && tcpEndpoints_.size() == tcpEndpoints_.capacity()) {
+        std::erase_if(tcpEndpoints_,
+                      [](const std::weak_ptr<TcpEndpoint> &w) {
+                          return w.expired();
+                      });
+    }
+    tcpEndpoints_.push_back(ep);
+}
 
 UdpSocket &
 Host::udpBind(std::uint16_t port)
@@ -67,7 +92,7 @@ Host::sctpBind(std::uint16_t port)
 }
 
 Network::Network(sim::Simulation &sim, NetConfig cfg)
-    : sim_(sim), cfg_(cfg)
+    : sim_(sim), cfg_(cfg), faults_(sim.seed())
 {
 }
 

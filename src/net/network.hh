@@ -16,6 +16,7 @@
 
 #include "net/addr.hh"
 #include "net/config.hh"
+#include "net/impairment.hh"
 #include "net/port_alloc.hh"
 #include "sim/machine.hh"
 #include "sim/simulation.hh"
@@ -43,6 +44,14 @@ struct NetStats
     std::uint64_t tcpBytes = 0;
     std::uint64_t sctpMessages = 0;
     std::uint64_t sctpAssocs = 0;
+    // --- injected faults (aggregates; per-link detail in faults()) ----
+    std::uint64_t faultDropped = 0;    ///< datagrams lost/partitioned
+    std::uint64_t faultDuplicated = 0; ///< duplicate datagrams injected
+    std::uint64_t faultDelayed = 0;    ///< deliveries given extra delay
+    std::uint64_t tcpFaultRefused = 0; ///< connects refused by fault
+    std::uint64_t tcpRstInjected = 0;  ///< mid-stream RSTs injected
+    std::uint64_t tcpBlackholed = 0;   ///< segments that never arrive
+    std::uint64_t tcpRecoveries = 0;   ///< in-kernel loss recoveries
 };
 
 /**
@@ -105,6 +114,11 @@ class Host
         --openSockets_;
     }
 
+    /** Track every endpoint created on this host so ~Host can mark
+     *  them closed: TcpConn handles in coroutine frames may outlive
+     *  the Network, and their close path must not touch it. */
+    void adoptEndpoint(const std::shared_ptr<TcpEndpoint> &ep);
+
     Network &net_;
     sim::Machine &machine_;
     std::uint32_t id_;
@@ -114,6 +128,7 @@ class Host
     std::unordered_map<std::uint16_t, std::unique_ptr<TcpListener>>
         listeners_;
     std::unordered_map<std::uint16_t, std::unique_ptr<SctpSocket>> sctp_;
+    std::vector<std::weak_ptr<TcpEndpoint>> tcpEndpoints_;
 };
 
 /**
@@ -139,6 +154,10 @@ class Network
 
     NetStats &stats() { return stats_; }
 
+    /** Link-level fault injection (clean by default). */
+    FaultInjector &faults() { return faults_; }
+    const FaultInjector &faults() const { return faults_; }
+
     /** Wire delay for a payload of @p bytes. */
     SimTime
     wireDelay(std::size_t bytes) const
@@ -155,6 +174,7 @@ class Network
     NetConfig cfg_;
     std::vector<std::unique_ptr<Host>> hosts_;
     NetStats stats_;
+    FaultInjector faults_;
     std::uint64_t connIds_ = 0;
 };
 

@@ -39,6 +39,24 @@ SctpSocket::sendTo(sim::Process &p, Addr dst, std::string payload)
     }
     it->second.lastUse = now;
     ++net.stats().sctpMessages;
+    if (net.faults().enabled()) {
+        auto verdict =
+            net.faults().onSegment(now, host_.id(), dst.host);
+        if (verdict.fate == FaultInjector::SegmentFate::Blackhole) {
+            // Association is dead; the message never arrives.
+            co_return;
+        }
+        // SCTP has no RST fate in this model; a reset roll just
+        // behaves like a recovered loss on the ordered stream.
+        if (verdict.fate == FaultInjector::SegmentFate::Rst)
+            verdict.extraDelay +=
+                net.faults().lookup(host_.id(), dst.host).recoveryDelay;
+        if (verdict.recovered)
+            ++net.stats().tcpRecoveries;
+        if (verdict.extraDelay > 0)
+            ++net.stats().faultDelayed;
+        extra += verdict.extraDelay;
+    }
     // SCTP streams are ordered: later messages never overtake earlier
     // ones held up by association setup.
     SimTime arrival =

@@ -54,10 +54,51 @@ struct TcpOps
             co_return; // connection is gone: bytes vanish
         }
         auto peer = ep->peer_;
+        SimTime fault_delay = 0;
+        if (net.faults().enabled()) {
+            auto verdict = net.faults().onSegment(
+                p.sim().now(), ep->local_.host, ep->remote_.host);
+            switch (verdict.fate) {
+              case FaultInjector::SegmentFate::Blackhole:
+                // The kernel accepted the bytes but they never arrive
+                // and no error ever surfaces on either side.
+                ++net.stats().tcpBlackholed;
+                co_return;
+              case FaultInjector::SegmentFate::Rst: {
+                ++net.stats().tcpRstInjected;
+                if (sim::trace::enabled()) {
+                    sim::trace::log(p.sim().now(), "tcp-rst",
+                                    ep->local_.toString() + "->"
+                                        + ep->remote_.toString());
+                }
+                // Sender learns of the reset immediately; the peer
+                // sees it one latency later.
+                ep->state_ = TcpState::Reset;
+                ep->wakeAllWaiters();
+                ep->notifyPollWaiters();
+                net.sim().after(net.config().latency, [peer] {
+                    if (peer->closed_
+                        || peer->state_ != TcpState::Established)
+                        return;
+                    peer->state_ = TcpState::Reset;
+                    peer->wakeAllWaiters();
+                    peer->notifyPollWaiters();
+                });
+                co_return;
+              }
+              case FaultInjector::SegmentFate::Deliver:
+                fault_delay = verdict.extraDelay;
+                if (verdict.recovered)
+                    ++net.stats().tcpRecoveries;
+                if (fault_delay > 0)
+                    ++net.stats().faultDelayed;
+                break;
+            }
+        }
         // TCP is a single ordered stream: later segments (and the
         // eventual FIN) must not overtake earlier ones.
         SimTime arrival =
-            std::max(p.sim().now() + net.wireDelay(bytes),
+            std::max(p.sim().now() + net.wireDelay(bytes) + fault_delay,
                      ep->txArrivalFloor_);
         ep->txArrivalFloor_ = arrival;
         net.sim().at(arrival, [peer, d = std::move(data)]() mutable {
@@ -159,21 +200,41 @@ TcpEndpoint::closeHandle(const char *tag)
     Network &net = host_.net();
 
     // FIN to the peer, if the connection ever established. The FIN
-    // is sequenced after every data segment already in flight.
+    // is sequenced after every data segment already in flight, and is
+    // subject to the same link faults (a stalled or partitioned link
+    // swallows the FIN along with the data).
     if (peer_ && state_ == TcpState::Established && !selfClosed_) {
         selfClosed_ = true;
-        auto peer = peer_;
-        SimTime arrival =
-            std::max(net.sim().now() + net.config().latency,
-                     txArrivalFloor_);
-        txArrivalFloor_ = arrival;
-        net.sim().at(arrival, [peer] {
-            if (peer->closed_)
-                return;
-            peer->peerClosed_ = true;
-            peer->wakeAllWaiters();
-            peer->notifyPollWaiters();
-        });
+        bool fin_lost = false;
+        SimTime fault_delay = 0;
+        if (net.faults().enabled()) {
+            auto verdict = net.faults().onSegment(
+                net.sim().now(), local_.host, remote_.host);
+            if (verdict.fate == FaultInjector::SegmentFate::Blackhole) {
+                ++net.stats().tcpBlackholed;
+                fin_lost = true;
+            } else {
+                // An RST roll on the FIN segment just means the
+                // teardown is abrupt; the peer still sees EOF.
+                fault_delay = verdict.extraDelay;
+                if (verdict.recovered)
+                    ++net.stats().tcpRecoveries;
+            }
+        }
+        if (!fin_lost) {
+            auto peer = peer_;
+            SimTime arrival = std::max(
+                net.sim().now() + net.config().latency + fault_delay,
+                txArrivalFloor_);
+            txArrivalFloor_ = arrival;
+            net.sim().at(arrival, [peer] {
+                if (peer->closed_)
+                    return;
+                peer->peerClosed_ = true;
+                peer->wakeAllWaiters();
+                peer->notifyPollWaiters();
+            });
+        }
     }
 
     // Port release: a passive close (peer FIN seen first) or a failed
@@ -304,6 +365,7 @@ Host::tcpConnect(sim::Process &p, Addr remote, TcpConn &out,
         *this, Addr{id_, lport}, remote, /*owns_port=*/true,
         net_.nextConnId());
     socketOpened();
+    adoptEndpoint(ep);
     ++net_.stats().tcpConnects;
     TcpConn handle(ep);
 
@@ -318,7 +380,12 @@ Host::tcpConnect(sim::Process &p, Addr remote, TcpConn &out,
             if (it != dst->listeners_.end())
                 listener = it->second.get();
         }
-        bool refuse = !listener
+        bool fault_refuse = net->faults().enabled()
+            && net->faults().onConnect(net->sim().now(),
+                                       ep->local_.host, remote.host);
+        if (fault_refuse)
+            ++net->stats().tcpFaultRefused;
+        bool refuse = fault_refuse || !listener
             || static_cast<int>(listener->acceptQ_.size())
                 >= c.acceptBacklog
             || dst->openSockets_ >= c.maxSocketsPerHost;
@@ -340,6 +407,7 @@ Host::tcpConnect(sim::Process &p, Addr remote, TcpConn &out,
         sep->peer_ = ep;
         ep->peer_ = sep;
         dst->socketOpened();
+        dst->adoptEndpoint(sep);
         listener->acceptQ_.push_back(std::move(sep));
         if (!listener->waiters_.empty()) {
             sim::Process *w = listener->waiters_.front();

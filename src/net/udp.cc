@@ -30,18 +30,37 @@ UdpSocket::sendTo(sim::Process &p, Addr dst, std::string payload)
         ++net.stats().udpLost;
         co_return;
     }
+    int copies = 1;
+    SimTime extra_delay = 0;
+    if (net.faults().enabled()) {
+        auto verdict =
+            net.faults().onDatagram(p.sim().now(), host_.id(), dst.host);
+        if (verdict.drop) {
+            ++net.stats().udpLost;
+            ++net.stats().faultDropped;
+            co_return;
+        }
+        copies = verdict.copies;
+        extra_delay = verdict.extraDelay;
+        if (copies > 1)
+            ++net.stats().faultDuplicated;
+        if (extra_delay > 0)
+            ++net.stats().faultDelayed;
+    }
     Network *netp = &net;
     Addr src = localAddr();
-    p.sim().after(net.wireDelay(bytes),
-                  [netp, src, dst, data = std::move(payload)]() mutable {
-        Host *target = netp->hostById(dst.host);
-        if (!target)
-            return;
-        auto it = target->udp_.find(dst.port);
-        if (it == target->udp_.end())
-            return; // no receiver: silently dropped
-        it->second->deliver(Datagram{src, dst, std::move(data)});
-    });
+    for (int i = 0; i < copies; ++i) {
+        p.sim().after(net.wireDelay(bytes) + extra_delay,
+                      [netp, src, dst, data = payload]() mutable {
+            Host *target = netp->hostById(dst.host);
+            if (!target)
+                return;
+            auto it = target->udp_.find(dst.port);
+            if (it == target->udp_.end())
+                return; // no receiver: silently dropped
+            it->second->deliver(Datagram{src, dst, std::move(data)});
+        });
+    }
 }
 
 sim::Task

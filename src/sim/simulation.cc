@@ -2,7 +2,7 @@
 
 namespace siprox::sim {
 
-Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+Simulation::Simulation(std::uint64_t seed) : seed_(seed), rng_(seed) {}
 
 Machine &
 Simulation::addMachine(std::string name, int cores, MachineConfig cfg)

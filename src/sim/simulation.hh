@@ -35,6 +35,9 @@ class Simulation
     /** Current simulated time. */
     SimTime now() const { return now_; }
 
+    /** The seed this simulation (and its RNG) was constructed with. */
+    std::uint64_t seed() const { return seed_; }
+
     /** Schedule @p fn at absolute time @p when (>= now). */
     EventHandle
     at(SimTime when, std::function<void()> fn)
@@ -92,6 +95,7 @@ class Simulation
     void rethrowIfFailed();
 
     SimTime now_ = 0;
+    std::uint64_t seed_ = 0;
     EventQueue events_;
     bool stopped_ = false;
     std::exception_ptr failure_;

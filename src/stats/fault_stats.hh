@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-link fault-injection counters. Every directed host pair the
+ * FaultInjector touches gets a row; benches and tests render them with
+ * the shared Table formatter, and the digest() string lets determinism
+ * tests assert byte-identical runs.
+ */
+
+#ifndef SIPROX_STATS_FAULT_STATS_HH
+#define SIPROX_STATS_FAULT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "stats/table.hh"
+
+namespace siprox::stats {
+
+/** Counters for one directed link (source host -> destination host). */
+struct LinkFaultCounters
+{
+    std::uint64_t offered = 0;        ///< deliveries consulted
+    std::uint64_t lost = 0;           ///< datagrams dropped by loss
+    std::uint64_t duplicated = 0;     ///< extra datagram copies injected
+    std::uint64_t reordered = 0;      ///< datagrams given reorder delay
+    std::uint64_t delayed = 0;        ///< extra-delay/jitter applications
+    std::uint64_t partitionDrops = 0; ///< dropped by an active partition
+    std::uint64_t partitionHeld = 0;  ///< TCP/SCTP held until heal
+    std::uint64_t connectsRefused = 0; ///< TCP SYNs refused by fault
+    std::uint64_t rstsInjected = 0;   ///< mid-stream RSTs injected
+    std::uint64_t stalledDrops = 0;   ///< segments blackholed by stall
+    std::uint64_t recoveries = 0;     ///< in-kernel loss recoveries
+};
+
+/**
+ * Table of per-link fault counters, keyed by (srcHost, dstHost).
+ * Ordered map so rendering and digests are deterministic.
+ */
+class FaultStats
+{
+  public:
+    using LinkKey = std::pair<std::uint32_t, std::uint32_t>;
+
+    /** Counters for @p src -> @p dst, created on first touch. */
+    LinkFaultCounters &link(std::uint32_t src, std::uint32_t dst);
+
+    /** Counters for @p src -> @p dst, or nullptr if never touched. */
+    const LinkFaultCounters *find(std::uint32_t src,
+                                  std::uint32_t dst) const;
+
+    /** Sum over all links. */
+    LinkFaultCounters total() const;
+
+    bool empty() const { return links_.empty(); }
+    std::size_t linkCount() const { return links_.size(); }
+
+    /** One row per link plus a total row. */
+    Table table() const;
+
+    /**
+     * Canonical text form of every counter on every link. Two runs of
+     * the same seeded scenario must produce byte-identical digests.
+     */
+    std::string digest() const;
+
+  private:
+    std::map<LinkKey, LinkFaultCounters> links_;
+};
+
+} // namespace siprox::stats
+
+#endif // SIPROX_STATS_FAULT_STATS_HH

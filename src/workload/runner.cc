@@ -82,6 +82,31 @@ runScenario(const Scenario &sc)
         client_hosts.push_back(&network.attach(m));
     }
 
+    // Scenario-level fault injection: translate machine indices into
+    // host ids now that every host is attached.
+    auto for_each_client = [&](int which, auto &&fn) {
+        for (int i = 0; i < sc.clientMachines; ++i) {
+            if (which < 0 || which == i)
+                fn(client_hosts[static_cast<std::size_t>(i)]->id());
+        }
+    };
+    for (const auto &lf : sc.linkFaults) {
+        for_each_client(lf.clientMachine, [&](std::uint32_t client) {
+            if (lf.toProxy)
+                network.faults().setLink(client, server_host.id(),
+                                         lf.imp);
+            if (lf.fromProxy)
+                network.faults().setLink(server_host.id(), client,
+                                         lf.imp);
+        });
+    }
+    for (const auto &pt : sc.partitions) {
+        for_each_client(pt.clientMachine, [&](std::uint32_t client) {
+            network.faults().addPartition(server_host.id(), client,
+                                          pt.start, pt.stop);
+        });
+    }
+
     Phases phases(2 * sc.clients, sc.clients);
     phases.window = sc.measureWindow;
     const int calls_per_client = sc.measureWindow > 0
@@ -189,6 +214,11 @@ runScenario(const Scenario &sc)
     result.inviteP99 = invite.percentile(0.99);
 
     result.counters = proxy.shared().counters;
+    result.net = network.stats();
+    result.faults = network.faults().stats();
+    result.txnEntriesAtEnd = proxy.shared().txns.size();
+    result.retransEntriesAtEnd = proxy.shared().retrans.size();
+    result.connEntriesAtEnd = proxy.shared().conns.size();
     result.serverProfile = server_machine.profiler();
     if (result.duration > 0) {
         double capacity = sim::toSecs(result.duration)
@@ -214,6 +244,65 @@ runScenario(const Scenario &sc)
 
     proxy.requestStop();
     return result;
+}
+
+std::string
+RunResult::digest() const
+{
+    std::string out;
+    auto add = [&out](const char *name, std::uint64_t v) {
+        out += name;
+        out += '=';
+        out += std::to_string(v);
+        out += '\n';
+    };
+    add("ops", ops);
+    add("callsCompleted", callsCompleted);
+    add("callsFailed", callsFailed);
+    add("phoneRetransmissions", phoneRetransmissions);
+    add("reconnects", reconnects);
+    add("reconnectFailures", reconnectFailures);
+    add("duration", static_cast<std::uint64_t>(duration));
+    add("inviteP50", static_cast<std::uint64_t>(inviteP50));
+    add("inviteP99", static_cast<std::uint64_t>(inviteP99));
+    add("timedOut", timedOut ? 1 : 0);
+    add("messagesIn", counters.messagesIn);
+    add("requestsIn", counters.requestsIn);
+    add("responsesIn", counters.responsesIn);
+    add("forwards", counters.forwards);
+    add("localReplies", counters.localReplies);
+    add("parseErrors", counters.parseErrors);
+    add("routeFailures", counters.routeFailures);
+    add("retransAbsorbed", counters.retransAbsorbed);
+    add("retransSent", counters.retransSent);
+    add("retransTimeouts", counters.retransTimeouts);
+    add("timerB408s", counters.timerB408s);
+    add("registrations", counters.registrations);
+    add("connsAccepted", counters.connsAccepted);
+    add("connsDestroyed", counters.connsDestroyed);
+    add("outboundConnects", counters.outboundConnects);
+    add("udpSent", net.udpSent);
+    add("udpDelivered", net.udpDelivered);
+    add("udpLost", net.udpLost);
+    add("udpDropped", net.udpDropped);
+    add("tcpConnects", net.tcpConnects);
+    add("tcpRefused", net.tcpRefused);
+    add("tcpSegments", net.tcpSegments);
+    add("tcpBytes", net.tcpBytes);
+    add("sctpMessages", net.sctpMessages);
+    add("sctpAssocs", net.sctpAssocs);
+    add("faultDropped", net.faultDropped);
+    add("faultDuplicated", net.faultDuplicated);
+    add("faultDelayed", net.faultDelayed);
+    add("tcpFaultRefused", net.tcpFaultRefused);
+    add("tcpRstInjected", net.tcpRstInjected);
+    add("tcpBlackholed", net.tcpBlackholed);
+    add("tcpRecoveries", net.tcpRecoveries);
+    add("txnEntriesAtEnd", txnEntriesAtEnd);
+    add("retransEntriesAtEnd", retransEntriesAtEnd);
+    add("connEntriesAtEnd", connEntriesAtEnd);
+    out += faults.digest();
+    return out;
 }
 
 Scenario

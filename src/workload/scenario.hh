@@ -17,10 +17,34 @@
 #include "core/config.hh"
 #include "core/shared.hh"
 #include "net/config.hh"
+#include "net/network.hh"
 #include "sim/profiler.hh"
 #include "sim/time.hh"
+#include "stats/fault_stats.hh"
 
 namespace siprox::workload {
+
+/**
+ * Impairment applied between one client machine (or all of them) and
+ * the proxy, in the chosen direction(s).
+ */
+struct LinkFault
+{
+    /** Client machine index, or -1 for every client machine. */
+    int clientMachine = -1;
+    bool toProxy = true;   ///< impair client -> proxy
+    bool fromProxy = true; ///< impair proxy -> client
+    net::Impairment imp;
+};
+
+/** Hard two-way outage between one client machine and the proxy. */
+struct Partition
+{
+    /** Client machine index, or -1 for every client machine. */
+    int clientMachine = -1;
+    sim::SimTime start = 0;
+    sim::SimTime stop = sim::kTimeNever;
+};
 
 /** One benchmark configuration. */
 struct Scenario
@@ -54,6 +78,11 @@ struct Scenario
     /** Extra simulated time after the last call before counters are
      *  sampled (lets idle-connection machinery drain). */
     sim::SimTime settleTime = 0;
+    /** Link-level impairments between clients and the proxy. */
+    std::vector<LinkFault> linkFaults;
+    /** Scheduled client <-> proxy partitions (e.g. "partition client
+     *  machine 2 from the proxy between t=10s and t=15s"). */
+    std::vector<Partition> partitions;
 };
 
 /** Measured outcome of one scenario run. */
@@ -72,10 +101,25 @@ struct RunResult
     sim::SimTime inviteP50 = 0;
     sim::SimTime inviteP99 = 0;
     core::ProxyCounters counters;
+    /** Network-level traffic counters. */
+    net::NetStats net;
+    /** Per-link injected-fault counters. */
+    stats::FaultStats faults;
+    /** Shared-table occupancy when the run ended (leak checks). */
+    std::size_t txnEntriesAtEnd = 0;
+    std::size_t retransEntriesAtEnd = 0;
+    std::size_t connEntriesAtEnd = 0;
     /** Server CPU profile over the measured phase. */
     sim::Profiler serverProfile;
     /** True if the safety cap cut the run short. */
     bool timedOut = false;
+
+    /**
+     * Canonical text rendering of every deterministic counter in this
+     * result. Two runs of the same scenario with the same seed must
+     * produce byte-identical digests; different seeds should not.
+     */
+    std::string digest() const;
 };
 
 /** Build, run, and tear down one scenario. */
