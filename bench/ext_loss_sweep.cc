@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "fig_common.hh"
+#include "sweep_common.hh"
 
 int
 main()
@@ -25,10 +25,8 @@ main()
     double clean_ops = 0;
     for (double loss : rates) {
         workload::Scenario sc =
-            workload::paperScenario(core::Transport::Udp, 100, 0);
+            bench::sweepScenario(core::Transport::Udp, 100, 0);
         sc.name = "udp-loss-" + stats::Table::pct(loss, 0);
-        sc.measureWindow =
-            bench::windowFor(core::Transport::Udp, 0);
         // Retransmission needs headroom: the default 4s give-up is
         // tight at 10% loss once T1 doubling kicks in.
         sc.phoneResponseTimeout = sim::secs(10);
@@ -40,10 +38,7 @@ main()
         auto r = workload::runScenario(sc);
         if (loss == 0.0)
             clean_ops = r.opsPerSec;
-        std::fprintf(stderr, "  [%s] %.0f ops/s, %llu lost\n",
-                     sc.name.c_str(), r.opsPerSec,
-                     static_cast<unsigned long long>(
-                         r.faults.total().lost));
+        bench::logPoint(sc, r);
         table.addRow({stats::Table::pct(loss, 0),
                       stats::Table::num(r.opsPerSec),
                       clean_ops > 0

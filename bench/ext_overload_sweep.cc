@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Extension: overload control and graceful degradation. The paper
+ * measures each transport up to its saturation point; this sweep
+ * pushes past it with a client ladder and a tight caller give-up
+ * deadline, then compares beyond-saturation *goodput* (completed
+ * calls/s) under the three admission policies:
+ *
+ *  - none:             accept everything — the congestion-collapse
+ *                      baseline (retransmissions and retries amplify
+ *                      offered load exactly when capacity runs out)
+ *  - threshold-reject: 503 + Retry-After above a high watermark with
+ *                      hysteresis; TCP additionally pauses accepts and
+ *                      reads so kernel flow control pushes back
+ *  - rate-throttle:    token-bucket admission tuned by AIMD feedback
+ *                      on serving latency
+ *
+ * The interesting comparison is each policy's goodput at the top of
+ * the ladder as a fraction of its own peak: a controlled proxy should
+ * hold near its peak while the uncontrolled one collapses.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sweep_common.hh"
+
+namespace {
+
+/**
+ * Scale the per-message SIP-processing costs so the client ladder
+ * crosses saturation at a simulable client count: ~750 calls/s on the
+ * default 4-core server instead of ~15k (which a closed-loop workload
+ * only saturates with tens of thousands of phones).
+ */
+void
+slowCosts(siprox::core::CostModel &c, double x)
+{
+    auto scale = [x](siprox::sim::SimTime &t) {
+        t = static_cast<siprox::sim::SimTime>(
+            static_cast<double>(t) * x);
+    };
+    scale(c.parse);
+    scale(c.route);
+    scale(c.serialize);
+    scale(c.txnCreate);
+    scale(c.txnLookup);
+    scale(c.txnUpdate);
+    scale(c.registrarLookup);
+    scale(c.registrarUpdate);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace siprox;
+
+    struct Series
+    {
+        const char *label;
+        core::OverloadPolicy policy;
+    };
+    const std::vector<Series> series = {
+        {"none", core::OverloadPolicy::None},
+        {"threshold-reject", core::OverloadPolicy::ThresholdReject},
+        {"rate-throttle", core::OverloadPolicy::RateThrottle},
+    };
+
+    std::vector<core::Transport> transports = {core::Transport::Udp,
+                                               core::Transport::Tcp};
+    // TCP needs a heavier top rung than UDP to collapse: reliable
+    // delivery avoids the retransmission amplification that sinks UDP,
+    // so only raw queueing delay can push callers past their deadline.
+    std::vector<int> ladder = {100, 400, 800, 1200, 2000};
+    double window_secs = bench::quickMode() ? 2.5 : 5;
+    if (bench::smokeMode()) {
+        // CI smoke: one over-saturation point, one transport.
+        transports = {core::Transport::Udp};
+        ladder = {400};
+        window_secs = 1;
+    }
+
+    struct Row
+    {
+        core::Transport transport;
+        const char *policy;
+        int clients;
+        workload::RunResult r;
+        double goodput = 0;
+    };
+    std::vector<Row> rows;
+
+    for (core::Transport t : transports) {
+        for (const Series &s : series) {
+            for (int clients : ladder) {
+                workload::Scenario sc =
+                    workload::paperScenario(t, clients, 0);
+                sc.name = std::string(core::transportName(t)) + "/"
+                    + s.label + "/" + std::to_string(clients) + "c";
+                sc.measureWindow = sim::secs(window_secs);
+                sc.maxDuration = sim::secs(60);
+                slowCosts(sc.proxy.costs, 40);
+                // Overload is only lethal when callers give up and
+                // retry: a tight deadline turns queueing delay into
+                // retransmission amplification, the collapse mechanism.
+                sc.phoneResponseTimeout = sim::msecs(1500);
+                sc.phoneRetryBackoffCap = sim::secs(2);
+                sc.sampleInterval = sim::msecs(200);
+                // Short linger so the transaction table reflects
+                // *outstanding* work, not absorbed history.
+                sc.proxy.txnLinger = sim::msecs(200);
+                auto &ov = sc.proxy.overload;
+                ov.policy = s.policy;
+                // Table occupancy is the primary admission signal: it
+                // bounds outstanding work instantly, where the latency
+                // EWMA lags by a full serving time (admitting a burst
+                // and then slamming shut).
+                // Healthy steady state keeps ~800 entries resident
+                // (lingering absorbers plus in-flight); 1400 puts the
+                // 0.85 watermark at ~+200 outstanding INVITEs of
+                // genuine backlog — well under the 500ms T1 onset.
+                ov.txnTableCapacity = 1400;
+                // The *signal* queue bound is far below the socket's
+                // real 4096 cap: at 40x costs a 4096-deep queue holds
+                // ~2.4s of work, so anything admitted from its tail is
+                // already past the caller's deadline. Normalizing the
+                // queue signal to 512 makes the controller shed (and
+                // panic-drop arrival bursts pre-parse) at ~0.3s of
+                // queued work, imposing the short queue the policy-less
+                // proxy lacks.
+                ov.recvQueueCapacity = 512;
+                // Narrow hysteresis band: long shed episodes reject
+                // whole cohorts of callers who then sit out seconds of
+                // backoff, idling the server. Short frequent episodes
+                // approximate proportional shedding.
+                ov.lowWatermark = 0.80;
+                // Latency thresholds as the safety net only.
+                ov.latencyHigh = sim::msecs(800);
+                ov.latencyLow = sim::msecs(400);
+                // Gentle AIMD around a 300ms serving-latency target:
+                // deep enough a pipeline to keep the server busy, well
+                // under the 1.5s deadline, and very small steps so the
+                // admitted rate hovers near capacity instead of
+                // sawtoothing below it (the panic valve catches any
+                // onset the slow decrease misses).
+                ov.initialRate = 500;
+                ov.latencyTarget = sim::msecs(300);
+                ov.decreaseFactor = 0.95;
+                ov.increasePerInterval = 25;
+                workload::RunResult r = workload::runScenario(sc);
+                double goodput = r.duration > 0
+                    ? static_cast<double>(r.callsCompleted)
+                        / sim::toSecs(r.duration)
+                    : 0;
+                bench::logPoint(sc, r);
+                rows.push_back(
+                    Row{t, s.label, clients, std::move(r), goodput});
+            }
+        }
+    }
+
+    stats::Table table({"transport", "policy", "clients", "goodput/s",
+                        "% of peak", "503s", "panic drops", "rq drops",
+                        "read pauses", "accepts refused", "msgs/op",
+                        "calls failed"});
+    for (core::Transport t : transports) {
+        for (const Series &s : series) {
+            double peak = 0;
+            for (const Row &row : rows) {
+                if (row.transport == t && row.policy == s.label)
+                    peak = std::max(peak, row.goodput);
+            }
+            for (const Row &row : rows) {
+                if (row.transport != t || row.policy != s.label)
+                    continue;
+                double msgs_per_op = row.r.ops > 0
+                    ? static_cast<double>(row.r.counters.messagesIn)
+                        / static_cast<double>(row.r.ops)
+                    : 0;
+                table.addRow(
+                    {core::transportName(t), s.label,
+                     std::to_string(row.clients),
+                     stats::Table::num(row.goodput),
+                     peak > 0 ? stats::Table::pct(row.goodput / peak)
+                              : "-",
+                     std::to_string(row.r.counters.overloadRejected
+                                    + row.r.counters.overloadThrottled),
+                     std::to_string(row.r.counters.overloadPanicDrops),
+                     std::to_string(row.r.proxyRecvQueueDrops),
+                     std::to_string(row.r.counters.tcpReadPauses),
+                     std::to_string(row.r.proxyAcceptRefused),
+                     stats::Table::num(msgs_per_op),
+                     std::to_string(row.r.callsFailed)});
+            }
+        }
+    }
+
+    std::printf("Beyond-saturation goodput by overload policy "
+                "(callers give up after 1.5s and retry)\n\n%s\n",
+                table.render().c_str());
+    return 0;
+}

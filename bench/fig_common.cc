@@ -1,5 +1,6 @@
 #include "fig_common.hh"
 
+#include <cstdio>
 #include <map>
 
 namespace siprox::bench {
@@ -60,18 +61,14 @@ runFigure(const std::string &title, const std::vector<Cell> &grid,
             bool is_udp = cell.transport == core::Transport::Udp;
             if ((pass == 0) != is_udp)
                 continue;
-            workload::Scenario sc = workload::paperScenario(
+            workload::Scenario sc = sweepScenario(
                 cell.transport, cell.clients, cell.opsPerConn);
-            sc.measureWindow =
-                windowFor(cell.transport, cell.opsPerConn);
             tweak(sc);
             workload::RunResult r = workload::runScenario(sc);
             if (is_udp)
                 udp_measured[cell.clients] = r.opsPerSec;
+            logPoint(sc, r);
             rows.push_back(Row{&cell, std::move(r)});
-            std::fprintf(stderr, "  [%s %d clients] %.0f ops/s\n",
-                         cell.series, cell.clients, rows.back().result
-                             .opsPerSec);
         }
     }
 

@@ -3,48 +3,19 @@
  * Shared harness for the figure-regeneration benches: runs the paper's
  * workload grid and prints measured ops/s next to the paper's reported
  * bar values, plus the TCP/UDP ratios the paper's claims are framed in.
- *
- * Set SIPROX_BENCH_QUICK=1 to shrink measurement windows ~4x for smoke
- * runs (shapes hold, absolute steady-state values shift slightly).
+ * Run modes and window sizing live in sweep_common.hh.
  */
 
 #ifndef SIPROX_BENCH_FIG_COMMON_HH
 #define SIPROX_BENCH_FIG_COMMON_HH
 
-#include <cstdio>
-#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
-#include "stats/table.hh"
-#include "workload/scenario.hh"
+#include "sweep_common.hh"
 
 namespace siprox::bench {
-
-inline bool
-quickMode()
-{
-    const char *env = std::getenv("SIPROX_BENCH_QUICK");
-    return env && env[0] == '1';
-}
-
-/** Measurement window per workload, sized so the idle-connection
- *  machinery reaches steady state where it matters. */
-inline sim::SimTime
-windowFor(core::Transport transport, int ops_per_conn)
-{
-    double seconds;
-    if (transport != core::Transport::Tcp)
-        seconds = 6;
-    else if (ops_per_conn == 0)
-        seconds = 8;
-    else
-        seconds = 15;
-    if (quickMode())
-        seconds /= 4;
-    return sim::secs(seconds);
-}
 
 /** One cell of a figure grid. */
 struct Cell

@@ -41,6 +41,84 @@ enum class IdleStrategy
     PriorityQueue,
 };
 
+/** Overload-control policy (beyond-saturation behaviour). */
+enum class OverloadPolicy
+{
+    /** Accept everything; the congestion-collapse baseline. */
+    None,
+    /** Reject new work with 503 + Retry-After above a high watermark,
+     *  re-admit below a low watermark (hysteresis). */
+    ThresholdReject,
+    /** Token-bucket admission whose rate is tuned by a feedback loop
+     *  on measured serving latency (AIMD). */
+    RateThrottle,
+};
+
+const char *overloadPolicyName(OverloadPolicy p);
+
+/**
+ * Overload-control knobs. Admission signals are transaction-table
+ * occupancy, receive/request queue depth, and a serving-latency EWMA;
+ * shedding is transport-aware: datagram transports answer with a cheap
+ * stateless 503 (or silently drop past the panic threshold), TCP
+ * additionally pauses accepts and connection reads so kernel flow
+ * control pushes back on clients.
+ */
+struct OverloadConfig
+{
+    OverloadPolicy policy = OverloadPolicy::None;
+
+    // --- admission signals ---------------------------------------------
+    /** Transaction-table occupancy denominator (map entries; the table
+     *  holds two keys per record). */
+    std::size_t txnTableCapacity = 1 << 17;
+    /** Receive-queue occupancy denominator. Keep in sync with
+     *  net::NetConfig::udpRecvQueue for datagram transports. */
+    std::size_t recvQueueCapacity = 4096;
+    /** Serving-latency EWMA smoothing factor. */
+    double ewmaAlpha = 0.2;
+    /** With no served transactions for this long, the EWMA decays as
+     *  if a zero-latency sample arrived each period — otherwise one
+     *  Timer B expiry could freeze shedding on with nothing left to
+     *  serve that would bring the average back down. */
+    sim::SimTime ewmaIdleDecay = sim::msecs(100);
+
+    // --- ThresholdReject -----------------------------------------------
+    /** Start shedding when any occupancy signal reaches this. */
+    double highWatermark = 0.85;
+    /** Stop shedding when every occupancy signal falls back here. */
+    double lowWatermark = 0.50;
+    /** Latency bounds entering/leaving the shedding state. */
+    sim::SimTime latencyHigh = sim::msecs(60);
+    sim::SimTime latencyLow = sim::msecs(15);
+    /** Above this occupancy even 503 generation is too expensive:
+     *  datagram transports drop silently (stateless, pre-parse). */
+    double panicWatermark = 0.97;
+    /** Retry-After value carried in 503 rejections. */
+    int retryAfterSecs = 1;
+
+    // --- TCP backpressure ------------------------------------------------
+    /** While shedding, reads/accepts pause in slices this long, then
+     *  resume so the admission signals can decay (no livelock). */
+    sim::SimTime pauseSlice = sim::msecs(20);
+
+    // --- RateThrottle -----------------------------------------------------
+    /** Initial admitted-INVITE rate (per second). */
+    double initialRate = 20000;
+    double minRate = 200;
+    double maxRate = 1e6;
+    /** Token-bucket burst capacity. */
+    double burstTokens = 64;
+    /** Feedback-loop tick. */
+    sim::SimTime adjustInterval = sim::msecs(50);
+    /** Serving-latency target the loop steers toward. */
+    sim::SimTime latencyTarget = sim::msecs(15);
+    /** Multiplicative decrease when above target. */
+    double decreaseFactor = 0.85;
+    /** Additive increase (per tick) when below target. */
+    double increasePerInterval = 400;
+};
+
 /** Full proxy configuration. */
 struct ProxyConfig
 {
@@ -89,6 +167,9 @@ struct ProxyConfig
     sim::SimTime timerTick = sim::msecs(100);
     /** Completed transactions linger this long before cleanup. */
     sim::SimTime txnLinger = sim::secs(1);
+
+    /** Overload control (off by default: the collapse baseline). */
+    OverloadConfig overload;
 
     CostModel costs;
 };

@@ -83,6 +83,13 @@ Engine::handleMessage(sim::Process &p, std::string raw, MsgSource src,
                       std::vector<SendAction> &out)
 {
     ++shared_.counters.messagesIn;
+    // Panic shedding happens before the parse charge: past the panic
+    // watermark even 503 generation is unaffordable, so datagrams are
+    // dropped unread. Stream transports never drop (reads pause
+    // instead, so kernel flow control pushes back).
+    if (cfg_.transport != Transport::Tcp
+        && shared_.overload.panicDrop(p.sim().now()))
+        co_return;
     co_await p.cpu(scaled(cfg_.costs.parse), ccParse_);
     auto parsed = sip::parseMessage(raw);
     if (!parsed.ok) {
@@ -263,6 +270,32 @@ Engine::handleRequest(sim::Process &p, sip::SipMessage msg,
         shared_.txns.lock().release();
     }
 
+    // Admission control: only genuinely new INVITEs are sheddable.
+    // Retransmits were absorbed above, and in-dialog work (ACK, BYE)
+    // is always admitted — finishing admitted calls is what preserves
+    // goodput under overload.
+    if (is_invite && shared_.overload.enabled()) {
+        auto adm = shared_.overload.admitRequest(p.sim().now());
+        if (adm != OverloadController::Admission::Admit) {
+            if (adm == OverloadController::Admission::Reject) {
+                sip::SipMessage rsp = sip::buildResponse(
+                    msg, sip::status::kServiceUnavailable);
+                rsp.addHeader(
+                    "Retry-After",
+                    std::to_string(cfg_.overload.retryAfterSecs));
+                co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
+                SendAction action;
+                action.wire = rsp.serialize();
+                action.dstAddr = src.addr;
+                action.dstConnId = src.connId;
+                action.toUpstream = true;
+                out->push_back(std::move(action));
+                ++shared_.counters.localReplies;
+            }
+            co_return;
+        }
+    }
+
     // A stateful proxy takes responsibility with 100 Trying (§2 step 2).
     std::string trying_wire;
     if (stateful && is_invite) {
@@ -345,6 +378,7 @@ Engine::handleRequest(sim::Process &p, sip::SipMessage msg,
         record.method = msg.method();
         record.upstreamAddr = src.addr;
         record.upstreamConnId = src.connId;
+        record.createdAt = p.sim().now();
         // The TRYING absorbs caller-side INVITE retransmissions until
         // a downstream response replaces it.
         record.lastResponse = trying_wire;
@@ -412,7 +446,13 @@ Engine::handleTimeout(sim::Process &p, const RetransList::TimedOut &to,
     shared_.txns.scheduleExpiry(rec, p.sim().now() + cfg_.txnLinger);
     net::Addr dst = rec->upstreamAddr;
     std::uint64_t dst_conn = rec->upstreamConnId;
+    sim::SimTime created = rec->createdAt;
     shared_.txns.lock().release();
+
+    // A Timer B expiry is the strongest overload signal there is: the
+    // transaction took the full deadline.
+    shared_.overload.recordServed(p.sim().now(),
+                                  p.sim().now() - created);
 
     ++shared_.counters.timerB408s;
     ++shared_.counters.localReplies;
@@ -451,6 +491,7 @@ Engine::handleResponse(sim::Process &p, sip::SipMessage msg,
             dst = rec->upstreamAddr;
             dst_conn = rec->upstreamConnId;
             routed = true;
+            sim::SimTime created = rec->createdAt;
             bool just_completed = false;
             if (msg.isFinal()
                 && rec->state == TxnRecord::State::Proceeding) {
@@ -479,6 +520,9 @@ Engine::handleResponse(sim::Process &p, sip::SipMessage msg,
             action.toUpstream = true;
             out->push_back(std::move(action));
             ++shared_.counters.forwards;
+            if (just_completed)
+                shared_.overload.recordServed(
+                    p.sim().now(), p.sim().now() - created);
             co_return;
         }
         shared_.txns.lock().release();

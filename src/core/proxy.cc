@@ -15,6 +15,8 @@ Proxy::~Proxy() = default;
 void
 Proxy::start()
 {
+    shared_.overload.configure(cfg_.overload, &shared_.txns,
+                               &shared_.counters);
     switch (cfg_.transport) {
       case Transport::Udp:
       case Transport::Sctp:
@@ -28,6 +30,34 @@ Proxy::start()
         tcp_->start();
         break;
     }
+}
+
+std::size_t
+Proxy::requestQueueDepth() const
+{
+    if (tcp_)
+        return tcp_->requestQueueDepth();
+    return udp_ ? udp_->recvQueueDepth() : 0;
+}
+
+std::size_t
+Proxy::recvQueueDepth() const
+{
+    if (tcp_)
+        return tcp_->acceptBacklogDepth();
+    return udp_ ? udp_->recvQueueDepth() : 0;
+}
+
+std::uint64_t
+Proxy::recvQueueDrops() const
+{
+    return udp_ ? udp_->recvQueueDrops() : 0;
+}
+
+std::uint64_t
+Proxy::acceptRefused() const
+{
+    return tcp_ ? tcp_->acceptRefused() : 0;
 }
 
 void

@@ -52,6 +52,17 @@ class Proxy
     SharedState &shared() { return shared_; }
     const SharedState &shared() const { return shared_; }
 
+    // --- overload observability (sampled by the workload runner) -------
+    /** Worker request-queue depth: the TCP worker->supervisor channel;
+     *  for datagram transports the socket receive queue. */
+    std::size_t requestQueueDepth() const;
+    /** Datagram receive-queue depth, or the TCP accept backlog. */
+    std::size_t recvQueueDepth() const;
+    /** Messages the proxy's socket dropped to receive-queue overflow. */
+    std::uint64_t recvQueueDrops() const;
+    /** TCP connects refused because the accept queue was full. */
+    std::uint64_t acceptRefused() const;
+
   private:
     sim::Machine &machine_;
     net::Host &host_;

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "core/conn_table.hh"
+#include "core/overload.hh"
 #include "core/registrar.hh"
 #include "core/txn_table.hh"
 
@@ -44,6 +45,15 @@ struct ProxyCounters
     std::uint64_t idleScans = 0;
     std::uint64_t idleScanVisited = 0;
     std::uint64_t connsReturnedByWorkers = 0;
+    // --- overload control ---------------------------------------------
+    std::uint64_t overloadRejected = 0;  ///< 503s from ThresholdReject
+    std::uint64_t overloadThrottled = 0; ///< 503s from RateThrottle
+    std::uint64_t overloadPanicDrops = 0; ///< pre-parse silent drops
+    std::uint64_t overloadShedEnters = 0; ///< hysteresis transitions in
+    std::uint64_t overloadShedExits = 0;  ///< hysteresis transitions out
+    std::uint64_t tcpReadPauses = 0;  ///< read-pause slices started
+    std::uint64_t tcpReadResumes = 0; ///< read-pause slices expired
+    std::uint64_t tcpAcceptPauses = 0; ///< accept-drain pauses started
 };
 
 /** Everything in the proxy's shared memory. */
@@ -55,6 +65,7 @@ struct SharedState
     ConnTable conns;
     IdlePq supervisorPq;
     ProxyCounters counters;
+    OverloadController overload;
 };
 
 } // namespace siprox::core

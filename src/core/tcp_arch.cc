@@ -64,6 +64,18 @@ TcpArch::requestQueueDepth() const
     return reqChan_ ? reqChan_->size() : 0;
 }
 
+std::size_t
+TcpArch::acceptBacklogDepth() const
+{
+    return listener_ ? listener_->backlogDepth() : 0;
+}
+
+std::uint64_t
+TcpArch::acceptRefused() const
+{
+    return listener_ ? listener_->backlogRefused() : 0;
+}
+
 // ---------------------------------------------------------------------------
 // Worker side
 // ---------------------------------------------------------------------------
@@ -76,13 +88,20 @@ TcpArch::workerMain(sim::Process &p, int id)
     std::vector<sim::Pollable *> items;
     std::vector<std::uint64_t> item_conn;
     while (!stop_) {
+        shared_.overload.noteQueueDepth(requestQueueDepth());
+        // While shedding, connections leave the poll set entirely: the
+        // proxy stops reading, rxBufs fill, and kernel flow control
+        // pushes back on clients. The pause is a bounded slice; the
+        // dispatch channel stays pollable throughout.
+        const bool reads_paused =
+            shared_.overload.tcpReadsPaused(p.sim().now());
         // Rebuild the poll set with a rotating cursor for fairness.
         items.clear();
         item_conn.clear();
         items.push_back(&w.dispatch->readable());
         item_conn.push_back(0);
         const int n = static_cast<int>(w.ownedOrder.size());
-        for (int k = 0; k < n; ++k) {
+        for (int k = 0; !reads_paused && k < n; ++k) {
             std::uint64_t cid =
                 w.ownedOrder[static_cast<std::size_t>((w.rrCursor + k)
                                                       % n)];
@@ -93,6 +112,8 @@ TcpArch::workerMain(sim::Process &p, int id)
             item_conn.push_back(cid);
         }
         sim::SimTime timeout = w.nextScan - p.sim().now();
+        if (reads_paused && cfg_.overload.pauseSlice < timeout)
+            timeout = cfg_.overload.pauseSlice;
         if (timeout < 0)
             timeout = 0;
         int idx = -1;
@@ -486,10 +507,17 @@ TcpArch::supervisorMain(sim::Process &p)
     std::vector<sim::Pollable *> items;
     std::vector<int> item_worker;
     while (!stop_) {
+        // While shedding, the listener leaves the poll set and the
+        // accept drain below is skipped: the kernel accept queue fills
+        // and further SYNs are refused (backpressure at connect time).
+        const bool accepts_paused =
+            shared_.overload.acceptsPaused(p.sim().now());
         items.clear();
         item_worker.clear();
-        items.push_back(listener_);
-        item_worker.push_back(-1);
+        if (!accepts_paused) {
+            items.push_back(listener_);
+            item_worker.push_back(-1);
+        }
         items.push_back(&reqChan_->readable());
         item_worker.push_back(-1);
         if (cfg_.eventDrivenIpc) {
@@ -512,7 +540,8 @@ TcpArch::supervisorMain(sim::Process &p)
         // Drain accepts, but never past the timer tick: OpenSER's
         // tcp_main checks tcpconn_timeout every loop iteration.
         net::TcpConn conn;
-        while (p.sim().now() < next_scan && listener_->tryAccept(conn)) {
+        while (!accepts_paused && p.sim().now() < next_scan
+               && listener_->tryAccept(conn)) {
             co_await p.cpu(host_.net().config().tcpAcceptCost,
                            ccKernAccept_);
             co_await supervisorAccept(p, std::move(conn));

@@ -151,6 +151,12 @@ class TcpArch
     /** Depth of the worker->supervisor request queue (diagnostics). */
     std::size_t requestQueueDepth() const;
 
+    /** Depth of the listener's kernel accept queue (sampling). */
+    std::size_t acceptBacklogDepth() const;
+
+    /** SYNs the kernel refused because the accept queue was full. */
+    std::uint64_t acceptRefused() const;
+
   private:
     struct Worker
     {

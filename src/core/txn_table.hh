@@ -48,6 +48,9 @@ struct TxnRecord
     net::Addr upstreamAddr;
     std::uint64_t upstreamConnId = 0;
 
+    /** When the proxy created this record (serving-latency signal). */
+    SimTime createdAt = 0;
+
     /** Last response forwarded upstream; replayed to absorb request
      *  retransmissions (stateful behaviour). */
     std::string lastResponse;

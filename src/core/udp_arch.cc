@@ -33,6 +33,22 @@ UdpArch::start()
                    [this](sim::Process &p) { return timerMain(p); });
 }
 
+std::size_t
+UdpArch::recvQueueDepth() const
+{
+    if (udpSock_)
+        return udpSock_->queueDepth();
+    return sctpSock_ ? sctpSock_->queueDepth() : 0;
+}
+
+std::uint64_t
+UdpArch::recvQueueDrops() const
+{
+    if (udpSock_)
+        return udpSock_->overflowDrops();
+    return sctpSock_ ? sctpSock_->overflowDrops() : 0;
+}
+
 sim::Task
 UdpArch::recvOne(sim::Process &p, net::Datagram &out)
 {
@@ -65,6 +81,9 @@ UdpArch::workerMain(sim::Process &p, int id)
                                 std::to_string(dgram.payload.size())
                                 + "B");
         }
+        // The depth left behind after this dequeue is the occupancy
+        // signal the admission decision inside handleMessage sees.
+        shared_.overload.noteQueueDepth(recvQueueDepth());
         actions.clear();
         co_await engine.handleMessage(p, std::move(dgram.payload),
                                       MsgSource{dgram.src, 0}, actions);

@@ -37,6 +37,12 @@ class UdpArch
     /** Ask all loops to exit at their next wakeup. */
     void requestStop() { stop_ = true; }
 
+    /** Depth of the shared socket receive queue (sampling). */
+    std::size_t recvQueueDepth() const;
+
+    /** Messages the proxy socket dropped to receive-queue overflow. */
+    std::uint64_t recvQueueDrops() const;
+
   private:
     sim::Task workerMain(sim::Process &p, int id);
     sim::Task timerMain(sim::Process &p);

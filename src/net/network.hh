@@ -44,6 +44,7 @@ struct NetStats
     std::uint64_t tcpBytes = 0;
     std::uint64_t sctpMessages = 0;
     std::uint64_t sctpAssocs = 0;
+    std::uint64_t sctpDropped = 0; ///< receive-buffer overflow
     // --- injected faults (aggregates; per-link detail in faults()) ----
     std::uint64_t faultDropped = 0;    ///< datagrams lost/partitioned
     std::uint64_t faultDuplicated = 0; ///< duplicate datagrams injected

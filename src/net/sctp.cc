@@ -110,6 +110,16 @@ SctpSocket::deliver(Datagram dgram)
     // Track the reverse-direction association (set up by the peer).
     assocs_[dgram.src].lastUse = host_.net().sim().now();
     scheduleSweep();
+    // The receive buffer is bounded like UDP's. Real SCTP would close
+    // the peer's rwnd instead; modeling that as a kernel-side discard
+    // keeps the socket unbuffered-growth-free and makes sustained
+    // overload visible, which is what matters here.
+    if (static_cast<int>(queue_.size())
+        >= host_.net().config().udpRecvQueue) {
+        ++host_.net().stats().sctpDropped;
+        ++overflowDrops_;
+        return;
+    }
     queue_.push_back(std::move(dgram));
     if (!waiters_.empty()) {
         sim::Process *w = waiters_.front();

@@ -54,6 +54,11 @@ class SctpSocket : public sim::Pollable
     /** Live associations on this socket. */
     std::size_t assocCount() const { return assocs_.size(); }
 
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /** Messages this socket discarded to receive-buffer overflow. */
+    std::uint64_t overflowDrops() const { return overflowDrops_; }
+
     bool pollReady() const override { return !queue_.empty(); }
 
   private:
@@ -76,6 +81,7 @@ class SctpSocket : public sim::Pollable
     std::deque<sim::Process *> waiters_;
     std::unordered_map<Addr, Assoc, AddrHash> assocs_;
     bool sweepScheduled_ = false;
+    std::uint64_t overflowDrops_ = 0;
 };
 
 } // namespace siprox::net

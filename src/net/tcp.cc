@@ -385,12 +385,15 @@ Host::tcpConnect(sim::Process &p, Addr remote, TcpConn &out,
                                        ep->local_.host, remote.host);
         if (fault_refuse)
             ++net->stats().tcpFaultRefused;
-        bool refuse = fault_refuse || !listener
-            || static_cast<int>(listener->acceptQ_.size())
-                >= c.acceptBacklog
+        bool backlog_full = listener
+            && static_cast<int>(listener->acceptQ_.size())
+                >= c.acceptBacklog;
+        bool refuse = fault_refuse || !listener || backlog_full
             || dst->openSockets_ >= c.maxSocketsPerHost;
         if (refuse) {
             ++net->stats().tcpRefused;
+            if (backlog_full)
+                ++listener->backlogRefused_;
             net->sim().after(c.latency, [ep] {
                 if (ep->closed_ || ep->state_ != TcpState::SynSent)
                     return;

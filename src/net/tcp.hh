@@ -246,6 +246,9 @@ class TcpListener : public sim::Pollable
 
     std::size_t backlogDepth() const { return acceptQ_.size(); }
 
+    /** SYNs refused because this listener's accept queue was full. */
+    std::uint64_t backlogRefused() const { return backlogRefused_; }
+
     bool pollReady() const override { return !acceptQ_.empty(); }
 
   private:
@@ -256,6 +259,7 @@ class TcpListener : public sim::Pollable
     std::uint16_t port_;
     std::deque<std::shared_ptr<TcpEndpoint>> acceptQ_;
     std::deque<sim::Process *> waiters_;
+    std::uint64_t backlogRefused_ = 0;
 };
 
 } // namespace siprox::net

@@ -96,6 +96,7 @@ UdpSocket::deliver(Datagram dgram)
     Network &net = host_.net();
     if (static_cast<int>(queue_.size()) >= net.config().udpRecvQueue) {
         ++net.stats().udpDropped;
+        ++overflowDrops_;
         return;
     }
     ++net.stats().udpDelivered;

@@ -53,6 +53,9 @@ class UdpSocket : public sim::Pollable
 
     std::size_t queueDepth() const { return queue_.size(); }
 
+    /** Datagrams this socket dropped to receive-queue overflow. */
+    std::uint64_t overflowDrops() const { return overflowDrops_; }
+
     bool pollReady() const override { return !queue_.empty(); }
 
   private:
@@ -66,6 +69,7 @@ class UdpSocket : public sim::Pollable
     std::uint16_t port_;
     std::deque<Datagram> queue_;
     std::deque<sim::Process *> waiters_;
+    std::uint64_t overflowDrops_ = 0;
 };
 
 } // namespace siprox::net

@@ -1,6 +1,7 @@
 #include "phone/phone.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "net/error.hh"
 #include "sim/pollable.hh"
@@ -417,6 +418,18 @@ viaAddr(const sip::SipMessage &msg)
     return sip::addrFromUri(uri).value_or(net::Addr{});
 }
 
+/** Seconds a 503's Retry-After asks us to wait (RFC 3261 §21.5.4);
+ *  defaults to 1 s when the header is missing or unparsable. */
+sim::SimTime
+retryAfterOf(const sip::SipMessage &rsp)
+{
+    auto h = rsp.header("Retry-After");
+    if (!h)
+        return sim::secs(1);
+    int s = std::atoi(std::string(*h).c_str());
+    return s > 0 ? sim::secs(s) : sim::secs(1);
+}
+
 /** Pull the nonce value out of a WWW-Authenticate header. */
 std::string
 nonceFrom(const sip::SipMessage &rsp)
@@ -516,6 +529,13 @@ Phone::placeCall(sim::Process &p, const std::string &callee_user,
         spec.branch = branches_.next();
         co_await transact(p, spec, &final_rsp, &invite);
     }
+    if (final_rsp
+        && final_rsp->statusCode() == sip::status::kServiceUnavailable) {
+        // Overload rejection: note the requested backoff; callerMain
+        // sleeps it off between calls instead of hammering the proxy.
+        ++stats_.rejected503;
+        pendingBackoff_ = retryAfterOf(*final_rsp);
+    }
     if (!final_rsp || !final_rsp->isSuccess())
         co_return;
 
@@ -543,6 +563,11 @@ Phone::placeCall(sim::Process &p, const std::string &callee_user,
     std::optional<sip::SipMessage> bye_rsp;
     sip::SipMessage bye;
     co_await transact(p, std::move(bye_spec), &bye_rsp, &bye);
+    if (bye_rsp
+        && bye_rsp->statusCode() == sip::status::kServiceUnavailable) {
+        ++stats_.rejected503;
+        pendingBackoff_ = retryAfterOf(*bye_rsp);
+    }
     if (!bye_rsp || !bye_rsp->isSuccess())
         co_return;
     stats_.byeLatency.record(p.sim().now() - t1);
@@ -567,10 +592,28 @@ Phone::callerMain(sim::Process &p, int calls, std::string callee_user,
         for (int i = 0; i < calls && !(stop && *stop); ++i) {
             bool call_ok = false;
             co_await placeCall(p, callee_user, i, &call_ok);
-            if (call_ok)
+            if (call_ok) {
                 ++stats_.callsCompleted;
-            else
+                consecutive503_ = 0;
+            } else {
                 ++stats_.callsFailed;
+            }
+            if (pendingBackoff_ > 0) {
+                // Honor 503 Retry-After with capped exponential
+                // backoff: each consecutive rejection doubles the wait.
+                sim::SimTime wait = pendingBackoff_
+                    << std::min(consecutive503_, 20);
+                wait = std::min(wait, cfg_.retryBackoffCap);
+                // Jitter to +/-50% so simultaneously rejected callers
+                // do not return as a synchronized thundering herd.
+                wait = static_cast<sim::SimTime>(
+                    static_cast<double>(wait)
+                    * (0.5 + p.sim().rng().uniform()));
+                pendingBackoff_ = 0;
+                ++consecutive503_;
+                ++stats_.backoffs;
+                co_await p.sleepFor(wait);
+            }
             co_await maybeCycle(p);
         }
     }

@@ -49,6 +49,8 @@ struct PhoneConfig
     sim::SimTime responseTimeout = sim::secs(4);
     /** Per-message processing cost charged on the client machine. */
     sim::SimTime processCost = sim::usecs(3);
+    /** Cap on the exponential backoff honoring 503 Retry-After. */
+    sim::SimTime retryBackoffCap = sim::secs(8);
 };
 
 /** Outcome counters for one phone. */
@@ -64,6 +66,8 @@ struct PhoneStats
     std::uint64_t registers = 0;
     std::uint64_t authChallengesSeen = 0;
     std::uint64_t redirectsFollowed = 0;
+    std::uint64_t rejected503 = 0; ///< calls refused with 503
+    std::uint64_t backoffs = 0;    ///< Retry-After sleeps taken
     sim::SimTime firstOpDone = -1;
     sim::SimTime lastOpDone = 0;
     stats::LatencyHistogram inviteLatency;
@@ -158,6 +162,9 @@ class Phone
     sip::BranchGenerator branches_;
     std::uint32_t cseq_ = 0;
     int opsSinceConnect_ = 0;
+    /** 503 Retry-After backoff: pending sleep and rejection streak. */
+    sim::SimTime pendingBackoff_ = 0;
+    int consecutive503_ = 0;
     /** Nonce from the proxy's last 401 challenge (digest auth). */
     std::string authNonce_;
     /** Where requests go: invalid means "the proxy"; a redirect (302)

@@ -60,6 +60,24 @@ managerMain(sim::Process &p, Phases *phases, sim::Machine *server,
     phases->finished = true;
 }
 
+/**
+ * Occupancy sampler: records the proxy's transaction-table size and
+ * queue depths at a fixed period over the measured phase, giving the
+ * overload benches an onset time series.
+ */
+sim::Task
+samplerMain(sim::Process &p, Phases *phases, core::Proxy *proxy,
+            sim::SimTime interval, std::vector<OccupancySample> *out)
+{
+    co_await phases->start.wait(p);
+    while (!phases->finished) {
+        out->push_back({p.sim().now(), proxy->shared().txns.size(),
+                        proxy->requestQueueDepth(),
+                        proxy->recvQueueDepth()});
+        co_await p.sleepFor(interval);
+    }
+}
+
 } // namespace
 
 RunResult
@@ -127,6 +145,7 @@ runScenario(const Scenario &sc)
             cfg.opsPerConn = sc.opsPerConn;
             cfg.answerDelay = sc.answerDelay;
             cfg.responseTimeout = sc.phoneResponseTimeout;
+            cfg.retryBackoffCap = sc.phoneRetryBackoffCap;
             return cfg;
         };
         callees.push_back(std::make_unique<phone::Phone>(
@@ -152,6 +171,15 @@ runScenario(const Scenario &sc)
             return managerMain(p, &phases, &server_machine,
                                client_machines);
         });
+
+    std::vector<OccupancySample> occupancy;
+    if (sc.sampleInterval > 0) {
+        client_machines[0]->spawn(
+            "sampler", 0, [&](sim::Process &p) {
+                return samplerMain(p, &phases, &proxy,
+                                   sc.sampleInterval, &occupancy);
+            });
+    }
 
     // Registration phase has no explicit cap; the measured phase is
     // capped at maxDuration past its start.
@@ -198,6 +226,8 @@ runScenario(const Scenario &sc)
         result.phoneRetransmissions += st.retransmissions;
         result.reconnects += st.reconnects;
         result.reconnectFailures += st.reconnectFailures;
+        result.phoneRejected503 += st.rejected503;
+        result.phoneBackoffs += st.backoffs;
     }
     if (result.timedOut)
         result.duration = last_op - phases.measureStart;
@@ -219,6 +249,9 @@ runScenario(const Scenario &sc)
     result.txnEntriesAtEnd = proxy.shared().txns.size();
     result.retransEntriesAtEnd = proxy.shared().retrans.size();
     result.connEntriesAtEnd = proxy.shared().conns.size();
+    result.proxyRecvQueueDrops = proxy.recvQueueDrops();
+    result.proxyAcceptRefused = proxy.acceptRefused();
+    result.occupancy = std::move(occupancy);
     result.serverProfile = server_machine.profiler();
     if (result.duration > 0) {
         double capacity = sim::toSecs(result.duration)
@@ -281,6 +314,19 @@ RunResult::digest() const
     add("connsAccepted", counters.connsAccepted);
     add("connsDestroyed", counters.connsDestroyed);
     add("outboundConnects", counters.outboundConnects);
+    add("overloadRejected", counters.overloadRejected);
+    add("overloadThrottled", counters.overloadThrottled);
+    add("overloadPanicDrops", counters.overloadPanicDrops);
+    add("overloadShedEnters", counters.overloadShedEnters);
+    add("overloadShedExits", counters.overloadShedExits);
+    add("tcpReadPauses", counters.tcpReadPauses);
+    add("tcpReadResumes", counters.tcpReadResumes);
+    add("tcpAcceptPauses", counters.tcpAcceptPauses);
+    add("phoneRejected503", phoneRejected503);
+    add("phoneBackoffs", phoneBackoffs);
+    add("proxyRecvQueueDrops", proxyRecvQueueDrops);
+    add("proxyAcceptRefused", proxyAcceptRefused);
+    add("occupancySamples", occupancy.size());
     add("udpSent", net.udpSent);
     add("udpDelivered", net.udpDelivered);
     add("udpLost", net.udpLost);
@@ -290,6 +336,7 @@ RunResult::digest() const
     add("tcpSegments", net.tcpSegments);
     add("tcpBytes", net.tcpBytes);
     add("sctpMessages", net.sctpMessages);
+    add("sctpDropped", net.sctpDropped);
     add("sctpAssocs", net.sctpAssocs);
     add("faultDropped", net.faultDropped);
     add("faultDuplicated", net.faultDuplicated);

@@ -75,6 +75,11 @@ struct Scenario
     sim::SimTime answerDelay = 0;
     /** Phone-side give-up deadline per transaction. */
     sim::SimTime phoneResponseTimeout = sim::secs(4);
+    /** Phone-side cap on the 503 Retry-After exponential backoff. */
+    sim::SimTime phoneRetryBackoffCap = sim::secs(8);
+    /** If nonzero, sample proxy queue/table occupancy at this period
+     *  during the measured phase (RunResult::occupancy). */
+    sim::SimTime sampleInterval = 0;
     /** Extra simulated time after the last call before counters are
      *  sampled (lets idle-connection machinery drain). */
     sim::SimTime settleTime = 0;
@@ -83,6 +88,18 @@ struct Scenario
     /** Scheduled client <-> proxy partitions (e.g. "partition client
      *  machine 2 from the proxy between t=10s and t=15s"). */
     std::vector<Partition> partitions;
+};
+
+/** One proxy-occupancy sample (overload-onset time series). */
+struct OccupancySample
+{
+    sim::SimTime at = 0;
+    /** Transaction-table entries (two keys per record). */
+    std::size_t txnEntries = 0;
+    /** TCP worker->supervisor channel; datagram socket queue. */
+    std::size_t requestQueueDepth = 0;
+    /** Datagram receive queue; TCP kernel accept backlog. */
+    std::size_t recvQueueDepth = 0;
 };
 
 /** Measured outcome of one scenario run. */
@@ -95,6 +112,9 @@ struct RunResult
     std::uint64_t phoneRetransmissions = 0;
     std::uint64_t reconnects = 0;
     std::uint64_t reconnectFailures = 0;
+    /** 503 rejections seen by callers, and backoff sleeps taken. */
+    std::uint64_t phoneRejected503 = 0;
+    std::uint64_t phoneBackoffs = 0;
     sim::SimTime duration = 0;
     double serverUtilization = 0;
     double maxClientUtilization = 0;
@@ -109,6 +129,12 @@ struct RunResult
     std::size_t txnEntriesAtEnd = 0;
     std::size_t retransEntriesAtEnd = 0;
     std::size_t connEntriesAtEnd = 0;
+    /** Messages the proxy's own socket dropped to queue overflow. */
+    std::uint64_t proxyRecvQueueDrops = 0;
+    /** TCP connects the proxy's full accept queue refused. */
+    std::uint64_t proxyAcceptRefused = 0;
+    /** Occupancy time series (Scenario::sampleInterval > 0). */
+    std::vector<OccupancySample> occupancy;
     /** Server CPU profile over the measured phase. */
     sim::Profiler serverProfile;
     /** True if the safety cap cut the run short. */
