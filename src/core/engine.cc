@@ -1,5 +1,7 @@
 #include "core/engine.hh"
 
+#include <cstdio>
+
 #include "sip/timers.hh"
 
 namespace siprox::core {
@@ -25,10 +27,7 @@ uriFromNameAddr(std::string_view value)
 std::optional<net::Addr>
 addrFromVia(const sip::Via &via)
 {
-    sip::SipUri uri;
-    uri.host = via.host;
-    uri.port = via.effectivePort();
-    return sip::addrFromUri(uri);
+    return sip::addrFromHost(via.host, via.effectivePort());
 }
 
 } // namespace
@@ -50,6 +49,7 @@ transportName(Transport t)
 Engine::Engine(SharedState &shared, const ProxyConfig &cfg,
                net::Addr proxy_addr, int worker_id)
     : shared_(shared), cfg_(cfg), proxyAddr_(proxy_addr),
+      viaHost_("h" + std::to_string(proxy_addr.host)),
       branches_(0x5150 + static_cast<std::uint64_t>(worker_id)),
       ccParse_(sim::CostCenters::id("ser:parse_msg")),
       ccRoute_(sim::CostCenters::id("ser:route")),
@@ -91,7 +91,8 @@ Engine::handleMessage(sim::Process &p, std::string raw, MsgSource src,
         && shared_.overload.panicDrop(p.sim().now()))
         co_return;
     co_await p.cpu(scaled(cfg_.costs.parse), ccParse_);
-    auto parsed = sip::parseMessage(raw);
+    // Zero-copy: the datagram/frame buffer becomes the message arena.
+    auto parsed = sip::parseOwned(std::move(raw));
     if (!parsed.ok) {
         ++shared_.counters.parseErrors;
         co_return;
@@ -125,7 +126,7 @@ Engine::refreshAlias(sim::Process &p, const sip::SipMessage &msg,
 {
     if (src.connId == 0)
         co_return;
-    auto via = msg.topVia();
+    const auto &via = msg.topVia();
     if (!via)
         co_return;
     auto addr = addrFromVia(*via);
@@ -150,9 +151,13 @@ Engine::checkAuth(sim::Process &p, const sip::SipMessage &msg,
         co_await p.cpu(cfg_.costs.authChallenge, cc_auth);
         sip::SipMessage rsp =
             sip::buildResponse(msg, sip::status::kUnauthorized);
+        char challenge[64];
+        int clen = std::snprintf(challenge, sizeof(challenge),
+                                 "Digest realm=\"siprox\", nonce=\"n%llu\"",
+                                 static_cast<unsigned long long>(++nonce_));
         rsp.addHeader("WWW-Authenticate",
-                      "Digest realm=\"siprox\", nonce=\"n"
-                          + std::to_string(++nonce_) + "\"");
+                      std::string_view(challenge,
+                                       static_cast<std::size_t>(clen)));
         co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
         SendAction action;
         action.wire = rsp.serialize();
@@ -361,10 +366,10 @@ Engine::handleRequest(sim::Process &p, sip::SipMessage msg,
     std::string branch = branches_.next();
     sip::Via via;
     via.transport = viaTransport();
-    via.host = "h" + std::to_string(proxyAddr_.host);
+    via.host = viaHost_;
     via.port = proxyAddr_.port;
     via.branch = branch;
-    fwd.prependHeader("Via", via.toString());
+    fwd.prependVia(via);
     co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
     std::string wire = fwd.serialize();
 
@@ -428,7 +433,7 @@ Engine::handleTimeout(sim::Process &p, const RetransList::TimedOut &to,
         sip::buildResponse(parsed.message, sip::status::kRequestTimeout);
     // The top Via is the proxy's own branch; pop it as if the 408 had
     // arrived from downstream (§16.7).
-    rsp.removeFirstHeader("Via");
+    rsp.removeFirstHeader(sip::HeaderId::Via);
     co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
     std::string wire = rsp.serialize();
 
@@ -470,13 +475,13 @@ Engine::handleResponse(sim::Process &p, sip::SipMessage msg,
 {
     (void)src;
     // The top Via must be ours; pop it (§16.7).
-    auto top = msg.topVia();
-    if (!top || top->host != "h" + std::to_string(proxyAddr_.host)) {
+    const auto &top = msg.topVia();
+    if (!top || top->host != viaHost_) {
         ++shared_.counters.parseErrors;
         co_return;
     }
     auto key = sip::transactionKey(msg); // keyed by our branch
-    msg.removeFirstHeader("Via");
+    msg.removeFirstHeader(sip::HeaderId::Via);
 
     net::Addr dst{};
     std::uint64_t dst_conn = 0;

@@ -118,6 +118,8 @@ class Engine
     SharedState &shared_;
     const ProxyConfig &cfg_;
     net::Addr proxyAddr_;
+    /** Our Via host name ("h<id>"), built once instead of per message. */
+    std::string viaHost_;
     sip::BranchGenerator branches_;
     std::uint64_t nonce_ = 0;
 

@@ -1,0 +1,215 @@
+#include "core/overload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/shared.hh"
+
+namespace siprox::core {
+
+const char *
+overloadPolicyName(OverloadPolicy p)
+{
+    switch (p) {
+      case OverloadPolicy::None:
+        return "none";
+      case OverloadPolicy::ThresholdReject:
+        return "threshold-reject";
+      case OverloadPolicy::RateThrottle:
+        return "rate-throttle";
+    }
+    return "?";
+}
+
+void
+OverloadController::configure(const OverloadConfig &cfg,
+                              const TxnTable *txns,
+                              ProxyCounters *counters)
+{
+    cfg_ = cfg;
+    txns_ = txns;
+    counters_ = counters;
+    rate_ = cfg_.initialRate;
+    tokens_ = cfg_.burstTokens;
+}
+
+double
+OverloadController::occupancy() const
+{
+    double occ = 0;
+    if (txns_ && cfg_.txnTableCapacity > 0) {
+        occ = static_cast<double>(txns_->size())
+            / static_cast<double>(cfg_.txnTableCapacity);
+    }
+    if (cfg_.recvQueueCapacity > 0) {
+        occ = std::max(occ,
+                       static_cast<double>(queueDepth_)
+                           / static_cast<double>(
+                               cfg_.recvQueueCapacity));
+    }
+    return occ;
+}
+
+void
+OverloadController::recordServed(sim::SimTime now, sim::SimTime latency)
+{
+    ewma_ = static_cast<sim::SimTime>(
+        cfg_.ewmaAlpha * static_cast<double>(latency)
+        + (1.0 - cfg_.ewmaAlpha) * static_cast<double>(ewma_));
+    lastServed_ = now;
+    if (cfg_.policy == OverloadPolicy::RateThrottle)
+        refill(now);
+}
+
+void
+OverloadController::idleDecay(sim::SimTime now)
+{
+    if (ewma_ == 0 || lastServed_ == 0 || cfg_.ewmaIdleDecay <= 0)
+        return;
+    auto gap = now - lastServed_;
+    if (gap < cfg_.ewmaIdleDecay)
+        return;
+    auto periods = gap / cfg_.ewmaIdleDecay;
+    ewma_ = static_cast<sim::SimTime>(
+        static_cast<double>(ewma_)
+        * std::pow(1.0 - cfg_.ewmaAlpha,
+                   static_cast<double>(periods)));
+    lastServed_ += periods * cfg_.ewmaIdleDecay;
+}
+
+void
+OverloadController::updateShedding(sim::SimTime now)
+{
+    idleDecay(now);
+    double occ = occupancy();
+    if (!shedding_) {
+        if (occ >= cfg_.highWatermark || ewma_ >= cfg_.latencyHigh) {
+            shedding_ = true;
+            ++counters_->overloadShedEnters;
+        }
+    } else {
+        if (occ <= cfg_.lowWatermark && ewma_ <= cfg_.latencyLow) {
+            shedding_ = false;
+            ++counters_->overloadShedExits;
+        }
+    }
+}
+
+void
+OverloadController::refill(sim::SimTime now)
+{
+    if (lastRefill_ == 0 && nextAdjust_ == 0) {
+        lastRefill_ = now;
+        nextAdjust_ = now + cfg_.adjustInterval;
+        return;
+    }
+    tokens_ = std::min(cfg_.burstTokens,
+                       tokens_
+                           + rate_ * sim::toSecs(now - lastRefill_));
+    lastRefill_ = now;
+    idleDecay(now);
+    // AIMD on the serving-latency EWMA: multiplicative decrease above
+    // target, additive increase below.
+    while (nextAdjust_ <= now) {
+        if (ewma_ > cfg_.latencyTarget)
+            rate_ = std::max(cfg_.minRate, rate_ * cfg_.decreaseFactor);
+        else
+            rate_ = std::min(cfg_.maxRate,
+                             rate_ + cfg_.increasePerInterval);
+        nextAdjust_ += cfg_.adjustInterval;
+    }
+}
+
+bool
+OverloadController::panicDrop(sim::SimTime now)
+{
+    (void)now;
+    if (!enabled())
+        return false;
+    // Panic keys on the receive queue alone: it answers "can we even
+    // afford the parse", which is input-queue pressure. A full txn
+    // table is no reason to drop ACKs, BYEs, or responses — those
+    // *shrink* the table.
+    if (cfg_.recvQueueCapacity == 0
+        || static_cast<double>(queueDepth_)
+                / static_cast<double>(cfg_.recvQueueCapacity)
+            < cfg_.panicWatermark)
+        return false;
+    ++counters_->overloadPanicDrops;
+    return true;
+}
+
+OverloadController::Admission
+OverloadController::admitRequest(sim::SimTime now)
+{
+    switch (cfg_.policy) {
+      case OverloadPolicy::None:
+        return Admission::Admit;
+      case OverloadPolicy::ThresholdReject:
+        updateShedding(now);
+        if (!shedding_)
+            return Admission::Admit;
+        ++counters_->overloadRejected;
+        return Admission::Reject;
+      case OverloadPolicy::RateThrottle:
+        refill(now);
+        if (tokens_ >= 1.0) {
+            tokens_ -= 1.0;
+            return Admission::Admit;
+        }
+        ++counters_->overloadThrottled;
+        return Admission::Reject;
+    }
+    return Admission::Admit;
+}
+
+bool
+OverloadController::tcpReadsPaused(sim::SimTime now)
+{
+    if (cfg_.policy != OverloadPolicy::ThresholdReject)
+        return false;
+    if (paused_) {
+        if (now < pauseUntil_)
+            return true;
+        // Slice over: resume so at least one read pass runs and the
+        // signals can decay; re-evaluated on the next query.
+        paused_ = false;
+        ++counters_->tcpReadResumes;
+        return false;
+    }
+    // Reads pause on queue/table pressure only — never on the latency
+    // signal. Pausing reads stalls in-flight work (responses, ACKs,
+    // BYEs), which *raises* serving latency, so a latency-triggered
+    // pause would sustain itself; 503 admission handles that signal.
+    if (occupancy() < cfg_.highWatermark)
+        return false;
+    paused_ = true;
+    pauseUntil_ = now + cfg_.pauseSlice;
+    ++counters_->tcpReadPauses;
+    return true;
+}
+
+bool
+OverloadController::acceptsPaused(sim::SimTime now)
+{
+    switch (cfg_.policy) {
+      case OverloadPolicy::None:
+        return false;
+      case OverloadPolicy::ThresholdReject:
+        updateShedding(now);
+        break;
+      case OverloadPolicy::RateThrottle:
+        refill(now);
+        shedding_ = tokens_ < 1.0;
+        break;
+    }
+    if (shedding_ && !acceptPaused_) {
+        acceptPaused_ = true;
+        ++counters_->tcpAcceptPauses;
+    } else if (!shedding_) {
+        acceptPaused_ = false;
+    }
+    return shedding_;
+}
+
+} // namespace siprox::core

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Overload control for the proxy: admission decisions past saturation
+ * so the server sheds load deliberately instead of collapsing under
+ * retransmission amplification (Hong et al., Shen & Schulzrinne).
+ *
+ * One controller instance lives in the proxy's shared memory. It
+ * tracks three admission signals — transaction-table occupancy,
+ * receive/request queue depth, and a serving-latency EWMA — and drives
+ * the configured OverloadPolicy:
+ *
+ *  - None: every decision admits (the congestion-collapse baseline).
+ *  - ThresholdReject: hysteresis on the signals; while shedding, new
+ *    work (INVITEs) is answered with a stateless 503 + Retry-After.
+ *  - RateThrottle: a token bucket caps admitted INVITEs; its rate is
+ *    steered by an AIMD feedback loop on the serving-latency EWMA.
+ *
+ * Shedding is transport-aware. Datagram transports reject with a cheap
+ * 503 (or silently drop above the panic watermark, where even
+ * 503-generation cost is unaffordable). TCP additionally pauses
+ * accepts and connection reads in bounded slices so kernel flow
+ * control pushes back on clients; slices are bounded so the signals
+ * can decay and reads resume (no livelock).
+ *
+ * Every input is simulated state or simulated time, so runs stay
+ * deterministic and same-seed digests byte-identical.
+ */
+
+#ifndef SIPROX_CORE_OVERLOAD_HH
+#define SIPROX_CORE_OVERLOAD_HH
+
+#include <cstddef>
+
+#include "core/config.hh"
+#include "sim/time.hh"
+
+namespace siprox::core {
+
+struct ProxyCounters;
+class TxnTable;
+
+/**
+ * Per-proxy overload controller (shared by all workers).
+ */
+class OverloadController
+{
+  public:
+    /** Outcome of an admission decision for one new-work request. */
+    enum class Admission
+    {
+        Admit,
+        /** Answer with 503 + Retry-After (stateless, cheap). */
+        Reject,
+        /** Drop without replying (panic: pre-parse, datagram only). */
+        Drop,
+    };
+
+    /**
+     * Wire the controller to the proxy's shared state. Must be called
+     * before any admission query.
+     */
+    void configure(const OverloadConfig &cfg, const TxnTable *txns,
+                   ProxyCounters *counters);
+
+    bool enabled() const { return cfg_.policy != OverloadPolicy::None; }
+
+    /** Latest receive/request queue depth (sampled by the arch). */
+    void noteQueueDepth(std::size_t depth) { queueDepth_ = depth; }
+
+    /**
+     * Record one served transaction: @p latency spans INVITE parse to
+     * final-response forward, so it includes the backlog wait of the
+     * response leg on either transport. Feeds the EWMA and, for
+     * RateThrottle, the AIMD rate adjustment.
+     */
+    void recordServed(sim::SimTime now, sim::SimTime latency);
+
+    /**
+     * Decide whether even parsing is affordable. Checked before the
+     * parse charge; true means drop the datagram silently (counted).
+     * Never true for stream transports (they pause reads instead).
+     */
+    bool panicDrop(sim::SimTime now);
+
+    /**
+     * Admission decision for one new-work request (an INVITE). ACKs,
+     * BYEs, and REGISTERs of admitted work are never rejected — that
+     * is what preserves goodput: finish what you started.
+     */
+    Admission admitRequest(sim::SimTime now);
+
+    /**
+     * TCP: should this worker skip reading connections right now?
+     * Pauses on queue/table occupancy (never the latency signal —
+     * pausing reads stalls in-flight work, so a latency-triggered
+     * pause would sustain itself) in bounded slices (cfg.pauseSlice)
+     * with counted pause/resume transitions.
+     */
+    bool tcpReadsPaused(sim::SimTime now);
+
+    /** TCP: should the supervisor stop draining the accept queue? */
+    bool acceptsPaused(sim::SimTime now);
+
+    /** Currently shedding (ThresholdReject hysteresis state)? */
+    bool shedding() const { return shedding_; }
+
+    /** Serving-latency EWMA (diagnostics and tests). */
+    sim::SimTime latencyEwma() const { return ewma_; }
+
+    /** Current admitted rate (RateThrottle; diagnostics and tests). */
+    double currentRate() const { return rate_; }
+
+    const OverloadConfig &config() const { return cfg_; }
+
+  private:
+    /** Largest of the occupancy signals, in [0, 1+]. */
+    double occupancy() const;
+
+    /** Re-evaluate the hysteresis state from the current signals. */
+    void updateShedding(sim::SimTime now);
+
+    /** Decay the EWMA across service-free gaps (recovery guarantee). */
+    void idleDecay(sim::SimTime now);
+
+    /** Refill the token bucket and run due AIMD adjustments. */
+    void refill(sim::SimTime now);
+
+    OverloadConfig cfg_;
+    const TxnTable *txns_ = nullptr;
+    ProxyCounters *counters_ = nullptr;
+
+    std::size_t queueDepth_ = 0;
+    sim::SimTime ewma_ = 0;
+    sim::SimTime lastServed_ = 0;
+    bool shedding_ = false;
+
+    // RateThrottle state.
+    double rate_ = 0;
+    double tokens_ = 0;
+    sim::SimTime lastRefill_ = 0;
+    sim::SimTime nextAdjust_ = 0;
+
+    // TCP pause-slice state.
+    bool paused_ = false;
+    sim::SimTime pauseUntil_ = 0;
+    bool acceptPaused_ = false;
+};
+
+} // namespace siprox::core
+
+#endif // SIPROX_CORE_OVERLOAD_HH

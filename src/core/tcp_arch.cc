@@ -175,7 +175,7 @@ TcpArch::workerReadConn(sim::Process &p, Worker &w,
     auto fit = w.framers.find(conn_id);
     if (fit == w.framers.end())
         co_return;
-    fit->second.feed(bytes);
+    fit->second.feed(std::move(bytes));
     for (;;) {
         // Re-find the framer: handling a message can close conns.
         fit = w.framers.find(conn_id);

@@ -129,8 +129,15 @@ struct TcpOps
         const NetConfig &cfg = ep->host_.net().config();
         if (!ep->rxBuf_.empty()) {
             std::size_t n = std::min(max_bytes, ep->rxBuf_.size());
-            *out = ep->rxBuf_.substr(0, n);
-            ep->rxBuf_.erase(0, n);
+            if (n == ep->rxBuf_.size()) {
+                // Full drain (the common case): hand over the buffer
+                // instead of copying it.
+                *out = std::move(ep->rxBuf_);
+                ep->rxBuf_.clear();
+            } else {
+                out->assign(ep->rxBuf_, 0, n);
+                ep->rxBuf_.erase(0, n);
+            }
             co_await p.cpu(cfg.tcpRecvCost
                            + static_cast<SimTime>(n) * cfg.perByteCpu,
                            "kernel:tcp_recv");

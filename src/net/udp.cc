@@ -50,8 +50,12 @@ UdpSocket::sendTo(sim::Process &p, Addr dst, std::string payload)
     Network *netp = &net;
     Addr src = localAddr();
     for (int i = 0; i < copies; ++i) {
+        // Last (usually only) copy moves the payload instead of
+        // duplicating it.
+        std::string data =
+            (i + 1 == copies) ? std::move(payload) : payload;
         p.sim().after(net.wireDelay(bytes) + extra_delay,
-                      [netp, src, dst, data = payload]() mutable {
+                      [netp, src, dst, data = std::move(data)]() mutable {
             Host *target = netp->hostById(dst.host);
             if (!target)
                 return;

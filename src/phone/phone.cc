@@ -86,8 +86,9 @@ class Phone::Link
         sim::SimTime deadline = timeout == sim::kTimeNever
             ? sim::kTimeNever
             : p.sim().now() + timeout;
+        std::vector<sim::Pollable *> items;
         while (ready_.empty()) {
-            std::vector<sim::Pollable *> items;
+            items.clear();
             if (udp_) {
                 items.push_back(udp_);
             } else if (sctp_) {
@@ -222,7 +223,7 @@ class Phone::Link
             *alive = false; // EOF / reset
             co_return;
         }
-        flow.framer.feed(bytes);
+        flow.framer.feed(std::move(bytes));
         while (auto raw = flow.framer.next())
             ready_.push_back(std::move(*raw));
         *alive = !flow.framer.poisoned();
@@ -409,13 +410,11 @@ namespace {
 net::Addr
 viaAddr(const sip::SipMessage &msg)
 {
-    auto via = msg.topVia();
+    const auto &via = msg.topVia();
     if (!via)
         return {};
-    sip::SipUri uri;
-    uri.host = via->host;
-    uri.port = via->effectivePort();
-    return sip::addrFromUri(uri).value_or(net::Addr{});
+    return sip::addrFromHost(via->host, via->effectivePort())
+        .value_or(net::Addr{});
 }
 
 /** Seconds a 503's Retry-After asks us to wait (RFC 3261 §21.5.4);
@@ -676,7 +675,7 @@ Phone::calleeMain(sim::Process &p, int expected_calls,
             continue;
         }
         co_await p.cpu(cfg_.processCost, kPhoneCc);
-        auto parsed = sip::parseMessage(raw);
+        auto parsed = sip::parseOwned(std::move(raw));
         if (!parsed.ok) {
             ++stats_.strayMessages;
             continue;

@@ -1,24 +1,42 @@
 /**
  * @file
  * Cancellable discrete-event queue ordered by (time, insertion sequence).
+ *
+ * Hot-path design (see docs/performance.md): callables live in pooled
+ * slab slots with small-buffer storage, so steady-state scheduling does
+ * no heap allocation — no shared_ptr control block and no std::function
+ * type erasure. Handles address a slot by (index, generation); a slot's
+ * generation bumps on release, so stale handles are harmless, and an
+ * aliveness tag keeps cancel()/pending() safe even after the queue
+ * itself is destroyed. Ordering uses a two-tier 4-ary min-heap: the
+ * near tier holds events earlier than every deferred timer and stays
+ * small (cache-resident) under per-CPU-burst churn, while long SIP
+ * timers wait in the far tier and are touched only when due. Keys
+ * (time, seq) are unique, so pop order — and therefore every digest —
+ * is identical to a single heap's.
  */
 
 #ifndef SIPROX_SIM_EVENT_QUEUE_HH
 #define SIPROX_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hh"
 
 namespace siprox::sim {
 
+class EventQueue;
+
 /**
  * Handle to a scheduled event; allows cancellation. Cancelled events stay
- * in the heap but are skipped when popped.
+ * in the heap but are skipped when popped. Copies share the underlying
+ * event: cancelling through one copy is visible to the others.
  */
 class EventHandle
 {
@@ -26,35 +44,24 @@ class EventHandle
     EventHandle() = default;
 
     /** Cancel the event if it has not fired yet. */
-    void
-    cancel()
-    {
-        if (auto r = rec_.lock())
-            r->cancelled = true;
-        rec_.reset();
-    }
+    inline void cancel();
 
     /** True if the handle refers to a still-pending event. */
-    bool
-    pending() const
-    {
-        auto r = rec_.lock();
-        return r && !r->cancelled && !r->fired;
-    }
+    inline bool pending() const;
 
   private:
     friend class EventQueue;
 
-    struct Rec
+    EventHandle(std::weak_ptr<void> alive, EventQueue *q,
+                std::uint32_t slot, std::uint32_t gen)
+        : alive_(std::move(alive)), q_(q), slot_(slot), gen_(gen)
     {
-        std::function<void()> fn;
-        bool cancelled = false;
-        bool fired = false;
-    };
+    }
 
-    explicit EventHandle(std::weak_ptr<Rec> rec) : rec_(std::move(rec)) {}
-
-    std::weak_ptr<Rec> rec_;
+    std::weak_ptr<void> alive_;
+    EventQueue *q_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
 };
 
 /**
@@ -64,25 +71,75 @@ class EventHandle
 class EventQueue
 {
   public:
-    /** Schedule @p fn at absolute simulated time @p at. */
-    EventHandle
-    schedule(SimTime at, std::function<void()> fn)
+    /** Callables up to this size are stored inline in the slot. */
+    static constexpr std::size_t kInlineSize = 64;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue()
     {
-        auto rec = std::make_shared<EventHandle::Rec>();
-        rec->fn = std::move(fn);
-        heap_.push(Entry{at, nextSeq_++, rec});
-        return EventHandle(rec);
+        for (auto &slab : slabs_) {
+            for (std::size_t i = 0; i < kSlabSize; ++i) {
+                Slot &s = slab[i];
+                if (s.active)
+                    s.destroy(s);
+            }
+        }
     }
 
-    bool empty() const { return heap_.empty(); }
+    /** Schedule @p fn at absolute simulated time @p at. */
+    template <class F>
+    EventHandle
+    schedule(SimTime at, F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        std::uint32_t idx = acquireSlot();
+        Slot &s = slot(idx);
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(s.buf)) Fn(std::forward<F>(fn));
+            s.invoke = [](Slot &sl) { (*payload<Fn>(sl))(); };
+            s.destroy = [](Slot &sl) { payload<Fn>(sl)->~Fn(); };
+        } else {
+            Fn *p = new Fn(std::forward<F>(fn));
+            ::new (static_cast<void *>(s.buf)) Fn *(p);
+            s.invoke = [](Slot &sl) { (**payload<Fn *>(sl))(); };
+            s.destroy = [](Slot &sl) { delete *payload<Fn *>(sl); };
+        }
+        s.active = true;
+        s.cancelled = false;
+        Entry e{at, nextSeq_++, idx, s.gen};
+        // Two-tier heap: events earlier than every deferred timer go to
+        // the small near heap, which stays cache-resident under the
+        // per-CPU-burst churn; long timers sit in far and are only
+        // touched when they come due (see docs/performance.md).
+        if (!far_.empty() && e.at < far_.front().at)
+            heapPush(near_, e);
+        else
+            heapPush(far_, e);
+        return EventHandle(alive_, this, idx, s.gen);
+    }
 
-    std::size_t size() const { return heap_.size(); }
+    bool empty() const { return near_.empty() && far_.empty(); }
+
+    std::size_t size() const { return near_.size() + far_.size(); }
+
+    /** Events popped and run so far (wall-clock perf accounting). */
+    std::uint64_t popped() const { return popped_; }
 
     /** Time of the earliest pending event; kTimeNever if none. */
     SimTime
     nextTime() const
     {
-        return heap_.empty() ? kTimeNever : heap_.top().at;
+        if (near_.empty() && far_.empty())
+            return kTimeNever;
+        if (near_.empty())
+            return far_.front().at;
+        if (far_.empty())
+            return near_.front().at;
+        return near_.front().before(far_.front()) ? near_.front().at
+                                                  : far_.front().at;
     }
 
     /**
@@ -93,41 +150,214 @@ class EventQueue
     bool
     runNext(SimTime &now)
     {
-        while (!heap_.empty()) {
-            Entry e = heap_.top();
-            heap_.pop();
-            if (e.rec->cancelled)
+        while (!near_.empty() || !far_.empty()) {
+            Entry e = popMin();
+            Slot &s = slot(e.slot);
+            if (!s.active || s.gen != e.gen)
+                continue; // stale entry
+            if (s.cancelled) {
+                releaseSlot(e.slot);
                 continue;
+            }
             now = e.at;
-            e.rec->fired = true;
-            // Move the callback out so the record can be released even
-            // if the callback schedules more events.
-            auto fn = std::move(e.rec->fn);
-            fn();
+            ++popped_;
+            // The slot stays live (and unavailable for reuse) while the
+            // callback runs, so the callback may schedule more events;
+            // slab storage never moves, so &s stays valid.
+            s.invoke(s);
+            releaseSlot(e.slot);
             return true;
         }
         return false;
     }
 
   private:
+    friend class EventHandle;
+
+    static constexpr std::size_t kSlabSize = 256;
+
+    struct Slot
+    {
+        alignas(std::max_align_t) unsigned char buf[kInlineSize];
+        void (*invoke)(Slot &) = nullptr;
+        void (*destroy)(Slot &) = nullptr;
+        std::uint32_t gen = 0;
+        bool active = false;
+        bool cancelled = false;
+    };
+
     struct Entry
     {
         SimTime at;
         std::uint64_t seq;
-        std::shared_ptr<EventHandle::Rec> rec;
+        std::uint32_t slot;
+        std::uint32_t gen;
 
+        /** Strict ordering by (time, insertion seq); keys are unique,
+         *  so every correct heap pops in exactly the same order. */
         bool
-        operator>(const Entry &o) const
+        before(const Entry &o) const
         {
             if (at != o.at)
-                return at > o.at;
-            return seq > o.seq;
+                return at < o.at;
+            return seq < o.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    template <class Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineSize
+            && alignof(Fn) <= alignof(std::max_align_t)
+            && std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <class T>
+    static T *
+    payload(Slot &s)
+    {
+        return std::launder(reinterpret_cast<T *>(s.buf));
+    }
+
+    Slot &
+    slot(std::uint32_t idx)
+    {
+        return slabs_[idx / kSlabSize][idx % kSlabSize];
+    }
+
+    const Slot &
+    slot(std::uint32_t idx) const
+    {
+        return slabs_[idx / kSlabSize][idx % kSlabSize];
+    }
+
+    std::uint32_t
+    acquireSlot()
+    {
+        if (free_.empty()) {
+            auto base =
+                static_cast<std::uint32_t>(slabs_.size() * kSlabSize);
+            slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+            for (std::uint32_t i = 0; i < kSlabSize; ++i)
+                free_.push_back(base + kSlabSize - 1 - i);
+        }
+        std::uint32_t idx = free_.back();
+        free_.pop_back();
+        return idx;
+    }
+
+    void
+    releaseSlot(std::uint32_t idx)
+    {
+        Slot &s = slot(idx);
+        s.destroy(s);
+        s.invoke = nullptr;
+        s.destroy = nullptr;
+        s.active = false;
+        ++s.gen;
+        free_.push_back(idx);
+    }
+
+    void
+    cancelSlot(std::uint32_t idx, std::uint32_t gen)
+    {
+        Slot &s = slot(idx);
+        if (s.active && s.gen == gen)
+            s.cancelled = true;
+    }
+
+    bool
+    slotPending(std::uint32_t idx, std::uint32_t gen) const
+    {
+        const Slot &s = slot(idx);
+        return s.active && s.gen == gen && !s.cancelled;
+    }
+
+    // 4-ary min-heap: half the depth of a binary heap and children on
+    // one cache line, which matters at tens of millions of events/run.
+    static void
+    heapPush(std::vector<Entry> &heap, Entry e)
+    {
+        std::size_t i = heap.size();
+        heap.push_back(e);
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 4;
+            if (!heap[i].before(heap[parent]))
+                break;
+            std::swap(heap[i], heap[parent]);
+            i = parent;
+        }
+    }
+
+    static Entry
+    heapPop(std::vector<Entry> &heap)
+    {
+        Entry top = heap.front();
+        Entry last = heap.back();
+        heap.pop_back();
+        std::size_t n = heap.size();
+        if (n > 0) {
+            std::size_t i = 0;
+            for (;;) {
+                std::size_t first = i * 4 + 1;
+                if (first >= n)
+                    break;
+                std::size_t best = first;
+                std::size_t end = first + 4 < n ? first + 4 : n;
+                for (std::size_t c = first + 1; c < end; ++c) {
+                    if (heap[c].before(heap[best]))
+                        best = c;
+                }
+                if (!heap[best].before(last))
+                    break;
+                heap[i] = heap[best];
+                i = best;
+            }
+            heap[i] = last;
+        }
+        return top;
+    }
+
+    /** Pop the global minimum across both tiers (keys are unique, so
+     *  the result is identical to a single heap's pop order). */
+    Entry
+    popMin()
+    {
+        if (near_.empty())
+            return heapPop(far_);
+        if (far_.empty())
+            return heapPop(near_);
+        return near_.front().before(far_.front()) ? heapPop(near_)
+                                                  : heapPop(far_);
+    }
+
+    std::vector<Entry> near_;
+    std::vector<Entry> far_;
+    std::vector<std::unique_ptr<Slot[]>> slabs_;
+    std::vector<std::uint32_t> free_;
     std::uint64_t nextSeq_ = 0;
+    std::uint64_t popped_ = 0;
+    // Aliveness tag for handles that outlive the queue.
+    std::shared_ptr<void> alive_ = std::make_shared<char>('\0');
 };
+
+inline void
+EventHandle::cancel()
+{
+    if (alive_.lock())
+        q_->cancelSlot(slot_, gen_);
+    alive_.reset();
+    q_ = nullptr;
+}
+
+inline bool
+EventHandle::pending() const
+{
+    if (!alive_.lock())
+        return false;
+    return q_->slotPending(slot_, gen_);
+}
 
 } // namespace siprox::sim
 

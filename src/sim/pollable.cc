@@ -5,7 +5,7 @@
 namespace siprox::sim {
 
 Task
-poll(Process &self, std::vector<Pollable *> items, SimTime timeout,
+poll(Process &self, const std::vector<Pollable *> &items, SimTime timeout,
      int &ready_index)
 {
     Simulation &sim = self.sim();

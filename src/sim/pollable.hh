@@ -64,14 +64,16 @@ class Pollable
  * Wait until one of @p items is ready or @p timeout elapses.
  *
  * @param self The polling process.
- * @param items Objects to wait on (pointers must stay valid).
+ * @param items Objects to wait on (the vector and the pointers must
+ *        stay valid until the poll returns; passing by reference keeps
+ *        this hot call allocation-free).
  * @param timeout Relative timeout; kTimeNever blocks indefinitely; 0
  *        makes the poll non-blocking.
  * @param ready_index Receives the index of the first ready item, or -1
  *        on timeout.
  */
-Task poll(Process &self, std::vector<Pollable *> items, SimTime timeout,
-          int &ready_index);
+Task poll(Process &self, const std::vector<Pollable *> &items,
+          SimTime timeout, int &ready_index);
 
 } // namespace siprox::sim
 

@@ -1,6 +1,7 @@
 #include "sim/scheduler.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "sim/machine.hh"
@@ -82,11 +83,13 @@ CpuScheduler::enqueue(Process *p, bool front)
     p->state_ = Process::State::Ready;
     p->queued_ = true;
     p->queuedAt_ = machine_.sim().now();
-    auto &q = runq_[niceIndex(p->dynNice())];
+    int idx = niceIndex(p->dynNice());
+    auto &q = runq_[idx];
     if (front)
         q.push_front(p);
     else
         q.push_back(p);
+    runqMask_ |= std::uint64_t{1} << idx;
     ++runnable_;
     tryDispatch();
     if (p->queued_)
@@ -96,16 +99,17 @@ CpuScheduler::enqueue(Process *p, bool front)
 Process *
 CpuScheduler::popBest()
 {
-    for (auto &q : runq_) {
-        if (!q.empty()) {
-            Process *p = q.front();
-            q.pop_front();
-            p->queued_ = false;
-            --runnable_;
-            return p;
-        }
-    }
-    return nullptr;
+    if (runqMask_ == 0)
+        return nullptr;
+    int idx = std::countr_zero(runqMask_);
+    auto &q = runq_[idx];
+    Process *p = q.front();
+    q.pop_front();
+    if (q.empty())
+        runqMask_ &= ~(std::uint64_t{1} << idx);
+    p->queued_ = false;
+    --runnable_;
+    return p;
 }
 
 void
@@ -155,8 +159,11 @@ CpuScheduler::maybePreemptFor(Process *p)
     // Remove p from its queue and give it the core *before* requeueing
     // the victim, so the recursive dispatch inside enqueue() cannot
     // hand the freed core (or p itself) to someone else first.
-    auto &pq = runq_[niceIndex(p->dynNice())];
+    int pidx = niceIndex(p->dynNice());
+    auto &pq = runq_[pidx];
     pq.erase(std::find(pq.begin(), pq.end(), p));
+    if (pq.empty())
+        runqMask_ &= ~(std::uint64_t{1} << pidx);
     p->queued_ = false;
     --runnable_;
     dispatch(victim_idx, p);

@@ -105,6 +105,9 @@ class CpuScheduler
     SchedConfig cfg_;
     std::vector<Core> cores_;
     std::array<std::deque<Process *>, 40> runq_;
+    /** Bit i set iff runq_[i] is non-empty; popBest() is a find-first-
+     *  set instead of scanning 40 deques on every dispatch. */
+    std::uint64_t runqMask_ = 0;
     int runnable_ = 0;
     SimTime busyTime_ = 0;
     CostCenterId schedCenter_;

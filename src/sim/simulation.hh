@@ -35,21 +35,27 @@ class Simulation
     /** Current simulated time. */
     SimTime now() const { return now_; }
 
+    /** Events run so far (wall-clock perf accounting). */
+    std::uint64_t eventsRun() const { return events_.popped(); }
+
     /** The seed this simulation (and its RNG) was constructed with. */
     std::uint64_t seed() const { return seed_; }
 
     /** Schedule @p fn at absolute time @p when (>= now). */
+    template <class F>
     EventHandle
-    at(SimTime when, std::function<void()> fn)
+    at(SimTime when, F &&fn)
     {
-        return events_.schedule(when < now_ ? now_ : when, std::move(fn));
+        return events_.schedule(when < now_ ? now_ : when,
+                                std::forward<F>(fn));
     }
 
     /** Schedule @p fn after @p delay. */
+    template <class F>
     EventHandle
-    after(SimTime delay, std::function<void()> fn)
+    after(SimTime delay, F &&fn)
     {
-        return events_.schedule(now_ + delay, std::move(fn));
+        return events_.schedule(now_ + delay, std::forward<F>(fn));
     }
 
     /** Add a machine with @p cores CPU cores. */

@@ -18,12 +18,84 @@
 #ifndef SIPROX_SIM_TASK_HH
 #define SIPROX_SIM_TASK_HH
 
+#include <array>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <functional>
 #include <utility>
+#include <vector>
 
 namespace siprox::sim {
+
+namespace detail {
+
+/**
+ * Size-bucketed recycler for coroutine frames. Simulated processes
+ * create and destroy frames at very high rate (every cpu()/lock/recv
+ * subroutine is a coroutine); recycling them avoids a heap round trip
+ * per call. Blocks are returned to the heap when the thread exits.
+ */
+class FramePool
+{
+  public:
+    static void *
+    alloc(std::size_t n)
+    {
+        std::size_t b = bucket(n);
+        if (b >= kBuckets)
+            return ::operator new(n);
+        auto &fl = lists().buckets[b];
+        if (!fl.empty()) {
+            void *p = fl.back();
+            fl.pop_back();
+            return p;
+        }
+        return ::operator new((b + 1) * kGranule);
+    }
+
+    static void
+    free(void *p, std::size_t n)
+    {
+        std::size_t b = bucket(n);
+        if (b >= kBuckets) {
+            ::operator delete(p);
+            return;
+        }
+        lists().buckets[b].push_back(p);
+    }
+
+  private:
+    static constexpr std::size_t kGranule = 64;
+    static constexpr std::size_t kBuckets = 32; // frames up to 2 KiB
+
+    static std::size_t
+    bucket(std::size_t n)
+    {
+        return (n - 1) / kGranule;
+    }
+
+    struct Lists
+    {
+        std::array<std::vector<void *>, kBuckets> buckets;
+
+        ~Lists()
+        {
+            for (auto &fl : buckets)
+                for (void *p : fl)
+                    ::operator delete(p);
+        }
+    };
+
+    static Lists &
+    lists()
+    {
+        thread_local Lists ls;
+        return ls;
+    }
+};
+
+} // namespace detail
 
 /**
  * Lazily-started coroutine handle with continuation chaining.
@@ -67,6 +139,19 @@ class [[nodiscard]] Task
         Task get_return_object()
         {
             return Task(Handle::from_promise(*this));
+        }
+
+        // Frames come from the recycling pool, not the global heap.
+        static void *
+        operator new(std::size_t n)
+        {
+            return detail::FramePool::alloc(n);
+        }
+
+        static void
+        operator delete(void *p, std::size_t n)
+        {
+            detail::FramePool::free(p, n);
         }
 
         std::suspend_always initial_suspend() noexcept { return {}; }

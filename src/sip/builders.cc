@@ -44,16 +44,16 @@ buildResponse(const SipMessage &req, int status, const std::string &to_tag,
               std::optional<SipUri> contact)
 {
     SipMessage rsp = SipMessage::response(status);
-    for (auto via : req.headerAll("Via"))
-        rsp.addHeader("Via", std::string(via));
-    rsp.addHeader("From", std::string(req.from()));
+    for (auto via : req.headerAll(HeaderId::Via))
+        rsp.addHeader("Via", via);
+    rsp.addHeader("From", req.from());
     std::string to(req.to());
     if (!to_tag.empty() && to.find(";tag=") == std::string::npos)
         to += ";tag=" + to_tag;
     rsp.addHeader("To", to);
-    rsp.addHeader("Call-ID", std::string(req.callId()));
-    if (auto cs = req.header("CSeq"))
-        rsp.addHeader("CSeq", std::string(*cs));
+    rsp.addHeader("Call-ID", req.callId());
+    if (auto cs = req.header(HeaderId::CSeq))
+        rsp.addHeader("CSeq", *cs);
     if (contact)
         rsp.addHeader("Contact", "<" + contact->toString() + ">");
     if (status == status::kOk && req.method() == Method::Invite) {
@@ -76,10 +76,10 @@ buildAck(const SipMessage &invite, const SipMessage &final,
     via.branch = branch;
     ack.addHeader("Via", via.toString());
     ack.addHeader("Max-Forwards", "70");
-    ack.addHeader("From", std::string(invite.from()));
+    ack.addHeader("From", invite.from());
     // The To of the ACK carries the tag from the final response.
-    ack.addHeader("To", std::string(final.to()));
-    ack.addHeader("Call-ID", std::string(invite.callId()));
+    ack.addHeader("To", final.to());
+    ack.addHeader("Call-ID", invite.callId());
     auto cseq = invite.cseq().value_or(CSeq{});
     ack.addHeader("CSeq", CSeq{cseq.number, Method::Ack}.toString());
     return ack;

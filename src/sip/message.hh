@@ -3,12 +3,23 @@
  * SIP message model (RFC 3261): requests and responses with an ordered
  * header list, typed accessors for the headers proxies route on, and
  * serialization. Parsing lives in sip/parser.hh.
+ *
+ * Hot-path design (see docs/performance.md): a message owns its wire
+ * bytes in a ref-counted arena and headers are string_view slices into
+ * it, so parsing copies nothing per header. Well-known header names are
+ * interned to a small enum id at insertion, making lookups an integer
+ * compare instead of a case-insensitive scan. Mutation (Via prepend,
+ * Max-Forwards rewrite) copies only the new bytes into the arena;
+ * copies of a message share the arena. serialize() emits in one
+ * exact-size pass and caches the result until the next mutation.
  */
 
 #ifndef SIPROX_SIP_MESSAGE_HH
 #define SIPROX_SIP_MESSAGE_HH
 
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -50,11 +61,104 @@ inline constexpr int kServiceUnavailable = 503;
 /** Default reason phrase for a status code. */
 const char *reasonPhrase(int status);
 
-/** One header field (name is stored in canonical full form). */
+/**
+ * Interned ids for the headers proxies route on. Everything else is
+ * HeaderId::Other and matches by case-insensitive name.
+ */
+enum class HeaderId : std::uint8_t
+{
+    Via,
+    To,
+    From,
+    CallId,
+    CSeq,
+    Contact,
+    MaxForwards,
+    ContentLength,
+    ContentType,
+    Route,
+    RecordRoute,
+    Other,
+};
+
+/** Id for @p name (case-insensitive, full names only; compact names
+ *  are expanded by the parser before interning). */
+HeaderId headerIdFor(std::string_view name);
+
+/** Canonical name of a well-known id; empty for HeaderId::Other. */
+std::string_view headerCanonicalName(HeaderId id);
+
+namespace detail {
+
+/**
+ * Ref-counted bump arena backing one message (and its copies). The
+ * first "chunk" is the adopted wire buffer; mutations intern new bytes
+ * into fixed-size chunks. Chunk storage never moves, so string_views
+ * into the arena stay valid as it grows.
+ */
+class MsgArena
+{
+  public:
+    MsgArena() = default;
+    explicit MsgArena(std::string wire) : wire_(std::move(wire)) {}
+
+    /** The adopted wire bytes (empty for built messages). */
+    std::string_view wire() const { return wire_; }
+
+    /** Copy @p s into the arena; the returned view is stable. */
+    std::string_view
+    intern(std::string_view s)
+    {
+        if (s.empty())
+            return {};
+        char *p = alloc(s.size());
+        std::memcpy(p, s.data(), s.size());
+        return {p, s.size()};
+    }
+
+    /** Reserve @p n stable bytes (caller fills them). */
+    char *
+    alloc(std::size_t n)
+    {
+        if (chunks_.empty()
+            || chunks_.back().used + n > chunks_.back().cap) {
+            Chunk c;
+            c.cap = n > kChunkSize ? n : kChunkSize;
+            c.data = std::make_unique<char[]>(c.cap);
+            chunks_.push_back(std::move(c));
+        }
+        Chunk &c = chunks_.back();
+        char *p = c.data.get() + c.used;
+        c.used += n;
+        return p;
+    }
+
+  private:
+    static constexpr std::size_t kChunkSize = 256;
+
+    struct Chunk
+    {
+        std::unique_ptr<char[]> data;
+        std::size_t used = 0;
+        std::size_t cap = 0;
+    };
+
+    std::string wire_;
+    std::vector<Chunk> chunks_;
+};
+
+} // namespace detail
+
+/**
+ * One header field. @p name is the canonical static literal for
+ * well-known headers, otherwise a slice of the message arena; @p value
+ * is a slice of the arena (or of static storage for built constants).
+ */
 struct Header
 {
-    std::string name;
-    std::string value;
+    HeaderId id = HeaderId::Other;
+    std::string_view name;
+    std::string_view value;
 };
 
 /** Parsed Via header value. */
@@ -89,6 +193,11 @@ class SipMessage
   public:
     SipMessage() = default;
 
+    SipMessage(const SipMessage &o);
+    SipMessage &operator=(const SipMessage &o);
+    SipMessage(SipMessage &&) = default;
+    SipMessage &operator=(SipMessage &&) = default;
+
     /** Construct a request line. */
     static SipMessage request(Method m, SipUri uri);
 
@@ -100,7 +209,13 @@ class SipMessage
 
     Method method() const { return method_; }
     const SipUri &requestUri() const { return requestUri_; }
-    void setRequestUri(SipUri uri) { requestUri_ = std::move(uri); }
+
+    void
+    setRequestUri(SipUri uri)
+    {
+        requestUri_ = std::move(uri);
+        wireCacheValid_ = false;
+    }
 
     int statusCode() const { return status_; }
     const std::string &reason() const { return reason_; }
@@ -112,27 +227,46 @@ class SipMessage
     const std::vector<Header> &headers() const { return headers_; }
 
     /** Append a header at the end. */
-    void addHeader(std::string name, std::string value);
+    void addHeader(std::string_view name, std::string_view value);
 
     /** Prepend a header (used for Via insertion at proxies). */
-    void prependHeader(std::string name, std::string value);
+    void prependHeader(std::string_view name, std::string_view value);
+
+    /**
+     * Prepend a Via header, rendering @p via directly into the arena
+     * (equivalent to prependHeader("Via", via.toString()) without the
+     * temporary string).
+     */
+    void prependVia(const Via &via);
 
     /** First value of @p name (case-insensitive); nullopt if absent. */
     std::optional<std::string_view> header(std::string_view name) const;
 
+    /** First value of a well-known header; O(headers) id compares. */
+    std::optional<std::string_view> header(HeaderId id) const;
+
     /** All values of @p name in order. */
     std::vector<std::string_view> headerAll(std::string_view name) const;
 
+    /** All values of a well-known header in order. */
+    std::vector<std::string_view> headerAll(HeaderId id) const;
+
     /** Replace the first @p name or append it. */
-    void setHeader(std::string_view name, std::string value);
+    void setHeader(std::string_view name, std::string_view value);
 
     /** Remove the first @p name; true if one was removed. */
     bool removeFirstHeader(std::string_view name);
+    bool removeFirstHeader(HeaderId id);
 
     // --- typed accessors -------------------------------------------------
     std::string_view callId() const;
+
+    /** CSeq, decoded once and cached until a CSeq header mutates. */
     std::optional<CSeq> cseq() const;
-    std::optional<Via> topVia() const;
+
+    /** Top Via, decoded once and cached until a Via header mutates. */
+    const std::optional<Via> &topVia() const;
+
     std::string_view from() const;
     std::string_view to() const;
 
@@ -144,11 +278,18 @@ class SipMessage
     void setMaxForwards(int v);
 
     // --- body ------------------------------------------------------------
-    const std::string &body() const { return body_; }
-    void setBody(std::string body, std::string content_type = "");
+    std::string_view body() const { return body_; }
+    void setBody(std::string_view body, std::string_view content_type = "");
 
-    /** Render the message; recomputes Content-Length. */
+    /**
+     * Render the message (Content-Length recomputed) in one exact-size
+     * pass. The rendering is cached until the next mutation, so
+     * repeated calls cost one string copy each.
+     */
     std::string serialize() const;
+
+    /** Serialized size in bytes (renders into the cache if needed). */
+    std::size_t serializedSize() const;
 
     /** Short one-line description for traces. */
     std::string summary() const;
@@ -156,13 +297,41 @@ class SipMessage
   private:
     friend class Parser;
 
+    /** The arena, created on first mutation of a built message. */
+    detail::MsgArena &arena();
+
+    /** Copy @p s into this message's arena. */
+    std::string_view intern(std::string_view s);
+
+    /** Drop caches invalidated by a mutation of header @p id. */
+    void
+    noteMutation(HeaderId id)
+    {
+        wireCacheValid_ = false;
+        if (id == HeaderId::Via)
+            viaCacheValid_ = false;
+        else if (id == HeaderId::CSeq)
+            cseqCacheValid_ = false;
+    }
+
+    void buildWire() const;
+
     bool isRequest_ = true;
     Method method_ = Method::Unknown;
     SipUri requestUri_;
     int status_ = 0;
     std::string reason_;
     std::vector<Header> headers_;
-    std::string body_;
+    std::string_view body_;
+    std::shared_ptr<detail::MsgArena> arena_;
+
+    // Caches; never copied, rebuilt on demand.
+    mutable std::string wireCache_;
+    mutable bool wireCacheValid_ = false;
+    mutable std::optional<CSeq> cseqCache_;
+    mutable bool cseqCacheValid_ = false;
+    mutable std::optional<Via> viaCache_;
+    mutable bool viaCacheValid_ = false;
 };
 
 /** Case-insensitive ASCII string compare. */

@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <charconv>
+#include <memory>
+#include <utility>
 
 namespace siprox::sip {
 
@@ -115,26 +117,40 @@ expandHeaderName(std::string_view name)
     }
 }
 
-ParseResult
-parseMessage(std::string_view text)
+/**
+ * Friend of SipMessage: installs headers and body as views into the
+ * adopted wire buffer, bypassing the interning mutators.
+ */
+class Parser
 {
-    // Skip leading keep-alive newlines.
-    while (!text.empty() && (text.front() == '\r' || text.front() == '\n'))
-        text.remove_prefix(1);
+  public:
+    static ParseResult parse(std::string text);
+};
 
-    auto start = takeLine(text);
+ParseResult
+Parser::parse(std::string text)
+{
+    auto arena = std::make_shared<detail::MsgArena>(std::move(text));
+    std::string_view rest = arena->wire();
+
+    // Skip leading keep-alive newlines.
+    while (!rest.empty() && (rest.front() == '\r' || rest.front() == '\n'))
+        rest.remove_prefix(1);
+
+    auto start = takeLine(rest);
     if (!start || start->empty())
         return fail("missing start line");
 
     ParseResult result;
     SipMessage &msg = result.message;
+    msg.arena_ = arena;
 
     if (start->substr(0, 8) == "SIP/2.0 ") {
         // Status line: SIP/2.0 200 OK
-        std::string_view rest = start->substr(8);
-        auto sp = rest.find(' ');
+        std::string_view body = start->substr(8);
+        auto sp = body.find(' ');
         std::string_view code =
-            sp == std::string_view::npos ? rest : rest.substr(0, sp);
+            sp == std::string_view::npos ? body : body.substr(0, sp);
         int status = 0;
         auto [ptr, ec] =
             std::from_chars(code.data(), code.data() + code.size(),
@@ -143,11 +159,10 @@ parseMessage(std::string_view text)
             || status < 100 || status > 699) {
             return fail("bad status code");
         }
-        msg = SipMessage::response(
-            status,
-            sp == std::string_view::npos
-                ? ""
-                : std::string(trim(rest.substr(sp + 1))));
+        msg.isRequest_ = false;
+        msg.status_ = status;
+        if (sp != std::string_view::npos)
+            msg.reason_ = std::string(trim(body.substr(sp + 1)));
     } else {
         // Request line: METHOD uri SIP/2.0
         auto sp1 = start->find(' ');
@@ -162,30 +177,46 @@ parseMessage(std::string_view text)
         auto uri = SipUri::parse(start->substr(sp1 + 1, sp2 - sp1 - 1));
         if (!uri)
             return fail("bad request URI");
-        msg = SipMessage::request(m, std::move(*uri));
+        msg.isRequest_ = true;
+        msg.method_ = m;
+        msg.requestUri_ = std::move(*uri);
     }
 
     // Headers, with folding: continuation lines start with SP/HT.
-    std::string pending_name;
-    std::string pending_value;
+    // The common case appends a {id, name view, value view} triple; a
+    // folded value (rare) is joined and interned into the arena.
+    msg.headers_.reserve(12);
+    bool has_pending = false;
+    HeaderId pending_id = HeaderId::Other;
+    std::string_view pending_name;
+    std::string_view pending_value;
+    bool is_folded = false;
+    std::string folded;
     auto flush = [&] {
-        if (!pending_name.empty()) {
-            msg.addHeader(pending_name, pending_value);
-            pending_name.clear();
-            pending_value.clear();
-        }
+        if (!has_pending)
+            return;
+        std::string_view value =
+            is_folded ? arena->intern(folded) : pending_value;
+        msg.headers_.push_back(Header{pending_id, pending_name, value});
+        has_pending = false;
+        is_folded = false;
+        folded.clear();
     };
     for (;;) {
-        auto line = takeLine(text);
+        auto line = takeLine(rest);
         if (!line)
             return fail("unterminated headers");
         if (line->empty())
             break; // end of headers
         if (line->front() == ' ' || line->front() == '\t') {
-            if (pending_name.empty())
+            if (!has_pending)
                 return fail("continuation without header");
-            pending_value += ' ';
-            pending_value += trim(*line);
+            if (!is_folded) {
+                is_folded = true;
+                folded.assign(pending_value);
+            }
+            folded += ' ';
+            folded += trim(*line);
             continue;
         }
         flush();
@@ -195,14 +226,16 @@ parseMessage(std::string_view text)
         std::string_view name = trim(line->substr(0, colon));
         if (name.empty())
             return fail("empty header name");
-        pending_name = std::string(expandHeaderName(name));
-        pending_value = std::string(trim(line->substr(colon + 1)));
+        has_pending = true;
+        pending_name = expandHeaderName(name);
+        pending_id = headerIdFor(pending_name);
+        pending_value = trim(line->substr(colon + 1));
     }
     flush();
 
     // Body per Content-Length (truncated input is an error).
     std::size_t content_length = 0;
-    if (auto cl = msg.header("Content-Length")) {
+    if (auto cl = msg.header(HeaderId::ContentLength)) {
         auto v = trim(*cl);
         auto [ptr, ec] =
             std::from_chars(v.data(), v.data() + v.size(),
@@ -210,14 +243,26 @@ parseMessage(std::string_view text)
         if (ec != std::errc() || ptr != v.data() + v.size())
             return fail("bad Content-Length");
     } else {
-        content_length = text.size();
+        content_length = rest.size();
     }
-    if (text.size() < content_length)
+    if (rest.size() < content_length)
         return fail("truncated body");
-    msg.setBody(std::string(text.substr(0, content_length)));
+    msg.body_ = rest.substr(0, content_length);
 
     result.ok = true;
     return result;
+}
+
+ParseResult
+parseMessage(std::string_view text)
+{
+    return Parser::parse(std::string(text));
+}
+
+ParseResult
+parseOwned(std::string text)
+{
+    return Parser::parse(std::move(text));
 }
 
 std::optional<std::string>
@@ -245,6 +290,12 @@ StreamFramer::next()
     std::size_t total = header_end + content_length;
     if (buf_.size() < total)
         return std::nullopt;
+    if (total == buf_.size()) {
+        // The buffer is exactly one message: hand it over whole.
+        std::string raw = std::move(buf_);
+        buf_.clear();
+        return raw;
+    }
     std::string raw = buf_.substr(0, total);
     buf_.erase(0, total);
     return raw;

@@ -29,8 +29,16 @@ struct ParseResult
     std::string error;
 };
 
-/** Parse a complete SIP message from @p text. */
+/** Parse a complete SIP message from @p text (copies it once). */
 ParseResult parseMessage(std::string_view text);
+
+/**
+ * Parse a complete SIP message, adopting @p text as the message's
+ * backing buffer: headers and body become views into it, so nothing is
+ * copied per header. This is the hot path for wire input — pass the
+ * datagram/frame string by move.
+ */
+ParseResult parseOwned(std::string text);
 
 /** Expand a compact header name ("i" -> "Call-ID"); identity otherwise. */
 std::string_view expandHeaderName(std::string_view name);
@@ -47,6 +55,21 @@ class StreamFramer
   public:
     /** Append received bytes. */
     void feed(std::string_view bytes) { buf_.append(bytes); }
+
+    /** Disambiguates string literals (otherwise ambiguous between the
+     *  view and rvalue overloads). */
+    void feed(const char *bytes) { buf_.append(bytes); }
+
+    /** Append received bytes, adopting the buffer when ours is empty
+     *  (the steady-state case: the previous chunk framed completely). */
+    void
+    feed(std::string &&bytes)
+    {
+        if (buf_.empty())
+            buf_ = std::move(bytes);
+        else
+            buf_.append(bytes);
+    }
 
     /**
      * Extract the next complete message.

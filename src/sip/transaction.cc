@@ -5,7 +5,7 @@ namespace siprox::sip {
 std::optional<TransactionKey>
 transactionKey(const SipMessage &msg)
 {
-    auto via = msg.topVia();
+    const auto &via = msg.topVia();
     if (!via || via->branch.empty())
         return std::nullopt;
     auto cseq = msg.cseq();

@@ -67,18 +67,39 @@ SipUri::parse(std::string_view text)
     return uri;
 }
 
-std::string
-SipUri::toString() const
+std::size_t
+SipUri::renderedSize() const
 {
-    std::string out = "sip:";
+    std::size_t n = 4 + host.size(); // "sip:"
+    if (!user.empty())
+        n += user.size() + 1;
+    if (port) {
+        char buf[8];
+        auto end = std::to_chars(buf, buf + sizeof(buf), port).ptr;
+        n += 1 + static_cast<std::size_t>(end - buf);
+    }
+    for (const auto &[name, value] : params) {
+        n += 1 + name.size();
+        if (!value.empty())
+            n += 1 + value.size();
+    }
+    return n;
+}
+
+void
+SipUri::appendTo(std::string &out) const
+{
+    out += "sip:";
     if (!user.empty()) {
         out += user;
         out += '@';
     }
     out += host;
     if (port) {
+        char buf[8];
+        auto end = std::to_chars(buf, buf + sizeof(buf), port).ptr;
         out += ':';
-        out += std::to_string(port);
+        out.append(buf, static_cast<std::size_t>(end - buf));
     }
     for (const auto &[name, value] : params) {
         out += ';';
@@ -88,6 +109,14 @@ SipUri::toString() const
             out += value;
         }
     }
+}
+
+std::string
+SipUri::toString() const
+{
+    std::string out;
+    out.reserve(renderedSize());
+    appendTo(out);
     return out;
 }
 
@@ -104,14 +133,20 @@ SipUri::param(std::string_view name) const
 std::optional<net::Addr>
 addrFromUri(const SipUri &uri)
 {
-    if (uri.host.size() < 2 || uri.host[0] != 'h')
+    return addrFromHost(uri.host, uri.effectivePort());
+}
+
+std::optional<net::Addr>
+addrFromHost(std::string_view host, std::uint16_t port)
+{
+    if (host.size() < 2 || host[0] != 'h')
         return std::nullopt;
     std::uint32_t id = 0;
-    auto sv = std::string_view(uri.host).substr(1);
+    auto sv = host.substr(1);
     auto [ptr, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), id);
     if (ec != std::errc() || ptr != sv.data() + sv.size())
         return std::nullopt;
-    return net::Addr{id, uri.effectivePort()};
+    return net::Addr{id, port};
 }
 
 SipUri

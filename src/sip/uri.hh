@@ -36,6 +36,12 @@ struct SipUri
     /** Render canonical form. */
     std::string toString() const;
 
+    /** Exact length of toString() without rendering. */
+    std::size_t renderedSize() const;
+
+    /** Append the canonical form to @p out (no temporary string). */
+    void appendTo(std::string &out) const;
+
     /** Port with the 5060 default applied. */
     std::uint16_t effectivePort() const { return port ? port : 5060; }
 
@@ -50,6 +56,10 @@ struct SipUri
  * Returns nullopt if the host does not follow the convention.
  */
 std::optional<net::Addr> addrFromUri(const SipUri &uri);
+
+/** Same mapping from a bare host name and port (no SipUri temporary). */
+std::optional<net::Addr> addrFromHost(std::string_view host,
+                                      std::uint16_t port);
 
 /** Build a URI for @p user at a simulated address. */
 SipUri uriForAddr(std::string user, net::Addr addr);

@@ -275,6 +275,7 @@ runScenario(const Scenario &sc)
         }
     }
 
+    result.simEvents = simu.eventsRun();
     proxy.requestStop();
     return result;
 }

@@ -137,6 +137,9 @@ struct RunResult
     std::vector<OccupancySample> occupancy;
     /** Server CPU profile over the measured phase. */
     sim::Profiler serverProfile;
+    /** Simulation events executed over the whole run (wall-clock perf
+     *  accounting; not part of the digest). */
+    std::uint64_t simEvents = 0;
     /** True if the safety cap cut the run short. */
     bool timedOut = false;
 

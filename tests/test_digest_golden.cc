@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Golden determinism digests. These two scenarios were captured before
+ * the zero-copy message / pooled event-queue rework and pin the
+ * simulation's observable behaviour byte-for-byte: any change to event
+ * ordering, wire bytes (tcpBytes/tcpSegments are byte-exact), timing,
+ * or counter accounting shows up here as a diff. Performance work must
+ * keep these digests identical; a deliberate semantic change must
+ * re-record them in the same commit that explains why.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "workload/scenario.hh"
+
+namespace {
+
+using namespace siprox;
+using namespace siprox::workload;
+
+const char kUdpSeed7Golden[] = "ops=400\n"
+                               "callsCompleted=200\n"
+                               "callsFailed=0\n"
+                               "phoneRetransmissions=0\n"
+                               "reconnects=0\n"
+                               "reconnectFailures=0\n"
+                               "duration=11098333\n"
+                               "inviteP50=557055\n"
+                               "inviteP99=884735\n"
+                               "timedOut=0\n"
+                               "messagesIn=1240\n"
+                               "requestsIn=640\n"
+                               "responsesIn=600\n"
+                               "forwards=1200\n"
+                               "localReplies=240\n"
+                               "parseErrors=0\n"
+                               "routeFailures=0\n"
+                               "retransAbsorbed=0\n"
+                               "retransSent=0\n"
+                               "retransTimeouts=0\n"
+                               "timerB408s=0\n"
+                               "registrations=40\n"
+                               "connsAccepted=0\n"
+                               "connsDestroyed=0\n"
+                               "outboundConnects=0\n"
+                               "overloadRejected=0\n"
+                               "overloadThrottled=0\n"
+                               "overloadPanicDrops=0\n"
+                               "overloadShedEnters=0\n"
+                               "overloadShedExits=0\n"
+                               "tcpReadPauses=0\n"
+                               "tcpReadResumes=0\n"
+                               "tcpAcceptPauses=0\n"
+                               "phoneRejected503=0\n"
+                               "phoneBackoffs=0\n"
+                               "proxyRecvQueueDrops=0\n"
+                               "proxyAcceptRefused=0\n"
+                               "occupancySamples=0\n"
+                               "udpSent=2680\n"
+                               "udpDelivered=2680\n"
+                               "udpLost=0\n"
+                               "udpDropped=0\n"
+                               "tcpConnects=0\n"
+                               "tcpRefused=0\n"
+                               "tcpSegments=0\n"
+                               "tcpBytes=0\n"
+                               "sctpMessages=0\n"
+                               "sctpDropped=0\n"
+                               "sctpAssocs=0\n"
+                               "faultDropped=0\n"
+                               "faultDuplicated=0\n"
+                               "faultDelayed=0\n"
+                               "tcpFaultRefused=0\n"
+                               "tcpRstInjected=0\n"
+                               "tcpBlackholed=0\n"
+                               "tcpRecoveries=0\n"
+                               "txnEntriesAtEnd=800\n"
+                               "retransEntriesAtEnd=0\n"
+                               "connEntriesAtEnd=0\n";
+
+const char kTcpSeed11Golden[] = "ops=240\n"
+                                "callsCompleted=120\n"
+                                "callsFailed=0\n"
+                                "phoneRetransmissions=0\n"
+                                "reconnects=60\n"
+                                "reconnectFailures=0\n"
+                                "duration=17417815\n"
+                                "inviteP50=1015807\n"
+                                "inviteP99=1441791\n"
+                                "timedOut=0\n"
+                                "messagesIn=810\n"
+                                "requestsIn=450\n"
+                                "responsesIn=360\n"
+                                "forwards=720\n"
+                                "localReplies=210\n"
+                                "parseErrors=0\n"
+                                "routeFailures=0\n"
+                                "retransAbsorbed=0\n"
+                                "retransSent=0\n"
+                                "retransTimeouts=0\n"
+                                "timerB408s=0\n"
+                                "registrations=90\n"
+                                "connsAccepted=90\n"
+                                "connsDestroyed=0\n"
+                                "outboundConnects=0\n"
+                                "overloadRejected=0\n"
+                                "overloadThrottled=0\n"
+                                "overloadPanicDrops=0\n"
+                                "overloadShedEnters=0\n"
+                                "overloadShedExits=0\n"
+                                "tcpReadPauses=0\n"
+                                "tcpReadResumes=0\n"
+                                "tcpAcceptPauses=0\n"
+                                "phoneRejected503=0\n"
+                                "phoneBackoffs=0\n"
+                                "proxyRecvQueueDrops=0\n"
+                                "proxyAcceptRefused=0\n"
+                                "occupancySamples=0\n"
+                                "udpSent=0\n"
+                                "udpDelivered=0\n"
+                                "udpLost=0\n"
+                                "udpDropped=0\n"
+                                "tcpConnects=90\n"
+                                "tcpRefused=0\n"
+                                "tcpSegments=1740\n"
+                                "tcpBytes=524714\n"
+                                "sctpMessages=0\n"
+                                "sctpDropped=0\n"
+                                "sctpAssocs=0\n"
+                                "faultDropped=0\n"
+                                "faultDuplicated=0\n"
+                                "faultDelayed=0\n"
+                                "tcpFaultRefused=0\n"
+                                "tcpRstInjected=0\n"
+                                "tcpBlackholed=0\n"
+                                "tcpRecoveries=0\n"
+                                "txnEntriesAtEnd=480\n"
+                                "retransEntriesAtEnd=0\n"
+                                "connEntriesAtEnd=90\n";
+
+TEST(DigestGolden, UdpPaperScenarioSeed7)
+{
+    Scenario sc = paperScenario(core::Transport::Udp, 20, 0);
+    sc.callsPerClient = 10;
+    sc.seed = 7;
+    RunResult r = runScenario(sc);
+    EXPECT_EQ(r.digest(), kUdpSeed7Golden);
+}
+
+TEST(DigestGolden, TcpPaperScenarioSeed11)
+{
+    Scenario sc = paperScenario(core::Transport::Tcp, 15, 5);
+    sc.callsPerClient = 8;
+    sc.seed = 11;
+    RunResult r = runScenario(sc);
+    EXPECT_EQ(r.digest(), kTcpSeed11Golden);
+}
+
+TEST(DigestGolden, RepeatRunsAreByteIdentical)
+{
+    Scenario sc = paperScenario(core::Transport::Tcp, 10, 3);
+    sc.callsPerClient = 5;
+    sc.seed = 42;
+    RunResult a = runScenario(sc);
+    RunResult b = runScenario(sc);
+    EXPECT_EQ(a.digest(), b.digest());
+}
+
+} // namespace
