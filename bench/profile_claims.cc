@@ -40,10 +40,12 @@ report(const char *name, const workload::RunResult &r)
     std::printf("%s\n", r.serverProfile.report(10).c_str());
 }
 
+/** Profile share of @p center, looked up through the unified metrics
+ *  snapshot (same values any metrics consumer sees). */
 double
-pct(const workload::RunResult &r, const char *center)
+share(const stats::MetricsSnapshot &m, const char *center)
 {
-    return 100.0 * r.serverProfile.share(center);
+    return m.gaugeOr(std::string("profile.share.") + center);
 }
 
 } // namespace
@@ -65,19 +67,22 @@ main()
     report("TCP 50 ops/conn, fd cache", churn_cached);
     report("UDP", udp);
 
+    // All claim checks read the unified metrics snapshot; the bespoke
+    // Profiler::share() lookups live on only inside collectMetrics.
+    auto m_base = workload::collectMetrics(baseline).snapshot();
+    auto m_cached = workload::collectMetrics(cached).snapshot();
+    auto m_churn = workload::collectMetrics(churn_cached).snapshot();
+    auto m_500 = workload::collectMetrics(churn_500).snapshot();
+
     stats::Table table({"claim", "paper", "measured"});
     table.addRow({"IPC fd-request function share, baseline", "12.0%",
                   stats::Table::pct(
-                      baseline.serverProfile.share(
-                          "ser:tcp_send_fd_request"),
-                      1)});
+                      share(m_base, "ser:tcp_send_fd_request"), 1)});
     table.addRow({"IPC fd-request function share, fd cache", "4.6%",
                   stats::Table::pct(
-                      cached.serverProfile.share(
-                          "ser:tcp_send_fd_request"),
-                      1)});
-    double scan_churn = pct(churn_cached, "ser:tcpconn_timeout");
-    double scan_500 = pct(churn_500, "ser:tcpconn_timeout");
+                      share(m_cached, "ser:tcp_send_fd_request"), 1)});
+    double scan_churn = 100.0 * share(m_churn, "ser:tcpconn_timeout");
+    double scan_500 = 100.0 * share(m_500, "ser:tcpconn_timeout");
     table.addRow({"tcpconn_timeout growth, 50 vs 500 ops/conn",
                   "~3x",
                   stats::Table::num(
@@ -85,18 +90,16 @@ main()
                       + "x"});
     table.addRow(
         {"scheduler+spin share, 50 ops/conn cache", "(top-10 kernel)",
-         stats::Table::pct(
-             churn_cached.serverProfile.share("kernel:schedule")
-                 + churn_cached.serverProfile.share("user:spinlock"),
-             1)});
+         stats::Table::pct(share(m_churn, "kernel:schedule")
+                               + share(m_churn, "user:spinlock"),
+                           1)});
     table.addRow(
         {"kernel IPC share, baseline -> cache",
          "drops out of top 15",
-         stats::Table::pct(
-             baseline.serverProfile.share("kernel:unix_ipc"), 1)
+         stats::Table::pct(share(m_base, "kernel:unix_ipc"), 1)
              + " -> "
-             + stats::Table::pct(
-                   cached.serverProfile.share("kernel:unix_ipc"), 1)});
+             + stats::Table::pct(share(m_cached, "kernel:unix_ipc"),
+                                 1)});
     std::printf("%s\n", table.render().c_str());
     return 0;
 }

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Regenerates the paper's "where does the time go under TCP"
+ * explanation from causal spans instead of the CPU profiler: every
+ * message-handling span on the server decomposes its wall-clock time
+ * into cpu / run-queue / lock / fd-passing IPC / socket waits, so the
+ * per-category shares below are the span-level counterpart of the §5
+ * OProfile observations:
+ *
+ *  - TCP baseline: a large fd-passing IPC share (workers blocked on
+ *    the supervisor round trip) that UDP simply does not have.
+ *  - TCP + fd cache: the IPC share collapses; what remains looks
+ *    much more like the UDP breakdown.
+ *
+ * Run with SIPROX_BENCH_QUICK=1 for ~4x shorter windows, or
+ * SIPROX_SWEEP_SMOKE=1 for a single-point CI smoke run.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+#include "sweep_common.hh"
+
+namespace {
+
+using namespace siprox;
+using sim::trace::Wait;
+
+struct Breakdown
+{
+    std::string name;
+    double opsPerSec = 0;
+    sim::trace::Recorder::WaitTotals server;
+};
+
+Breakdown
+run(const char *name, core::Transport transport, int ops_per_conn,
+    bool fd_cache)
+{
+    workload::Scenario sc =
+        bench::sweepScenario(transport, bench::smokeMode() ? 20 : 100,
+                             ops_per_conn);
+    sc.proxy.fdCache = fd_cache;
+    sc.proxy.idleStrategy = core::IdleStrategy::LinearScan;
+
+    // Aggregates are exact regardless of the event cap; keep the
+    // timeline buffer small since this bench only reads totals.
+    sim::trace::Recorder rec(sim::trace::Recorder::Options{1u << 16});
+    sim::trace::setRecorder(&rec);
+    workload::RunResult r = workload::runScenario(sc);
+    sim::trace::setRecorder(nullptr);
+    bench::logPoint(sc, r);
+
+    Breakdown b;
+    b.name = name;
+    b.opsPerSec = r.opsPerSec;
+    auto it = rec.machineTotals().find("server");
+    if (it != rec.machineTotals().end())
+        b.server = it->second;
+    return b;
+}
+
+std::string
+pct(const Breakdown &b, Wait w)
+{
+    if (b.server.total <= 0)
+        return "-";
+    return stats::Table::pct(static_cast<double>(b.server.at(w))
+                                 / static_cast<double>(b.server.total),
+                             1);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<Breakdown> rows;
+    rows.push_back(run("TCP baseline", core::Transport::Tcp, 0, false));
+    rows.push_back(run("TCP fd cache", core::Transport::Tcp, 0, true));
+    if (!bench::smokeMode()) {
+        rows.push_back(
+            run("TCP 50 ops/conn", core::Transport::Tcp, 50, true));
+        rows.push_back(run("UDP", core::Transport::Udp, 0, false));
+    }
+
+    std::printf("=== Server span breakdown: where the time goes ===\n");
+    std::printf("(share of wall-clock time inside message-handling "
+                "spans, per wait state)\n\n");
+    stats::Table table({"workload", "ops/s", "spans", "cpu", "runq",
+                        "lock", "ipc", "socket"});
+    for (const auto &b : rows) {
+        double lock =
+            b.server.total > 0
+                ? static_cast<double>(b.server.at(Wait::LockSpin)
+                                      + b.server.at(Wait::LockBlock))
+                      / static_cast<double>(b.server.total)
+                : 0;
+        table.addRow({b.name, stats::Table::num(b.opsPerSec, 0),
+                      std::to_string(b.server.spans), pct(b, Wait::Cpu),
+                      pct(b, Wait::RunQueue),
+                      b.server.total > 0 ? stats::Table::pct(lock, 1)
+                                         : "-",
+                      pct(b, Wait::Ipc), pct(b, Wait::Socket)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    double ipc_base =
+        rows[0].server.total > 0
+            ? static_cast<double>(rows[0].server.at(Wait::Ipc))
+            : 0;
+    double ipc_cached =
+        rows[1].server.total > 0
+            ? static_cast<double>(rows[1].server.at(Wait::Ipc))
+            : 0;
+    std::printf("fd cache removes %.1f%% of the baseline's fd-passing "
+                "IPC wait time\n",
+                ipc_base > 0 ? 100.0 * (1.0 - ipc_cached / ipc_base)
+                             : 0.0);
+    return 0;
+}

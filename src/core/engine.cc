@@ -99,6 +99,21 @@ Engine::handleMessage(sim::Process &p, std::string raw, MsgSource src,
     }
     sip::SipMessage &msg = parsed.message;
 
+    // The Call-ID is the causal trace id: set at the phone, carried
+    // end to end, and recovered here so every proxy-side span joins
+    // the call it serves.
+    if (sim::trace::SpanCtx *span = p.span()) {
+        std::string_view cid = msg.callId();
+        span->traceId = sim::trace::traceIdFor(cid);
+        span->callId.assign(cid);
+        if (msg.isRequest()) {
+            span->label = sip::methodName(msg.method());
+        } else {
+            span->label =
+                "rsp " + std::to_string(msg.statusCode());
+        }
+    }
+
     if (msg.isRequest()) {
         ++shared_.counters.requestsIn;
         if (cfg_.authenticate && msg.method() != sip::Method::Ack) {
@@ -429,6 +444,12 @@ Engine::handleTimeout(sim::Process &p, const RetransList::TimedOut &to,
     auto parsed = sip::parseMessage(to.wire);
     if (!parsed.ok)
         co_return;
+    if (sim::trace::SpanCtx *span = p.span()) {
+        std::string_view cid = parsed.message.callId();
+        span->traceId = sim::trace::traceIdFor(cid);
+        span->callId.assign(cid);
+        span->label = "timeout 408";
+    }
     sip::SipMessage rsp =
         sip::buildResponse(parsed.message, sip::status::kRequestTimeout);
     // The top Via is the proxy's own branch; pop it as if the 408 had

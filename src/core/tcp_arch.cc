@@ -200,6 +200,10 @@ sim::Task
 TcpArch::workerHandleRaw(sim::Process &p, Worker &w, std::string raw,
                          std::uint64_t conn_id, net::Addr peer)
 {
+    // Causal span: one per handled message, covering the engine work
+    // and every send it triggers (including fd-request IPC). The
+    // engine fills in the identity once the Call-ID is parsed.
+    sim::SpanScope span(p);
     std::vector<SendAction> actions;
     co_await w.engine->handleMessage(p, std::move(raw),
                                      MsgSource{peer, conn_id}, actions);

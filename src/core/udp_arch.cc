@@ -84,6 +84,8 @@ UdpArch::workerMain(sim::Process &p, int id)
         // The depth left behind after this dequeue is the occupancy
         // signal the admission decision inside handleMessage sees.
         shared_.overload.noteQueueDepth(recvQueueDepth());
+        // Causal span: one per datagram, engine work plus the sends.
+        sim::SpanScope span(p);
         actions.clear();
         co_await engine.handleMessage(p, std::move(dgram.payload),
                                       MsgSource{dgram.src, 0}, actions);
@@ -135,6 +137,7 @@ UdpArch::timerMain(sim::Process &p)
         // the transaction so sustained loss cannot grow the table.
         std::vector<SendAction> actions;
         for (auto &to : timed_out) {
+            sim::SpanScope span(p);
             actions.clear();
             co_await engines_[0]->handleTimeout(p, to, &actions);
             for (auto &action : actions) {

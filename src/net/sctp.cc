@@ -82,7 +82,7 @@ SctpSocket::recvFrom(sim::Process &p, Datagram &out)
 {
     while (!tryRecvFrom(out)) {
         waiters_.push_back(&p);
-        co_await p.block("sctp recv");
+        co_await p.block("sctp recv", sim::trace::Wait::Socket);
         auto it = std::find(waiters_.begin(), waiters_.end(), &p);
         if (it != waiters_.end())
             waiters_.erase(it);

@@ -120,7 +120,7 @@ struct TcpOps
         while (ep->rxBuf_.empty() && !ep->peerClosed_ && !ep->closed_
                && ep->state_ == TcpState::Established) {
             ep->waiters_.push_back(&p);
-            co_await p.block("tcp recv");
+            co_await p.block("tcp recv", sim::trace::Wait::Socket);
             auto &q = ep->waiters_;
             auto it = std::find(q.begin(), q.end(), &p);
             if (it != q.end())
@@ -326,7 +326,7 @@ TcpListener::accept(sim::Process &p, TcpConn &out)
 {
     while (acceptQ_.empty()) {
         waiters_.push_back(&p);
-        co_await p.block("tcp accept");
+        co_await p.block("tcp accept", sim::trace::Wait::Socket);
         auto it = std::find(waiters_.begin(), waiters_.end(), &p);
         if (it != waiters_.end())
             waiters_.erase(it);
@@ -437,7 +437,7 @@ Host::tcpConnect(sim::Process &p, Addr remote, TcpConn &out,
 
     while (ep->state_ == TcpState::SynSent) {
         ep->waiters_.push_back(&p);
-        co_await p.block("tcp connect");
+        co_await p.block("tcp connect", sim::trace::Wait::Socket);
         auto it = std::find(ep->waiters_.begin(), ep->waiters_.end(), &p);
         if (it != ep->waiters_.end())
             ep->waiters_.erase(it);

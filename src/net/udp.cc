@@ -72,7 +72,7 @@ UdpSocket::recvFrom(sim::Process &p, Datagram &out)
 {
     while (!tryRecvFrom(out)) {
         waiters_.push_back(&p);
-        co_await p.block("udp recv");
+        co_await p.block("udp recv", sim::trace::Wait::Socket);
         auto it = std::find(waiters_.begin(), waiters_.end(), &p);
         if (it != waiters_.end())
             waiters_.erase(it);

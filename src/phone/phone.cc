@@ -491,6 +491,15 @@ Phone::placeCall(sim::Process &p, const std::string &callee_user,
     const std::string call_id =
         cfg_.user + "-call-" + std::to_string(call_index);
 
+    // End-to-end causal span: the Call-ID minted here is the trace id
+    // every hop (transport, kernel queue, worker, timer) joins on.
+    sim::SpanScope call_span(p);
+    if (auto *s = call_span.ctx()) {
+        s->traceId = sim::trace::traceIdFor(call_id);
+        s->callId = call_id;
+        s->label = "call";
+    }
+
     // --- INVITE transaction ---------------------------------------------
     sip::RequestSpec spec;
     spec.method = sip::Method::Invite;

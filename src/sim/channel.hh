@@ -44,7 +44,7 @@ class Channel
     {
         while (buf_.size() >= cap_) {
             sendWaiters_.push_back(&p);
-            co_await p.block("chan send (full)");
+            co_await p.block("chan send (full)", trace::Wait::Ipc);
             removeWaiter(sendWaiters_, &p);
         }
         push(std::move(item));
@@ -66,7 +66,7 @@ class Channel
     {
         while (buf_.empty()) {
             recvWaiters_.push_back(&p);
-            co_await p.block("chan recv (empty)");
+            co_await p.block("chan recv (empty)", trace::Wait::Ipc);
             removeWaiter(recvWaiters_, &p);
         }
         out = std::move(buf_.front());

@@ -55,6 +55,9 @@ class Machine
 
     Simulation &sim() const { return sim_; }
     const std::string &name() const { return name_; }
+
+    /** Position in Simulation::machines() (stable; trace track id). */
+    int id() const { return id_; }
     CpuScheduler &scheduler() { return sched_; }
     Profiler &profiler() { return prof_; }
     const Profiler &profiler() const { return prof_; }
@@ -79,8 +82,11 @@ class Machine
     }
 
   private:
+    friend class Simulation;
+
     Simulation &sim_;
     std::string name_;
+    int id_ = 0;
     MachineConfig cfg_;
     Profiler prof_;
     CpuScheduler sched_;

@@ -29,7 +29,7 @@ poll(Process &self, const std::vector<Pollable *> &items, SimTime timeout,
             Process *p = &self;
             timer = sim.at(deadline, [p] { p->wake(); });
         }
-        co_await self.block("poll");
+        co_await self.block("poll", trace::Wait::Socket);
         timer.cancel();
         for (Pollable *it : items)
             it->removePollWaiter(&self);

@@ -44,6 +44,7 @@ Process::BlockAwait::await_suspend(std::coroutine_handle<> h)
 {
     proc.state_ = State::Blocked;
     proc.blockReason_ = reason;
+    proc.blockClass_ = cls;
     proc.resumePoint_ = h;
     proc.blockStart_ = proc.sim().now();
 }
@@ -58,9 +59,17 @@ Process::wake()
         if (state_ != State::Waking)
             return;
         state_ = State::Executing;
+        const char *reason = blockReason_;
         blockReason_ = "";
+        SimTime blocked = sim().now() - blockStart_;
+        if (span_)
+            span_->add(blockClass_, blocked);
+        if (trace::recording() && blocked > 0) {
+            trace::recorder()->waitSlice(*this, blockClass_, reason,
+                                         blockStart_, blocked);
+        }
         // Credit the sleep toward the interactivity bonus (capped).
-        sleepAvg_ += sim().now() - blockStart_;
+        sleepAvg_ += blocked;
         if (sleepAvg_ > secs(1))
             sleepAvg_ = secs(1);
         auto h = resumePoint_;
@@ -78,6 +87,25 @@ Process::sleepFor(SimTime d)
         co_await block("sleep");
         ev.cancel();
     }
+}
+
+SpanScope::SpanScope(Process &p) : p_(p)
+{
+    if (!trace::recording())
+        return;
+    span_.begin = p.sim().now();
+    p.setSpan(&span_);
+    active_ = true;
+}
+
+SpanScope::~SpanScope()
+{
+    if (!active_)
+        return;
+    if (p_.span() == &span_)
+        p_.setSpan(nullptr);
+    if (trace::recording())
+        trace::recorder()->spanDone(p_, span_, p_.sim().now());
 }
 
 void

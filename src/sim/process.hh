@@ -15,6 +15,7 @@
 #include "sim/profiler.hh"
 #include "sim/task.hh"
 #include "sim/time.hh"
+#include "sim/trace.hh"
 
 namespace siprox::sim {
 
@@ -73,6 +74,7 @@ class Process
     {
         Process &proc;
         const char *reason;
+        trace::Wait cls;
 
         bool await_ready() const noexcept { return false; }
         void await_suspend(std::coroutine_handle<> h);
@@ -113,12 +115,14 @@ class Process
 
     /**
      * Park until wake(). Callers must re-check their condition on
-     * resume (Mesa semantics): wakeups may be spurious.
+     * resume (Mesa semantics): wakeups may be spurious. @p cls
+     * classifies the wait for span attribution (IPC vs socket vs
+     * lock...), so per-call breakdowns name the right category.
      */
     BlockAwait
-    block(const char *reason)
+    block(const char *reason, trace::Wait cls = trace::Wait::Sleep)
     {
-        return BlockAwait{*this, reason};
+        return BlockAwait{*this, reason, cls};
     }
 
     /**
@@ -168,6 +172,16 @@ class Process
     /** Exception that escaped the root task, if any. */
     std::exception_ptr failure() const { return failure_; }
 
+    /**
+     * The causal span currently attributed to this process, if any.
+     * While set, the scheduler and blocking primitives add every
+     * elapsed nanosecond to one of its wait buckets. Only installed
+     * while a recorder observes, so the null check is the entire
+     * hot-path cost.
+     */
+    trace::SpanCtx *span() const { return span_; }
+    void setSpan(trace::SpanCtx *span) { span_ = span; }
+
   private:
     friend class Machine;
     friend class CpuScheduler;
@@ -194,7 +208,35 @@ class Process
     SimTime sleepAvg_ = 0;
     SimTime blockStart_ = 0;
     SimTime queuedAt_ = 0;
+    trace::Wait blockClass_ = trace::Wait::Sleep;
+    trace::SpanCtx *span_ = nullptr;
     std::exception_ptr failure_;
+};
+
+/**
+ * RAII causal-span scope. When a recorder is installed, installs a
+ * fresh SpanCtx on @p p for the enclosing scope and reports it to the
+ * recorder on scope exit; otherwise does nothing (and allocates
+ * nothing). Safe across co_await: coroutine locals are destroyed when
+ * the body scope exits. If the recorder was removed mid-span (e.g.
+ * teardown), the span is dropped instead of reported.
+ */
+class SpanScope
+{
+  public:
+    explicit SpanScope(Process &p);
+    ~SpanScope();
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+    /** The span being recorded, or nullptr when not recording. */
+    trace::SpanCtx *ctx() { return active_ ? &span_ : nullptr; }
+
+  private:
+    Process &p_;
+    trace::SpanCtx span_;
+    bool active_ = false;
 };
 
 } // namespace siprox::sim

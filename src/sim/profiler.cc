@@ -86,8 +86,14 @@ Profiler::top(std::size_t n) const
             : 0.0;
         lines.push_back(std::move(line));
     }
+    // Ties broken by name so equal-cost centers report in a stable
+    // order (std::sort is not stable).
     std::sort(lines.begin(), lines.end(),
-              [](const Line &a, const Line &b) { return a.time > b.time; });
+              [](const Line &a, const Line &b) {
+                  if (a.time != b.time)
+                      return a.time > b.time;
+                  return a.name < b.name;
+              });
     if (lines.size() > n)
         lines.resize(n);
     return lines;

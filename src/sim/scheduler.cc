@@ -7,12 +7,14 @@
 #include "sim/machine.hh"
 #include "sim/process.hh"
 #include "sim/simulation.hh"
+#include "sim/trace.hh"
 
 namespace siprox::sim {
 
 CpuScheduler::CpuScheduler(Machine &machine, int cores, SchedConfig cfg)
     : machine_(machine), cfg_(cfg), cores_(cores),
-      schedCenter_(CostCenters::id("kernel:schedule"))
+      schedCenter_(CostCenters::id("kernel:schedule")),
+      spinCenter_(CostCenters::id("user:spinlock"))
 {
     assert(cores > 0);
 }
@@ -185,7 +187,14 @@ CpuScheduler::dispatch(std::size_t core_idx, Process *p)
     // sleep_avg, so a starved CPU-bound process slowly climbs back —
     // the oscillation behind the paper's §4.3 supervisor anomaly.
     if (p->queuedAt_ > 0) {
-        p->sleepAvg_ += now - p->queuedAt_;
+        SimTime waited = now - p->queuedAt_;
+        if (p->span_)
+            p->span_->add(trace::Wait::RunQueue, waited);
+        if (trace::recording() && waited > 0) {
+            trace::recorder()->runqueueSlice(*p, p->queuedAt_,
+                                             waited);
+        }
+        p->sleepAvg_ += waited;
         if (p->sleepAvg_ > secs(1))
             p->sleepAvg_ = secs(1);
         p->queuedAt_ = 0;
@@ -209,6 +218,20 @@ CpuScheduler::accountRun(Core &c, SimTime ran)
         prof.charge(schedCenter_, ctx_part);
     if (user_part > 0)
         prof.charge(p->center_, user_part);
+    if (trace::SpanCtx *s = p->span_) {
+        // Spin bursts are lock waits, not useful work; everything
+        // else on-core (including the context-switch share) is CPU.
+        bool spin = p->center_ == spinCenter_;
+        s->add(spin ? trace::Wait::LockSpin : trace::Wait::Cpu,
+               user_part);
+        s->add(trace::Wait::Cpu, ctx_part);
+    }
+    if (trace::recording() && ran > 0) {
+        auto core_idx = static_cast<int>(&c - cores_.data());
+        trace::recorder()->runSlice(machine_, core_idx, *p,
+                                    machine_.sim().now() - ran, ran,
+                                    ctx_part);
+    }
     p->cpuTime_ += ran;
     // Running drains the interactivity credit (Linux sleep_avg).
     p->sleepAvg_ = ran >= p->sleepAvg_ ? 0 : p->sleepAvg_ - ran;

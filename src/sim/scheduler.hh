@@ -111,6 +111,9 @@ class CpuScheduler
     int runnable_ = 0;
     SimTime busyTime_ = 0;
     CostCenterId schedCenter_;
+    /** "user:spinlock" — bursts charged here are lock spin, not work;
+     *  span attribution files them under Wait::LockSpin. */
+    CostCenterId spinCenter_;
 };
 
 } // namespace siprox::sim

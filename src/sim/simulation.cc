@@ -9,6 +9,7 @@ Simulation::addMachine(std::string name, int cores, MachineConfig cfg)
 {
     machines_.push_back(
         std::make_unique<Machine>(*this, std::move(name), cores, cfg));
+    machines_.back()->id_ = static_cast<int>(machines_.size()) - 1;
     return *machines_.back();
 }
 

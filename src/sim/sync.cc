@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/machine.hh"
+#include "sim/simulation.hh"
+#include "sim/trace.hh"
 
 namespace siprox::sim {
 
@@ -41,14 +43,40 @@ SpinLock::acquire(Process &p)
     // lock stays held. The total CPU burned matches a real spinner's;
     // coarsening long waits just caps the event rate (overshoot is at
     // most one slice against millisecond-scale holds).
+    SimTime contend_start = -1;
     SimTime slice = p.machine().config().spinTryCost;
     const SimTime max_slice = 16 * p.machine().config().spinTryCost;
     while (!tryAcquire()) {
+        if (contend_start < 0)
+            contend_start = p.sim().now();
         ++contentions_;
         co_await p.cpu(slice, spinCenter_);
         co_await p.yieldCpu();
         if (slice < max_slice)
             slice *= 2;
+    }
+    if (trace::recording()) {
+        SimTime now = p.sim().now();
+        if (contend_start >= 0) {
+            trace::recorder()->lockContend(p, name_, contend_start,
+                                           now - contend_start);
+        }
+        holdMachine_ = &p.machine();
+        holdStart_ = now;
+    }
+}
+
+void
+SpinLock::release()
+{
+    held_ = false;
+    if (holdMachine_) {
+        if (trace::recording()) {
+            Machine &m = *holdMachine_;
+            trace::recorder()->lockHold(m, name_, holdStart_,
+                                        m.sim().now() - holdStart_);
+        }
+        holdMachine_ = nullptr;
     }
 }
 
@@ -57,7 +85,7 @@ SimMutex::acquire(Process &p)
 {
     while (held_) {
         waiters_.push_back(&p);
-        co_await p.block("mutex");
+        co_await p.block("mutex", trace::Wait::LockBlock);
         removeWaiter(waiters_, &p);
     }
     held_ = true;
@@ -75,7 +103,7 @@ Semaphore::acquire(Process &p)
 {
     while (count_ <= 0) {
         waiters_.push_back(&p);
-        co_await p.block("semaphore");
+        co_await p.block("semaphore", trace::Wait::LockBlock);
         removeWaiter(waiters_, &p);
     }
     --count_;

@@ -33,7 +33,8 @@ class SpinLock
     /** Spin (burning CPU) and sched_yield until the lock is taken. */
     Task acquire(Process &p);
 
-    /** Take the lock iff free. */
+    /** Take the lock iff free. Bare tryAcquire/release pairs are not
+     *  tracked as timeline hold intervals (no process context). */
     bool
     tryAcquire()
     {
@@ -43,7 +44,7 @@ class SpinLock
         return true;
     }
 
-    void release() { held_ = false; }
+    void release();
 
     bool held() const { return held_; }
 
@@ -57,6 +58,10 @@ class SpinLock
     std::uint64_t contentions_ = 0;
     std::string name_;
     CostCenterId spinCenter_;
+    /** Hold-interval tracking, set by acquire() while a recorder is
+     *  installed; release() emits the lock-track slice. */
+    Machine *holdMachine_ = nullptr;
+    SimTime holdStart_ = 0;
 };
 
 /** RAII-style scoped hold is impossible across co_await; use acquire/

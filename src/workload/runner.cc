@@ -9,6 +9,7 @@
 #include "phone/phone.hh"
 #include "sim/simulation.hh"
 #include "sim/sync.hh"
+#include "sim/trace.hh"
 
 namespace siprox::workload {
 
@@ -50,6 +51,10 @@ managerMain(sim::Process &p, Phases *phases, sim::Machine *server,
     phases->serverBusyAtStart = server->scheduler().busyTime();
     for (auto *m : client_machines)
         phases->clientBusyAtStart.push_back(m->scheduler().busyTime());
+    if (sim::trace::recording()) {
+        sim::trace::recorder()->instant("measure-start",
+                                        phases->measureStart);
+    }
     phases->start.arrive();
     if (phases->window > 0) {
         co_await p.sleepFor(phases->window);
@@ -58,6 +63,10 @@ managerMain(sim::Process &p, Phases *phases, sim::Machine *server,
     co_await phases->done.wait(p);
     phases->measureEnd = p.sim().now();
     phases->finished = true;
+    if (sim::trace::recording()) {
+        sim::trace::recorder()->instant("measure-end",
+                                        phases->measureEnd);
+    }
 }
 
 /**
@@ -351,6 +360,125 @@ RunResult::digest() const
     add("connEntriesAtEnd", connEntriesAtEnd);
     out += faults.digest();
     return out;
+}
+
+stats::MetricsRegistry
+collectMetrics(const RunResult &r)
+{
+    stats::MetricsRegistry reg;
+
+    // Phone-side counters (operations counted at the callers).
+    reg.setCounter("phone.ops", r.ops);
+    reg.setCounter("phone.callsCompleted", r.callsCompleted);
+    reg.setCounter("phone.callsFailed", r.callsFailed);
+    reg.setCounter("phone.retransmissions", r.phoneRetransmissions);
+    reg.setCounter("phone.reconnects", r.reconnects);
+    reg.setCounter("phone.reconnectFailures", r.reconnectFailures);
+    reg.setCounter("phone.rejected503", r.phoneRejected503);
+    reg.setCounter("phone.backoffs", r.phoneBackoffs);
+
+    // Run shape.
+    reg.setCounter("run.durationNs",
+                   static_cast<std::uint64_t>(
+                       r.duration > 0 ? r.duration : 0));
+    reg.setCounter("run.timedOut", r.timedOut ? 1 : 0);
+    reg.setCounter("run.occupancySamples", r.occupancy.size());
+    reg.setGauge("run.opsPerSec", r.opsPerSec);
+    reg.setGauge("run.serverUtilization", r.serverUtilization);
+    reg.setGauge("run.maxClientUtilization", r.maxClientUtilization);
+    reg.setGauge("run.inviteP50Ms", sim::toMsecs(r.inviteP50));
+    reg.setGauge("run.inviteP99Ms", sim::toMsecs(r.inviteP99));
+
+    // Proxy counters.
+    const core::ProxyCounters &c = r.counters;
+    reg.setCounter("proxy.messagesIn", c.messagesIn);
+    reg.setCounter("proxy.requestsIn", c.requestsIn);
+    reg.setCounter("proxy.responsesIn", c.responsesIn);
+    reg.setCounter("proxy.forwards", c.forwards);
+    reg.setCounter("proxy.localReplies", c.localReplies);
+    reg.setCounter("proxy.parseErrors", c.parseErrors);
+    reg.setCounter("proxy.routeFailures", c.routeFailures);
+    reg.setCounter("proxy.retransAbsorbed", c.retransAbsorbed);
+    reg.setCounter("proxy.retransSent", c.retransSent);
+    reg.setCounter("proxy.retransTimeouts", c.retransTimeouts);
+    reg.setCounter("proxy.timerB408s", c.timerB408s);
+    reg.setCounter("proxy.registrations", c.registrations);
+    reg.setCounter("proxy.authChallenges", c.authChallenges);
+    reg.setCounter("proxy.authAccepted", c.authAccepted);
+    reg.setCounter("proxy.redirects", c.redirects);
+    reg.setCounter("proxy.connsAccepted", c.connsAccepted);
+    reg.setCounter("proxy.connsDestroyed", c.connsDestroyed);
+    reg.setCounter("proxy.fdRequests", c.fdRequests);
+    reg.setCounter("proxy.fdCacheHits", c.fdCacheHits);
+    reg.setCounter("proxy.fdCacheInvalidations",
+                   c.fdCacheInvalidations);
+    reg.setCounter("proxy.outboundConnects", c.outboundConnects);
+    reg.setCounter("proxy.sendsToDeadConns", c.sendsToDeadConns);
+    reg.setCounter("proxy.idleScans", c.idleScans);
+    reg.setCounter("proxy.idleScanVisited", c.idleScanVisited);
+    reg.setCounter("proxy.connsReturnedByWorkers",
+                   c.connsReturnedByWorkers);
+    reg.setCounter("proxy.overloadRejected", c.overloadRejected);
+    reg.setCounter("proxy.overloadThrottled", c.overloadThrottled);
+    reg.setCounter("proxy.overloadPanicDrops", c.overloadPanicDrops);
+    reg.setCounter("proxy.overloadShedEnters", c.overloadShedEnters);
+    reg.setCounter("proxy.overloadShedExits", c.overloadShedExits);
+    reg.setCounter("proxy.tcpReadPauses", c.tcpReadPauses);
+    reg.setCounter("proxy.tcpReadResumes", c.tcpReadResumes);
+    reg.setCounter("proxy.tcpAcceptPauses", c.tcpAcceptPauses);
+    reg.setCounter("proxy.recvQueueDrops", r.proxyRecvQueueDrops);
+    reg.setCounter("proxy.acceptRefused", r.proxyAcceptRefused);
+    reg.setCounter("proxy.txnEntriesAtEnd", r.txnEntriesAtEnd);
+    reg.setCounter("proxy.retransEntriesAtEnd",
+                   r.retransEntriesAtEnd);
+    reg.setCounter("proxy.connEntriesAtEnd", r.connEntriesAtEnd);
+
+    // Network counters.
+    reg.setCounter("net.udpSent", r.net.udpSent);
+    reg.setCounter("net.udpDelivered", r.net.udpDelivered);
+    reg.setCounter("net.udpLost", r.net.udpLost);
+    reg.setCounter("net.udpDropped", r.net.udpDropped);
+    reg.setCounter("net.tcpConnects", r.net.tcpConnects);
+    reg.setCounter("net.tcpRefused", r.net.tcpRefused);
+    reg.setCounter("net.tcpSegments", r.net.tcpSegments);
+    reg.setCounter("net.tcpBytes", r.net.tcpBytes);
+    reg.setCounter("net.sctpMessages", r.net.sctpMessages);
+    reg.setCounter("net.sctpDropped", r.net.sctpDropped);
+    reg.setCounter("net.sctpAssocs", r.net.sctpAssocs);
+    reg.setCounter("net.faultDropped", r.net.faultDropped);
+    reg.setCounter("net.faultDuplicated", r.net.faultDuplicated);
+    reg.setCounter("net.faultDelayed", r.net.faultDelayed);
+    reg.setCounter("net.tcpFaultRefused", r.net.tcpFaultRefused);
+    reg.setCounter("net.tcpRstInjected", r.net.tcpRstInjected);
+    reg.setCounter("net.tcpBlackholed", r.net.tcpBlackholed);
+    reg.setCounter("net.tcpRecoveries", r.net.tcpRecoveries);
+
+    // Injected-fault totals over every impaired link.
+    stats::LinkFaultCounters f = r.faults.total();
+    reg.setCounter("faults.offered", f.offered);
+    reg.setCounter("faults.lost", f.lost);
+    reg.setCounter("faults.duplicated", f.duplicated);
+    reg.setCounter("faults.reordered", f.reordered);
+    reg.setCounter("faults.delayed", f.delayed);
+    reg.setCounter("faults.partitionDrops", f.partitionDrops);
+    reg.setCounter("faults.partitionHeld", f.partitionHeld);
+    reg.setCounter("faults.connectsRefused", f.connectsRefused);
+    reg.setCounter("faults.rstsInjected", f.rstsInjected);
+    reg.setCounter("faults.stalledDrops", f.stalledDrops);
+    reg.setCounter("faults.recoveries", f.recoveries);
+
+    // Server CPU profile over the measured phase: one share and one
+    // milliseconds gauge per cost center that accrued any time.
+    for (const auto &line :
+         r.serverProfile.top(sim::CostCenters::count())) {
+        reg.setGauge("profile.share." + line.name, line.pct / 100.0);
+        reg.setGauge("profile.ms." + line.name,
+                     sim::toMsecs(line.time));
+    }
+    reg.setGauge("profile.totalMs",
+                 sim::toMsecs(r.serverProfile.total()));
+
+    return reg;
 }
 
 Scenario

@@ -21,6 +21,7 @@
 #include "sim/profiler.hh"
 #include "sim/time.hh"
 #include "stats/fault_stats.hh"
+#include "stats/metrics.hh"
 
 namespace siprox::workload {
 
@@ -153,6 +154,15 @@ struct RunResult
 
 /** Build, run, and tear down one scenario. */
 RunResult runScenario(const Scenario &scenario);
+
+/**
+ * Fold every deterministic counter, derived gauge, fault total, and
+ * server profile entry of @p r into one metrics registry under the
+ * unified naming scheme (proxy.*, phone.*, net.*, faults.*,
+ * profile.*). The counters section of the returned registry's
+ * snapshot is byte-deterministic for identical runs.
+ */
+stats::MetricsRegistry collectMetrics(const RunResult &r);
 
 /**
  * Scenario presets for the paper's evaluation grid.

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the simulated-CPU profiler: cost-center interning,
+ * charge/at/share accounting, deterministic top() ordering (including
+ * the tie-break), and report() formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/profiler.hh"
+
+namespace {
+
+using namespace siprox::sim;
+
+TEST(CostCentersTest, InterningIsStable)
+{
+    CostCenterId a = CostCenters::id("test:prof:alpha");
+    CostCenterId b = CostCenters::id("test:prof:beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(CostCenters::id("test:prof:alpha"), a);
+    EXPECT_EQ(CostCenters::name(a), "test:prof:alpha");
+    EXPECT_GE(CostCenters::count(), 2u);
+}
+
+TEST(CostCentersTest, UnknownIdThrows)
+{
+    EXPECT_THROW(CostCenters::name(0xffffffffu), std::out_of_range);
+}
+
+TEST(ProfilerTest, EmptyProfilerIsAllZero)
+{
+    Profiler p;
+    EXPECT_EQ(p.total(), 0);
+    EXPECT_EQ(p.at("test:prof:alpha"), 0);
+    EXPECT_EQ(p.at("no such center, ever"), 0);
+    // share() on an empty profiler must not divide by zero.
+    EXPECT_DOUBLE_EQ(p.share("test:prof:alpha"), 0.0);
+    EXPECT_TRUE(p.top(10).empty());
+}
+
+TEST(ProfilerTest, ChargeAndShare)
+{
+    Profiler p;
+    CostCenterId a = CostCenters::id("test:prof:alpha");
+    CostCenterId b = CostCenters::id("test:prof:beta");
+    p.charge(a, usecs(30));
+    p.charge(b, usecs(10));
+    p.charge(a, usecs(10));
+    EXPECT_EQ(p.total(), usecs(50));
+    EXPECT_EQ(p.at(a), usecs(40));
+    EXPECT_EQ(p.at("test:prof:beta"), usecs(10));
+    EXPECT_DOUBLE_EQ(p.share("test:prof:alpha"), 0.8);
+    EXPECT_DOUBLE_EQ(p.share("test:prof:beta"), 0.2);
+    EXPECT_DOUBLE_EQ(p.share("no such center, ever"), 0.0);
+}
+
+TEST(ProfilerTest, TopSortsByTimeThenName)
+{
+    Profiler p;
+    // Intentionally interned out of alphabetical order, with a tie:
+    // top() must sort ties by name, not by interning order.
+    CostCenterId z = CostCenters::id("test:prof:tie-z");
+    CostCenterId m = CostCenters::id("test:prof:tie-m");
+    CostCenterId a = CostCenters::id("test:prof:tie-a");
+    CostCenterId big = CostCenters::id("test:prof:large");
+    p.charge(z, usecs(5));
+    p.charge(m, usecs(5));
+    p.charge(a, usecs(5));
+    p.charge(big, usecs(100));
+
+    auto lines = p.top(10);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[0].name, "test:prof:large");
+    EXPECT_EQ(lines[1].name, "test:prof:tie-a");
+    EXPECT_EQ(lines[2].name, "test:prof:tie-m");
+    EXPECT_EQ(lines[3].name, "test:prof:tie-z");
+    EXPECT_DOUBLE_EQ(lines[0].pct, 100.0 * 100 / 115);
+
+    // top(n) truncates after sorting.
+    auto top2 = p.top(2);
+    ASSERT_EQ(top2.size(), 2u);
+    EXPECT_EQ(top2[0].name, "test:prof:large");
+    EXPECT_EQ(top2[1].name, "test:prof:tie-a");
+}
+
+TEST(ProfilerTest, ZeroCentersAreOmitted)
+{
+    Profiler p;
+    CostCenterId a = CostCenters::id("test:prof:alpha");
+    CostCenterId b = CostCenters::id("test:prof:beta");
+    p.charge(a, usecs(1));
+    p.charge(b, 0);
+    auto lines = p.top(10);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].name, "test:prof:alpha");
+}
+
+TEST(ProfilerTest, ReportFormatting)
+{
+    Profiler p;
+    p.charge(CostCenters::id("test:prof:alpha"), msecs(3));
+    p.charge(CostCenters::id("test:prof:beta"), msecs(1));
+    std::string rep = p.report(10);
+
+    // Header plus one line per nonzero center.
+    EXPECT_NE(rep.find("cost center"), std::string::npos);
+    EXPECT_NE(rep.find("cpu (ms)"), std::string::npos);
+    EXPECT_NE(rep.find("test:prof:alpha"), std::string::npos);
+    EXPECT_NE(rep.find("3.000"), std::string::npos);
+    EXPECT_NE(rep.find("75.00%"), std::string::npos);
+    EXPECT_NE(rep.find("25.00%"), std::string::npos);
+    ASSERT_FALSE(rep.empty());
+    EXPECT_EQ(rep.back(), '\n');
+    // report(n) honors the cap: only the header plus one line.
+    std::string one = p.report(1);
+    EXPECT_NE(one.find("test:prof:alpha"), std::string::npos);
+    EXPECT_EQ(one.find("test:prof:beta"), std::string::npos);
+}
+
+TEST(ProfilerTest, ResetClearsTotalsButKeepsCenters)
+{
+    Profiler p;
+    CostCenterId a = CostCenters::id("test:prof:alpha");
+    p.charge(a, usecs(7));
+    EXPECT_GT(p.total(), 0);
+    p.reset();
+    EXPECT_EQ(p.total(), 0);
+    EXPECT_EQ(p.at(a), 0);
+    EXPECT_TRUE(p.top(5).empty());
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts probe exports.
+
+Usage: check_trace.py TRACE_JSON [METRICS_JSON]
+
+Checks that TRACE_JSON is a well-formed Chrome trace-event document
+with the track layout the recorder promises (machine processes, core /
+process / lock threads, span slices whose per-category wait breakdown
+sums to the slice duration, matched async call begin/end pairs), and
+that METRICS_JSON is a well-formed metrics snapshot with the unified
+counter namespaces. Exits nonzero with a message on the first
+violation — the CI gate for the exported artifacts.
+"""
+
+import json
+import sys
+from collections import Counter
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    pids = {}          # pid -> process_name
+    phases = Counter()
+    cats = Counter()
+    async_open = Counter()  # (pid, id, name) -> depth
+    spans_checked = 0
+
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph is None:
+            fail(f"event {i}: missing ph")
+        phases[ph] += 1
+
+        if ph == "M":
+            if e.get("name") == "process_name":
+                pids[e["pid"]] = e["args"]["name"]
+            continue
+
+        for key in ("ts", "pid", "tid"):
+            if key not in e:
+                fail(f"event {i}: missing {key}")
+        if ph == "X" and "dur" not in e:
+            fail(f"event {i}: complete event missing dur")
+        cats[e.get("cat", "-")] += 1
+
+        if ph == "X" and e.get("cat") == "span":
+            args = e.get("args", {})
+            if "callId" not in args:
+                fail(f"event {i}: span without callId")
+            wait_us = sum(v for k, v in args.items()
+                          if k.endswith("_us"))
+            # The recorder guarantees the decomposition sums to the
+            # span duration exactly in ns; after the fixed 3-decimal
+            # µs rendering, the parts can each lose < 1ns.
+            if abs(wait_us - e["dur"]) > 0.001 * max(1, len(args)):
+                fail(f"event {i}: span wait breakdown {wait_us}us "
+                     f"!= dur {e['dur']}us")
+            spans_checked += 1
+
+        if ph in ("b", "e"):
+            key = (e["pid"], e.get("id"), e.get("name"))
+            async_open[key] += 1 if ph == "b" else -1
+            if async_open[key] < 0:
+                fail(f"event {i}: async end without begin: {key}")
+
+    unbalanced = {k: v for k, v in async_open.items() if v != 0}
+    if unbalanced:
+        fail(f"{len(unbalanced)} unbalanced async call tracks")
+
+    if "calls" not in pids.values():
+        fail("missing the synthetic 'calls' process")
+    if len(pids) < 2:
+        fail("expected at least one machine process besides 'calls'")
+    for cat in ("sched", "span"):
+        if cats[cat] == 0:
+            fail(f"no '{cat}' events recorded")
+    if phases["b"] == 0 or phases["b"] != phases["e"]:
+        fail("async call begin/end events missing or unbalanced")
+    if spans_checked == 0:
+        fail("no span slices to check")
+
+    print(f"check_trace: trace ok: {len(events)} events, "
+          f"{len(pids)} processes, {spans_checked} spans checked, "
+          f"{phases['b']} async calls")
+
+
+def check_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    for section in ("counters", "gauges"):
+        if section not in doc or not isinstance(doc[section], dict):
+            fail(f"metrics: missing {section} object")
+    counters = doc["counters"]
+    for ns in ("proxy.", "phone.", "net.", "faults."):
+        if not any(k.startswith(ns) for k in counters):
+            fail(f"metrics: no counters in namespace {ns}*")
+    for name, v in counters.items():
+        if not isinstance(v, int) or v < 0:
+            fail(f"metrics: counter {name} is not a non-negative "
+                 f"integer")
+    if list(counters) != sorted(counters):
+        fail("metrics: counters are not sorted")
+    print(f"check_trace: metrics ok: {len(counters)} counters, "
+          f"{len(doc['gauges'])} gauges")
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_trace(sys.argv[1])
+    if len(sys.argv) == 3:
+        check_metrics(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()

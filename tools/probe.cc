@@ -1,45 +1,230 @@
+/**
+ * @file
+ * Command-line probe: run one paper scenario and print its headline
+ * numbers, optionally exporting the full observability artifacts — a
+ * Perfetto-loadable timeline (--trace-out) and a metrics snapshot
+ * (--metrics-json).
+ */
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
 #include "workload/scenario.hh"
+
 using namespace siprox;
 using namespace siprox::workload;
 
-int main(int argc, char** argv) {
-    const char* t = argc > 1 ? argv[1] : "udp";
-    int clients = argc > 2 ? atoi(argv[2]) : 100;
-    int opc = argc > 3 ? atoi(argv[3]) : 0;
-    int fdcache = argc > 4 ? atoi(argv[4]) : 0;
-    int pq = argc > 5 ? atoi(argv[5]) : 0;
-    int nice = argc > 6 ? atoi(argv[6]) : -20;
-    core::Transport tr = t[0]=='u' ? core::Transport::Udp :
-                         t[0]=='s' ? core::Transport::Sctp : core::Transport::Tcp;
+namespace {
+
+constexpr const char *kUsage =
+    "usage: probe [options] [transport] [clients] [opsPerConn]\n"
+    "             [fdcache] [prioqueue] [supervisorNice]\n"
+    "\n"
+    "Run one paper scenario and print its headline numbers.\n"
+    "\n"
+    "positional arguments:\n"
+    "  transport        udp | tcp | sctp          (default udp)\n"
+    "  clients          concurrent call pairs, >0 (default 100)\n"
+    "  opsPerConn       TCP reconnect period, >=0 (default 0:\n"
+    "                   persistent connections)\n"
+    "  fdcache          0 | 1: supervisor fd cache (default 0)\n"
+    "  prioqueue        0 | 1: priority-queue idle scan (default 0)\n"
+    "  supervisorNice   -20..19                   (default -20)\n"
+    "\n"
+    "options:\n"
+    "  --window=SECS        time-based measured phase of SECS\n"
+    "                       simulated seconds (overrides the WINDOW\n"
+    "                       environment variable)\n"
+    "  --trace-out=FILE     record the run and write Chrome\n"
+    "                       trace-event JSON (open in Perfetto)\n"
+    "  --metrics-json=FILE  write the unified metrics snapshot\n"
+    "  -h, --help           show this help and exit\n"
+    "\n"
+    "exit status: 0 ok, 1 artifact write failed, 2 usage error.\n";
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "probe: %s\n\n%s", msg.c_str(), kUsage);
+    std::exit(2);
+}
+
+/** Strict base-10 integer parse; usage error on garbage or range. */
+long
+parseLong(const char *what, const char *s, long lo, long hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(s, &end, 10);
+    if (errno != 0 || end == s || *end != '\0')
+        usageError(std::string(what) + ": not an integer: '" + s
+                   + "'");
+    if (v < lo || v > hi)
+        usageError(std::string(what) + ": " + std::to_string(v)
+                   + " out of range [" + std::to_string(lo) + ", "
+                   + std::to_string(hi) + "]");
+    return v;
+}
+
+double
+parseSeconds(const char *what, const char *s)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (errno != 0 || end == s || *end != '\0' || !(v > 0))
+        usageError(std::string(what) + ": not a positive duration: '"
+                   + s + "'");
+    return v;
+}
+
+core::Transport
+parseTransport(const char *s)
+{
+    if (std::strcmp(s, "udp") == 0)
+        return core::Transport::Udp;
+    if (std::strcmp(s, "tcp") == 0)
+        return core::Transport::Tcp;
+    if (std::strcmp(s, "sctp") == 0)
+        return core::Transport::Sctp;
+    usageError(std::string("unknown transport '") + s
+               + "' (expected udp, tcp, or sctp)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_out;
+    std::string metrics_out;
+    double window_secs = 0;
+
+    // Split --options from positionals (options may appear anywhere).
+    std::vector<const char *> pos;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "-h") == 0 || std::strcmp(a, "--help") == 0) {
+            std::fputs(kUsage, stdout);
+            return 0;
+        }
+        if (std::strncmp(a, "--window=", 9) == 0)
+            window_secs = parseSeconds("--window", a + 9);
+        else if (std::strncmp(a, "--trace-out=", 12) == 0)
+            trace_out = a + 12;
+        else if (std::strncmp(a, "--metrics-json=", 15) == 0)
+            metrics_out = a + 15;
+        else if (a[0] == '-' && a[1] != '\0'
+                 && !(a[1] >= '0' && a[1] <= '9'))
+            usageError(std::string("unknown option '") + a + "'");
+        else
+            pos.push_back(a);
+    }
+    if (pos.size() > 6)
+        usageError("too many positional arguments");
+
+    core::Transport tr =
+        pos.size() > 0 ? parseTransport(pos[0]) : core::Transport::Udp;
+    int clients = pos.size() > 1
+        ? static_cast<int>(parseLong("clients", pos[1], 1, 1000000))
+        : 100;
+    int opc = pos.size() > 2
+        ? static_cast<int>(parseLong("opsPerConn", pos[2], 0, 1000000))
+        : 0;
+    int fdcache = pos.size() > 3
+        ? static_cast<int>(parseLong("fdcache", pos[3], 0, 1))
+        : 0;
+    int pq = pos.size() > 4
+        ? static_cast<int>(parseLong("prioqueue", pos[4], 0, 1))
+        : 0;
+    int nice = pos.size() > 5
+        ? static_cast<int>(parseLong("supervisorNice", pos[5], -20, 19))
+        : -20;
+
     Scenario sc = paperScenario(tr, clients, opc);
-    if (const char* w = getenv("WINDOW"))
-        sc.measureWindow = sim::secs(atof(w));
-    sc.proxy.fdCache = fdcache;
-    sc.proxy.idleStrategy = pq ? core::IdleStrategy::PriorityQueue : core::IdleStrategy::LinearScan;
+    if (window_secs > 0)
+        sc.measureWindow = sim::secs(window_secs);
+    else if (const char *w = std::getenv("WINDOW"))
+        sc.measureWindow = sim::secs(parseSeconds("WINDOW", w));
+    sc.proxy.fdCache = fdcache != 0;
+    sc.proxy.idleStrategy = pq ? core::IdleStrategy::PriorityQueue
+                               : core::IdleStrategy::LinearScan;
     sc.proxy.supervisorNice = nice;
+
+    // Observability: install the recorder only when an artifact was
+    // requested; the run stays zero-overhead otherwise.
+    bool record = !trace_out.empty() || !metrics_out.empty();
+    sim::trace::Recorder rec;
+    if (record)
+        sim::trace::setRecorder(&rec);
     RunResult r = runScenario(sc);
+    sim::trace::setRecorder(nullptr);
+
+    int rc = 0;
+    if (!trace_out.empty()) {
+        if (rec.writeJsonFile(trace_out)) {
+            std::printf("trace: %s (%zu events, %llu dropped)\n",
+                        trace_out.c_str(), rec.eventCount(),
+                        (unsigned long long)rec.dropped());
+        } else {
+            std::fprintf(stderr, "probe: cannot write %s\n",
+                         trace_out.c_str());
+            rc = 1;
+        }
+    }
+    if (!metrics_out.empty()) {
+        stats::MetricsRegistry reg = collectMetrics(r);
+        std::FILE *f = std::fopen(metrics_out.c_str(), "w");
+        if (f) {
+            std::string json = reg.snapshot().toJson();
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+            std::printf("metrics: %s\n", metrics_out.c_str());
+        } else {
+            std::fprintf(stderr, "probe: cannot write %s\n",
+                         metrics_out.c_str());
+            rc = 1;
+        }
+    }
+
     double ipc = r.serverProfile.share("ser:tcp_send_fd_request")
                + r.serverProfile.share("kernel:unix_ipc");
-    printf("ipcShare=%.1f%% schedShare=%.1f%% spinShare=%.1f%% scanShare=%.1f%%\n",
-           ipc * 100, r.serverProfile.share("kernel:schedule") * 100,
-           r.serverProfile.share("user:spinlock") * 100,
-           r.serverProfile.share("ser:tcpconn_timeout") * 100);
-    printf("%s: %.0f ops/s  ops=%lu dur=%.2fs failed=%lu srvUtil=%.2f cliUtil=%.2f "
-           "fdReq=%lu hits=%lu scansVisited=%lu retransAbs=%lu retransSent=%lu p50=%.2fms timedOut=%d\n",
-           sc.name.c_str(), r.opsPerSec, (unsigned long)r.ops, sim::toSecs(r.duration),
-           (unsigned long)r.callsFailed, r.serverUtilization, r.maxClientUtilization,
-           (unsigned long)r.counters.fdRequests, (unsigned long)r.counters.fdCacheHits,
-           (unsigned long)r.counters.idleScanVisited,
-           (unsigned long)r.counters.retransAbsorbed, (unsigned long)r.counters.retransSent,
-           sim::toMsecs(r.inviteP50), r.timedOut);
-    printf("conns: accepted=%lu destroyed=%lu returned=%lu outbound=%lu scans=%lu reconnects=%lu reconnFail=%lu deadSends=%lu\n",
-           (unsigned long)r.counters.connsAccepted, (unsigned long)r.counters.connsDestroyed,
-           (unsigned long)r.counters.connsReturnedByWorkers, (unsigned long)r.counters.outboundConnects,
-           (unsigned long)r.counters.idleScans, (unsigned long)r.reconnects,
-           (unsigned long)r.reconnectFailures, (unsigned long)r.counters.sendsToDeadConns);
-    puts("top profile:");
-    fputs(r.serverProfile.report(12).c_str(), stdout);
-    return 0;
+    std::printf(
+        "ipcShare=%.1f%% schedShare=%.1f%% spinShare=%.1f%% "
+        "scanShare=%.1f%%\n",
+        ipc * 100, r.serverProfile.share("kernel:schedule") * 100,
+        r.serverProfile.share("user:spinlock") * 100,
+        r.serverProfile.share("ser:tcpconn_timeout") * 100);
+    std::printf(
+        "%s: %.0f ops/s  ops=%lu dur=%.2fs failed=%lu srvUtil=%.2f "
+        "cliUtil=%.2f fdReq=%lu hits=%lu scansVisited=%lu "
+        "retransAbs=%lu retransSent=%lu p50=%.2fms timedOut=%d\n",
+        sc.name.c_str(), r.opsPerSec, (unsigned long)r.ops,
+        sim::toSecs(r.duration), (unsigned long)r.callsFailed,
+        r.serverUtilization, r.maxClientUtilization,
+        (unsigned long)r.counters.fdRequests,
+        (unsigned long)r.counters.fdCacheHits,
+        (unsigned long)r.counters.idleScanVisited,
+        (unsigned long)r.counters.retransAbsorbed,
+        (unsigned long)r.counters.retransSent,
+        sim::toMsecs(r.inviteP50), r.timedOut);
+    std::printf(
+        "conns: accepted=%lu destroyed=%lu returned=%lu outbound=%lu "
+        "scans=%lu reconnects=%lu reconnFail=%lu deadSends=%lu\n",
+        (unsigned long)r.counters.connsAccepted,
+        (unsigned long)r.counters.connsDestroyed,
+        (unsigned long)r.counters.connsReturnedByWorkers,
+        (unsigned long)r.counters.outboundConnects,
+        (unsigned long)r.counters.idleScans,
+        (unsigned long)r.reconnects,
+        (unsigned long)r.reconnectFailures,
+        (unsigned long)r.counters.sendsToDeadConns);
+    std::puts("top profile:");
+    std::fputs(r.serverProfile.report(12).c_str(), stdout);
+    return rc;
 }
