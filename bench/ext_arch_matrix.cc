@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Server-architecture matrix: the three architectures of the pluggable
+ * layer (supervisor/worker §3.1, symmetric workers §3.2, event-driven
+ * §5–§6) side by side over TCP, UDP, and SCTP on the fig-4/5 workload.
+ *
+ * Expected shape: event-driven TCP meets or beats the best
+ * supervisor/worker configuration (fd cache + priority queue, fig 5)
+ * because the fd-request IPC round trip and the supervisor process are
+ * gone entirely — closing most of the remaining gap to UDP. On the
+ * datagram transports the loops degenerate to symmetric receivers, so
+ * event ≈ symmetric there (the architecture only has headroom to
+ * reclaim where TCP's connection management put overhead in).
+ *
+ * Output: a table on stdout, and a JSON artifact (argv[1], default
+ * BENCH_arch_matrix.json) for CI trend tracking.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fig_common.hh"
+
+namespace {
+
+using namespace siprox;
+
+struct Case
+{
+    const char *name;
+    core::Transport transport;
+    core::ArchKind arch;
+    bool fdCache;
+    core::IdleStrategy idle;
+    int opsPerConn;
+};
+
+struct Row
+{
+    const Case *c;
+    workload::RunResult r;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using core::ArchKind;
+    using core::IdleStrategy;
+    using core::Transport;
+
+    const bool smoke = bench::smokeMode();
+    const int clients = smoke ? 100 : 500;
+
+    // clang-format off
+    const Case all_cases[] = {
+        {"UDP symmetric (par. 3.2)",     Transport::Udp,  ArchKind::SymmetricWorker,  false, IdleStrategy::LinearScan,     0},
+        {"UDP event-driven",             Transport::Udp,  ArchKind::EventDriven,      false, IdleStrategy::LinearScan,     0},
+        {"TCP supervisor baseline",      Transport::Tcp,  ArchKind::SupervisorWorker, false, IdleStrategy::LinearScan,    50},
+        {"TCP supervisor, both fixes",   Transport::Tcp,  ArchKind::SupervisorWorker, true,  IdleStrategy::PriorityQueue, 50},
+        {"TCP event-driven",             Transport::Tcp,  ArchKind::EventDriven,      false, IdleStrategy::LinearScan,    50},
+        {"TCP supervisor baseline",      Transport::Tcp,  ArchKind::SupervisorWorker, false, IdleStrategy::LinearScan,     0},
+        {"TCP supervisor, both fixes",   Transport::Tcp,  ArchKind::SupervisorWorker, true,  IdleStrategy::PriorityQueue,  0},
+        {"TCP event-driven",             Transport::Tcp,  ArchKind::EventDriven,      false, IdleStrategy::LinearScan,     0},
+        {"SCTP symmetric (par. 6)",      Transport::Sctp, ArchKind::SymmetricWorker,  false, IdleStrategy::LinearScan,     0},
+        {"SCTP event-driven",            Transport::Sctp, ArchKind::EventDriven,      false, IdleStrategy::LinearScan,     0},
+    };
+    // clang-format on
+
+    std::vector<Row> rows;
+    double udp_ops = 0;
+    for (const Case &c : all_cases) {
+        // CI smoke proves all three architectures run end to end over
+        // TCP and UDP; the connection-churn duplicates and SCTP add
+        // nothing to that and double the runtime.
+        if (smoke
+            && (c.transport == Transport::Sctp || c.opsPerConn != 0)) {
+            continue;
+        }
+        workload::Scenario sc =
+            bench::sweepScenario(c.transport, clients, c.opsPerConn);
+        if (smoke)
+            sc.measureWindow /= 4;
+        sc.proxy.arch = c.arch;
+        sc.proxy.fdCache = c.fdCache;
+        sc.proxy.idleStrategy = c.idle;
+        workload::RunResult r = workload::runScenario(sc);
+        bench::logPoint(sc, r);
+        if (c.transport == Transport::Udp && udp_ops == 0)
+            udp_ops = r.opsPerSec;
+        rows.push_back({&c, std::move(r)});
+    }
+
+    stats::Table table({"architecture", "workload", "ops/s", "% of UDP",
+                        "loops", "fd IPC", "stolen"});
+    for (const Row &row : rows) {
+        table.addRow(
+            {row.c->name,
+             row.c->opsPerConn == 0
+                 ? "persistent"
+                 : std::to_string(row.c->opsPerConn) + " ops/conn",
+             stats::Table::num(row.r.opsPerSec),
+             stats::Table::pct(udp_ops > 0 ? row.r.opsPerSec / udp_ops
+                                           : 0),
+             std::to_string(row.r.archLoops),
+             std::to_string(row.r.counters.fdRequests),
+             std::to_string(row.r.counters.connsStolen)});
+    }
+    std::printf("=== Server-architecture matrix (%d clients) ===\n%s\n",
+                clients, table.render().c_str());
+
+    const char *out_path =
+        argc > 1 ? argv[1] : "BENCH_arch_matrix.json";
+    std::FILE *f = std::fopen(out_path, "w");
+    if (!f) {
+        std::perror("fopen");
+        return 1;
+    }
+    std::fprintf(f, "{\n\"schema\": \"siprox-arch-matrix-v1\",\n");
+    std::fprintf(f, "\"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "\"clients\": %d,\n\"cells\": {\n", clients);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        std::string key = std::string(core::archKindName(row.r.archKind))
+            + "_" + core::transportName(row.c->transport) + "_"
+            + (row.c->opsPerConn == 0
+                   ? "persistent"
+                   : std::to_string(row.c->opsPerConn) + "opc")
+            + (row.c->fdCache ? "_fixes" : "");
+        std::fprintf(f,
+                     "  \"%s\": {\"ops_per_sec\": %.1f, \"loops\": %d, "
+                     "\"fd_requests\": %llu, \"conns_stolen\": %llu, "
+                     "\"pct_of_udp\": %.3f}%s\n",
+                     key.c_str(), row.r.opsPerSec, row.r.archLoops,
+                     static_cast<unsigned long long>(
+                         row.r.counters.fdRequests),
+                     static_cast<unsigned long long>(
+                         row.r.counters.connsStolen),
+                     udp_ops > 0 ? row.r.opsPerSec / udp_ops : 0.0,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path);
+    return 0;
+}

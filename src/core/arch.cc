@@ -1,0 +1,84 @@
+#include "core/arch.hh"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/event_arch.hh"
+#include "core/tcp_arch.hh"
+#include "core/udp_arch.hh"
+
+namespace siprox::core {
+
+const char *
+archKindName(ArchKind k)
+{
+    switch (k) {
+      case ArchKind::Auto:
+        return "auto";
+      case ArchKind::SupervisorWorker:
+        return "supervisor";
+      case ArchKind::SymmetricWorker:
+        return "symmetric";
+      case ArchKind::EventDriven:
+        return "event";
+    }
+    return "?";
+}
+
+ArchKind
+resolveArchKind(ArchKind k, Transport t)
+{
+    if (k != ArchKind::Auto)
+        return k;
+    // OpenSER's hard-wired map: the transport implies the architecture.
+    return t == Transport::Tcp ? ArchKind::SupervisorWorker
+                               : ArchKind::SymmetricWorker;
+}
+
+const char *
+archSupportError(ArchKind k, Transport t)
+{
+    switch (resolveArchKind(k, t)) {
+      case ArchKind::SupervisorWorker:
+        if (t != Transport::Tcp)
+            return "the supervisor/worker architecture is "
+                   "connection-oriented (accept, assign, fd-passing); "
+                   "it only serves TCP";
+        return nullptr;
+      case ArchKind::SymmetricWorker:
+        if (t == Transport::Tcp)
+            return "symmetric workers share one message-based socket; "
+                   "TCP's byte streams need per-connection ownership "
+                   "(use supervisor or event)";
+        return nullptr;
+      case ArchKind::EventDriven:
+        return nullptr; // readiness loops serve every transport
+      case ArchKind::Auto:
+        break; // unreachable: resolveArchKind never returns Auto
+    }
+    return nullptr;
+}
+
+std::unique_ptr<ServerArch>
+makeServerArch(sim::Machine &machine, net::Host &host,
+               SharedState &shared, const ProxyConfig &cfg)
+{
+    if (const char *err = archSupportError(cfg.arch, cfg.transport)) {
+        throw std::invalid_argument(
+            std::string(archKindName(cfg.arch)) + " over "
+            + transportName(cfg.transport) + ": " + err);
+    }
+    switch (resolveArchKind(cfg.arch, cfg.transport)) {
+      case ArchKind::SupervisorWorker:
+        return std::make_unique<TcpArch>(machine, host, shared, cfg);
+      case ArchKind::SymmetricWorker:
+        return std::make_unique<UdpArch>(machine, host, shared, cfg);
+      case ArchKind::EventDriven:
+        return std::make_unique<EventArch>(machine, host, shared, cfg);
+      case ArchKind::Auto:
+        break; // unreachable
+    }
+    throw std::logic_error("unresolved architecture kind");
+}
+
+} // namespace siprox::core

@@ -25,6 +25,42 @@ enum class Transport
 
 const char *transportName(Transport t);
 
+/**
+ * Server architecture: how sockets, processes, and connection
+ * ownership are arranged (independent of the wire transport, though
+ * not every pairing is meaningful — see archSupportError()).
+ */
+enum class ArchKind
+{
+    /** Transport-implied, as OpenSER hard-wires it: TCP gets the
+     *  supervisor/worker design, datagram transports the symmetric
+     *  workers. The default, so existing configs keep their exact
+     *  pre-refactor behaviour. */
+    Auto,
+    /** §3.1 / Figure 1: one supervisor accepting, assigning, and
+     *  answering blocking fd requests over IPC; N workers owning
+     *  connections. TCP only. */
+    SupervisorWorker,
+    /** §3.2 / Figure 2: N identical workers all receiving from one
+     *  shared socket; kernel does the demultiplexing. Datagram
+     *  transports only. */
+    SymmetricWorker,
+    /** The modern redesign the paper's analysis points at: one
+     *  process per core running a readiness loop, non-blocking
+     *  accept/read, a shared descriptor table instead of fd-passing
+     *  IPC, and per-core priority-queue idle management. Works over
+     *  every transport. */
+    EventDriven,
+};
+
+const char *archKindName(ArchKind k);
+
+/** Resolve Auto to the transport-implied concrete architecture. */
+ArchKind resolveArchKind(ArchKind k, Transport t);
+
+/** nullptr if @p k can serve @p t, else a static reason string. */
+const char *archSupportError(ArchKind k, Transport t);
+
 /** §6: process-per-worker vs threads sharing one address space. */
 enum class ConcurrencyModel
 {
@@ -123,7 +159,10 @@ struct OverloadConfig
 struct ProxyConfig
 {
     Transport transport = Transport::Udp;
-    /** Worker processes; the paper uses 24 for UDP and 32 for TCP. */
+    /** Server architecture (Auto: OpenSER's transport-implied map). */
+    ArchKind arch = ArchKind::Auto;
+    /** Worker processes; the paper uses 24 for UDP and 32 for TCP.
+     *  EventDriven ignores this and runs one loop per core. */
     int workers = 24;
     /** Stateful proxies absorb retransmissions and send 100 Trying. */
     bool stateful = true;

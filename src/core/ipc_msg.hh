@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Lifecycle boilerplate for move-only IPC message types.
+ *
+ * GCC 12 miscompiles by-value coroutine parameters of *aggregate* type
+ * holding move-only members: the compiler materialises the argument
+ * twice (once into the coroutine frame, once for the body), and the two
+ * copies double-destroy the move-only member. Any user-declared
+ * constructor takes the type out of aggregate-land (C++20 [dcl.init.aggr])
+ * and off that code path, so every message type passed by value into a
+ * coroutine declares its lifecycle through this macro instead of
+ * hand-writing member-by-member move operations.
+ *
+ * SIPROX_IPC_MSG_LIFECYCLE(T) declares, inside the class body of T:
+ *  - a defaulted default constructor (user-declared => non-aggregate),
+ *  - defaulted noexcept move construction/assignment,
+ *  - deleted copy construction/assignment (messages carry descriptors).
+ *
+ * Keep any value constructors next to the macro; being user-declared
+ * they reinforce the non-aggregate property rather than weaken it.
+ */
+
+#ifndef SIPROX_CORE_IPC_MSG_HH
+#define SIPROX_CORE_IPC_MSG_HH
+
+#define SIPROX_IPC_MSG_LIFECYCLE(T)                                     \
+    T() = default;                                                      \
+    T(T &&) noexcept = default;                                         \
+    T &operator=(T &&) noexcept = default;                              \
+    T(const T &) = delete;                                              \
+    T &operator=(const T &) = delete
+
+#endif // SIPROX_CORE_IPC_MSG_HH

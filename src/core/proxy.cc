@@ -1,8 +1,5 @@
 #include "core/proxy.hh"
 
-#include "core/tcp_arch.hh"
-#include "core/udp_arch.hh"
-
 namespace siprox::core {
 
 Proxy::Proxy(sim::Machine &machine, net::Host &host, ProxyConfig cfg)
@@ -17,56 +14,39 @@ Proxy::start()
 {
     shared_.overload.configure(cfg_.overload, &shared_.txns,
                                &shared_.counters);
-    switch (cfg_.transport) {
-      case Transport::Udp:
-      case Transport::Sctp:
-        udp_ = std::make_unique<UdpArch>(machine_, host_, shared_,
-                                         cfg_);
-        udp_->start();
-        break;
-      case Transport::Tcp:
-        tcp_ = std::make_unique<TcpArch>(machine_, host_, shared_,
-                                         cfg_);
-        tcp_->start();
-        break;
-    }
+    arch_ = makeServerArch(machine_, host_, shared_, cfg_);
+    arch_->start();
 }
 
 std::size_t
 Proxy::requestQueueDepth() const
 {
-    if (tcp_)
-        return tcp_->requestQueueDepth();
-    return udp_ ? udp_->recvQueueDepth() : 0;
+    return arch_ ? arch_->requestQueueDepth() : 0;
 }
 
 std::size_t
 Proxy::recvQueueDepth() const
 {
-    if (tcp_)
-        return tcp_->acceptBacklogDepth();
-    return udp_ ? udp_->recvQueueDepth() : 0;
+    return arch_ ? arch_->recvQueueDepth() : 0;
 }
 
 std::uint64_t
 Proxy::recvQueueDrops() const
 {
-    return udp_ ? udp_->recvQueueDrops() : 0;
+    return arch_ ? arch_->recvQueueDrops() : 0;
 }
 
 std::uint64_t
 Proxy::acceptRefused() const
 {
-    return tcp_ ? tcp_->acceptRefused() : 0;
+    return arch_ ? arch_->acceptRefused() : 0;
 }
 
 void
 Proxy::requestStop()
 {
-    if (udp_)
-        udp_->requestStop();
-    if (tcp_)
-        tcp_->requestStop();
+    if (arch_)
+        arch_->requestStop();
 }
 
 } // namespace siprox::core

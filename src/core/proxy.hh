@@ -13,15 +13,13 @@
 
 #include <memory>
 
+#include "core/arch.hh"
 #include "core/config.hh"
 #include "core/shared.hh"
 #include "net/network.hh"
 #include "sim/machine.hh"
 
 namespace siprox::core {
-
-class UdpArch;
-class TcpArch;
 
 /**
  * A SIP proxy bound to one host.
@@ -35,7 +33,11 @@ class Proxy
     Proxy(const Proxy &) = delete;
     Proxy &operator=(const Proxy &) = delete;
 
-    /** Bind sockets and spawn the architecture's processes. */
+    /**
+     * Bind sockets and spawn the architecture's processes.
+     * @throws std::invalid_argument for an unsupported arch x
+     *         transport pairing (see archSupportError()).
+     */
     void start();
 
     /** Ask every proxy process to exit at its next wakeup. */
@@ -48,13 +50,16 @@ class Proxy
     sim::Machine &machine() const { return machine_; }
     net::Host &host() const { return host_; }
 
+    /** The running server architecture (null before start()). */
+    const ServerArch *arch() const { return arch_.get(); }
+
     /** Shared-memory state (counters, tables) for tests and benches. */
     SharedState &shared() { return shared_; }
     const SharedState &shared() const { return shared_; }
 
     // --- overload observability (sampled by the workload runner) -------
     /** Worker request-queue depth: the TCP worker->supervisor channel;
-     *  for datagram transports the socket receive queue. */
+     *  for architectures without IPC the socket receive queue. */
     std::size_t requestQueueDepth() const;
     /** Datagram receive-queue depth, or the TCP accept backlog. */
     std::size_t recvQueueDepth() const;
@@ -68,8 +73,7 @@ class Proxy
     net::Host &host_;
     ProxyConfig cfg_;
     SharedState shared_;
-    std::unique_ptr<UdpArch> udp_;
-    std::unique_ptr<TcpArch> tcp_;
+    std::unique_ptr<ServerArch> arch_;
 };
 
 } // namespace siprox::core

@@ -45,6 +45,8 @@ struct ProxyCounters
     std::uint64_t idleScans = 0;
     std::uint64_t idleScanVisited = 0;
     std::uint64_t connsReturnedByWorkers = 0;
+    /** Event arch: connections migrated to an idle loop (work steal). */
+    std::uint64_t connsStolen = 0;
     // --- overload control ---------------------------------------------
     std::uint64_t overloadRejected = 0;  ///< 503s from ThresholdReject
     std::uint64_t overloadThrottled = 0; ///< 503s from RateThrottle

@@ -44,6 +44,8 @@ TcpArch::start()
         w->resp = std::make_unique<sim::Channel<FdRespMsg>>(4,
                                                             "tcp_resp");
         w->engine = std::make_unique<Engine>(shared_, cfg_, addr, i);
+        w->loop = std::make_unique<WorkerLoop>(shared_, cfg_,
+                                              *w->engine);
         workers_.push_back(std::move(w));
         machine_.spawn("tcp_worker" + std::to_string(i), 0,
                        [this, i](sim::Process &p) {
@@ -161,11 +163,7 @@ TcpArch::workerReadConn(sim::Process &p, Worker &w,
         co_return;
     std::string bytes;
     co_await it->second.recv(p, bytes);
-    if (sim::trace::enabled()) {
-        sim::trace::log(p.sim().now(), "proxy-rx",
-                        "conn " + std::to_string(conn_id) + " "
-                            + std::to_string(bytes.size()) + "B");
-    }
+    WorkerLoop::traceRxConn(p, conn_id, bytes.size());
     if (bytes.empty()) {
         // EOF or reset.
         co_await workerCloseConn(p, w, conn_id, /*dead=*/true);
@@ -188,31 +186,21 @@ TcpArch::workerReadConn(sim::Process &p, Worker &w,
         auto raw = fit->second.next();
         if (!raw)
             break;
-        co_await workerHandleRaw(p, w, std::move(*raw), conn_id, peer);
+        // The lambda merely calls named member coroutines (lifetime
+        // rule, sim/task.hh); &w stays valid for the whole run.
+        Worker *wp = &w;
+        co_await w.loop->dispatch(
+            p, std::move(*raw), MsgSource{peer, conn_id},
+            [this, wp](sim::Process &sp, SendAction action) {
+                return threadMode()
+                    ? workerSendThreadMode(sp, *wp, std::move(action))
+                    : workerSend(sp, *wp, std::move(action));
+            });
     }
     // Reading refreshes the connection's timestamp (unlocked
     // single-word store, as OpenSER's timestamp updates are).
     if (TcpConnObj *obj = shared_.conns.byId(conn_id))
         obj->lastUse = p.sim().now();
-}
-
-sim::Task
-TcpArch::workerHandleRaw(sim::Process &p, Worker &w, std::string raw,
-                         std::uint64_t conn_id, net::Addr peer)
-{
-    // Causal span: one per handled message, covering the engine work
-    // and every send it triggers (including fd-request IPC). The
-    // engine fills in the identity once the Call-ID is parsed.
-    sim::SpanScope span(p);
-    std::vector<SendAction> actions;
-    co_await w.engine->handleMessage(p, std::move(raw),
-                                     MsgSource{peer, conn_id}, actions);
-    for (auto &action : actions) {
-        if (threadMode())
-            co_await workerSendThreadMode(p, w, std::move(action));
-        else
-            co_await workerSend(p, w, std::move(action));
-    }
 }
 
 sim::Task
@@ -773,20 +761,11 @@ TcpArch::supervisorIdleScan(sim::Process &p)
 sim::Task
 TcpArch::timerMain(sim::Process &p)
 {
-    static const auto cc_tm = sim::CostCenters::id("ser:tm");
     while (!stop_) {
         co_await p.sleepFor(cfg_.timerTick);
         if (stop_)
             break;
-        co_await shared_.txns.lock().acquire(p);
-        std::size_t removed =
-            shared_.txns.cleanupExpired(p.sim().now());
-        if (removed) {
-            co_await p.cpu(static_cast<sim::SimTime>(removed)
-                               * cfg_.costs.txnUpdate,
-                           cc_tm);
-        }
-        shared_.txns.lock().release();
+        co_await WorkerLoop::reclaimTxns(p, shared_, cfg_);
     }
 }
 

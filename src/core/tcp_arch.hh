@@ -28,9 +28,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/arch.hh"
 #include "core/config.hh"
 #include "core/engine.hh"
+#include "core/ipc_msg.hh"
 #include "core/shared.hh"
+#include "core/worker_loop.hh"
 #include "net/network.hh"
 #include "net/tcp.hh"
 #include "sim/channel.hh"
@@ -38,11 +41,9 @@
 
 namespace siprox::core {
 
-// Note: these message types are deliberately *not* aggregates. GCC 12
-// miscompiles by-value coroutine parameters of aggregate type holding
-// move-only members (the frame copy and the body's copy diverge,
-// double-destroying the member). User-declared constructors and move
-// operations avoid that code path.
+// These message types travel by value into coroutines and carry
+// move-only descriptors; SIPROX_IPC_MSG_LIFECYCLE keeps them
+// non-aggregate (see ipc_msg.hh for the GCC 12 story).
 
 /** Supervisor -> worker: a newly accepted connection. */
 struct NewConnMsg
@@ -51,24 +52,11 @@ struct NewConnMsg
     /** The worker's descriptor (empty in thread mode: fd is shared). */
     net::TcpConn fd;
 
-    NewConnMsg() = default;
+    SIPROX_IPC_MSG_LIFECYCLE(NewConnMsg);
 
     NewConnMsg(std::uint64_t conn_id, net::TcpConn conn)
         : connId(conn_id), fd(std::move(conn))
     {
-    }
-
-    NewConnMsg(NewConnMsg &&other) noexcept
-        : connId(other.connId), fd(std::move(other.fd))
-    {
-    }
-
-    NewConnMsg &
-    operator=(NewConnMsg &&other) noexcept
-    {
-        connId = other.connId;
-        fd = std::move(other.fd);
-        return *this;
     }
 };
 
@@ -79,21 +67,7 @@ struct FdRespMsg
     bool ok = false;
     net::TcpConn fd;
 
-    FdRespMsg() = default;
-
-    FdRespMsg(FdRespMsg &&other) noexcept
-        : connId(other.connId), ok(other.ok), fd(std::move(other.fd))
-    {
-    }
-
-    FdRespMsg &
-    operator=(FdRespMsg &&other) noexcept
-    {
-        connId = other.connId;
-        ok = other.ok;
-        fd = std::move(other.fd);
-        return *this;
-    }
+    SIPROX_IPC_MSG_LIFECYCLE(FdRespMsg);
 };
 
 /** Worker -> supervisor requests. */
@@ -111,51 +85,48 @@ struct ReqMsg
     std::uint64_t connId = 0;
     net::TcpConn fd; ///< supervisor's copy, for RegisterConn
 
-    ReqMsg() = default;
+    SIPROX_IPC_MSG_LIFECYCLE(ReqMsg);
 
     ReqMsg(Kind k, int w, std::uint64_t conn_id, net::TcpConn conn)
         : kind(k), worker(w), connId(conn_id), fd(std::move(conn))
     {
-    }
-
-    ReqMsg(ReqMsg &&other) noexcept
-        : kind(other.kind), worker(other.worker), connId(other.connId),
-          fd(std::move(other.fd))
-    {
-    }
-
-    ReqMsg &
-    operator=(ReqMsg &&other) noexcept
-    {
-        kind = other.kind;
-        worker = other.worker;
-        connId = other.connId;
-        fd = std::move(other.fd);
-        return *this;
     }
 };
 
 /**
  * The supervisor/worker TCP proxy.
  */
-class TcpArch
+class TcpArch final : public ServerArch
 {
   public:
     TcpArch(sim::Machine &machine, net::Host &host, SharedState &shared,
             const ProxyConfig &cfg);
-    ~TcpArch();
+    ~TcpArch() override;
 
-    void start();
-    void requestStop() { stop_ = true; }
+    void start() override;
+    void requestStop() override { stop_ = true; }
+
+    ArchKind kind() const override { return ArchKind::SupervisorWorker; }
+    int loopCount() const override { return cfg_.workers; }
 
     /** Depth of the worker->supervisor request queue (diagnostics). */
-    std::size_t requestQueueDepth() const;
+    std::size_t requestQueueDepth() const override;
 
     /** Depth of the listener's kernel accept queue (sampling). */
     std::size_t acceptBacklogDepth() const;
 
+    std::size_t
+    recvQueueDepth() const override
+    {
+        return acceptBacklogDepth();
+    }
+
+    /** No receive-queue overflow exists here: kernel flow control
+     *  pushes back on senders instead of dropping. */
+    std::uint64_t recvQueueDrops() const override { return 0; }
+
     /** SYNs the kernel refused because the accept queue was full. */
-    std::uint64_t acceptRefused() const;
+    std::uint64_t acceptRefused() const override;
 
   private:
     struct Worker
@@ -173,6 +144,7 @@ class TcpArch
         std::unique_ptr<sim::Channel<NewConnMsg>> dispatch;
         std::unique_ptr<sim::Channel<FdRespMsg>> resp;
         std::unique_ptr<Engine> engine;
+        std::unique_ptr<WorkerLoop> loop;
         sim::SimTime nextScan = 0;
         int rrCursor = 0;
     };
@@ -183,9 +155,6 @@ class TcpArch
                                 NewConnMsg msg);
     sim::Task workerReadConn(sim::Process &p, Worker &w,
                              std::uint64_t conn_id);
-    sim::Task workerHandleRaw(sim::Process &p, Worker &w,
-                              std::string raw, std::uint64_t conn_id,
-                              net::Addr peer);
     sim::Task workerSend(sim::Process &p, Worker &w, SendAction action);
     sim::Task workerSendThreadMode(sim::Process &p, Worker &w,
                                    SendAction action);

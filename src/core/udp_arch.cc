@@ -1,8 +1,8 @@
 #include "core/udp_arch.hh"
 
 #include "net/sctp.hh"
+#include "net/udp.hh"
 #include "sim/simulation.hh"
-#include "sim/trace.hh"
 
 namespace siprox::core {
 
@@ -16,19 +16,25 @@ void
 UdpArch::start()
 {
     if (cfg_.transport == Transport::Sctp)
-        sctpSock_ = &host_.sctpBind(cfg_.port);
+        sock_ = &host_.sctpBind(cfg_.port);
     else
-        udpSock_ = &host_.udpBind(cfg_.port);
+        sock_ = &host_.udpBind(cfg_.port);
     net::Addr addr = host_.addr(cfg_.port);
     for (int i = 0; i < cfg_.workers; ++i) {
         engines_.push_back(
             std::make_unique<Engine>(shared_, cfg_, addr, i));
+        loops_.push_back(std::make_unique<WorkerLoop>(shared_, cfg_,
+                                                      *engines_.back()));
         machine_.spawn("worker" + std::to_string(i), 0,
                        [this, i](sim::Process &p) {
                            return workerMain(p, i);
                        });
     }
     // §3.2: the timer process is essential for UDP (retransmissions).
+    // It shares worker 0's engine (as OpenSER's timer does) but needs
+    // its own WorkerLoop: loops must not be shared across processes.
+    timerLoop_ = std::make_unique<WorkerLoop>(shared_, cfg_,
+                                              *engines_[0]);
     machine_.spawn("timer", 0,
                    [this](sim::Process &p) { return timerMain(p); });
 }
@@ -36,115 +42,54 @@ UdpArch::start()
 std::size_t
 UdpArch::recvQueueDepth() const
 {
-    if (udpSock_)
-        return udpSock_->queueDepth();
-    return sctpSock_ ? sctpSock_->queueDepth() : 0;
+    return sock_ ? sock_->queueDepth() : 0;
 }
 
 std::uint64_t
 UdpArch::recvQueueDrops() const
 {
-    if (udpSock_)
-        return udpSock_->overflowDrops();
-    return sctpSock_ ? sctpSock_->overflowDrops() : 0;
-}
-
-sim::Task
-UdpArch::recvOne(sim::Process &p, net::Datagram &out)
-{
-    if (udpSock_)
-        return udpSock_->recvFrom(p, out);
-    return sctpSock_->recvFrom(p, out);
+    return sock_ ? sock_->overflowDrops() : 0;
 }
 
 sim::Task
 UdpArch::sendOne(sim::Process &p, net::Addr dst, std::string wire)
 {
-    if (udpSock_)
-        return udpSock_->sendTo(p, dst, std::move(wire));
-    return sctpSock_->sendTo(p, dst, std::move(wire));
+    return sock_->sendTo(p, dst, std::move(wire));
 }
 
 sim::Task
 UdpArch::workerMain(sim::Process &p, int id)
 {
-    Engine &engine = *engines_[static_cast<std::size_t>(id)];
-    std::vector<SendAction> actions;
+    WorkerLoop &loop = *loops_[static_cast<std::size_t>(id)];
     while (!stop_) {
         net::Datagram dgram;
-        co_await recvOne(p, dgram);
+        co_await sock_->recvFrom(p, dgram);
         if (stop_)
             break;
-        if (sim::trace::enabled()) {
-            sim::trace::log(p.sim().now(), "proxy-rx",
-                            dgram.src.toString() + " " +
-                                std::to_string(dgram.payload.size())
-                                + "B");
-        }
+        WorkerLoop::traceRxDatagram(p, dgram.src,
+                                    dgram.payload.size());
         // The depth left behind after this dequeue is the occupancy
         // signal the admission decision inside handleMessage sees.
-        shared_.overload.noteQueueDepth(recvQueueDepth());
-        // Causal span: one per datagram, engine work plus the sends.
-        sim::SpanScope span(p);
-        actions.clear();
-        co_await engine.handleMessage(p, std::move(dgram.payload),
-                                      MsgSource{dgram.src, 0}, actions);
-        for (auto &action : actions)
-            co_await sendOne(p, action.dstAddr, std::move(action.wire));
+        loop.noteQueueDepth(recvQueueDepth());
+        co_await loop.dispatch(
+            p, std::move(dgram.payload), MsgSource{dgram.src, 0},
+            [this](sim::Process &sp, SendAction action) {
+                return sendOne(sp, action.dstAddr,
+                               std::move(action.wire));
+            });
     }
 }
 
 sim::Task
 UdpArch::timerMain(sim::Process &p)
 {
-    static const auto cc_timer = sim::CostCenters::id("ser:timer");
-    static const auto cc_tm = sim::CostCenters::id("ser:tm");
     while (!stop_) {
         co_await p.sleepFor(cfg_.timerTick);
         if (stop_)
             break;
         sim::SimTime now = p.sim().now();
-
-        // Terminated-transaction cleanup.
-        co_await shared_.txns.lock().acquire(p);
-        std::size_t removed = shared_.txns.cleanupExpired(now);
-        if (removed) {
-            co_await p.cpu(static_cast<sim::SimTime>(removed)
-                               * cfg_.costs.txnUpdate,
-                           cc_tm);
-        }
-        shared_.txns.lock().release();
-
-        // Walk the global retransmission list (§3.2). The walk holds
-        // the shared lock for its full duration, as OpenSER does.
-        std::vector<RetransList::Due> due;
-        std::vector<RetransList::TimedOut> timed_out;
-        co_await shared_.retrans.lock().acquire(p);
-        std::size_t visited =
-            shared_.retrans.collectDue(now, due, timed_out);
-        if (visited) {
-            co_await p.cpu(static_cast<sim::SimTime>(visited)
-                               * cfg_.costs.timerScanPerEntry,
-                           cc_timer);
-        }
-        shared_.retrans.lock().release();
-
-        shared_.counters.retransSent += due.size();
-        for (auto &d : due)
-            co_await sendOne(p, d.dst, std::move(d.wire));
-
-        // Timer B/F expiry: answer the caller with 408 and reclaim
-        // the transaction so sustained loss cannot grow the table.
-        std::vector<SendAction> actions;
-        for (auto &to : timed_out) {
-            sim::SpanScope span(p);
-            actions.clear();
-            co_await engines_[0]->handleTimeout(p, to, &actions);
-            for (auto &action : actions) {
-                co_await sendOne(p, action.dstAddr,
-                                 std::move(action.wire));
-            }
-        }
+        co_await WorkerLoop::reclaimTxns(p, shared_, cfg_, now);
+        co_await timerLoop_->datagramTimerTick(p, *sock_, now);
     }
 }
 

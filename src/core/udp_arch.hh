@@ -11,11 +11,13 @@
 #include <memory>
 #include <vector>
 
+#include "core/arch.hh"
 #include "core/config.hh"
 #include "core/engine.hh"
 #include "core/shared.hh"
+#include "core/worker_loop.hh"
+#include "net/datagram.hh"
 #include "net/network.hh"
-#include "net/udp.hh"
 #include "sim/machine.hh"
 
 namespace siprox::core {
@@ -23,41 +25,54 @@ namespace siprox::core {
 /**
  * The symmetric-worker datagram architecture. Also used for SCTP
  * (§6): identical structure over a message-based, connection-oriented
- * socket whose connection management lives in the kernel.
+ * socket whose connection management lives in the kernel — the
+ * transport difference is entirely behind net::DatagramSocket.
  */
-class UdpArch
+class UdpArch final : public ServerArch
 {
   public:
     UdpArch(sim::Machine &machine, net::Host &host, SharedState &shared,
             const ProxyConfig &cfg);
 
     /** Bind the socket and spawn workers + timer process. */
-    void start();
+    void start() override;
 
-    /** Ask all loops to exit at their next wakeup. */
-    void requestStop() { stop_ = true; }
+    void requestStop() override { stop_ = true; }
+
+    ArchKind kind() const override { return ArchKind::SymmetricWorker; }
+    int loopCount() const override { return cfg_.workers; }
+
+    /** No internal work queue exists: the socket receive queue is the
+     *  only queue, so it doubles as the request-queue signal. */
+    std::size_t
+    requestQueueDepth() const override
+    {
+        return recvQueueDepth();
+    }
 
     /** Depth of the shared socket receive queue (sampling). */
-    std::size_t recvQueueDepth() const;
+    std::size_t recvQueueDepth() const override;
 
     /** Messages the proxy socket dropped to receive-queue overflow. */
-    std::uint64_t recvQueueDrops() const;
+    std::uint64_t recvQueueDrops() const override;
+
+    std::uint64_t acceptRefused() const override { return 0; }
 
   private:
     sim::Task workerMain(sim::Process &p, int id);
     sim::Task timerMain(sim::Process &p);
 
-    /** Transport-generic receive/send hooks (UDP or SCTP socket). */
-    sim::Task recvOne(sim::Process &p, net::Datagram &out);
     sim::Task sendOne(sim::Process &p, net::Addr dst, std::string wire);
 
     sim::Machine &machine_;
     net::Host &host_;
     SharedState &shared_;
     const ProxyConfig &cfg_;
-    net::UdpSocket *udpSock_ = nullptr;
-    net::SctpSocket *sctpSock_ = nullptr;
+    net::DatagramSocket *sock_ = nullptr;
     std::vector<std::unique_ptr<Engine>> engines_;
+    /** One per process (workers + timer): see worker_loop.hh. */
+    std::vector<std::unique_ptr<WorkerLoop>> loops_;
+    std::unique_ptr<WorkerLoop> timerLoop_;
     bool stop_ = false;
 };
 

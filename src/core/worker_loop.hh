@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Receive-loop scaffolding shared by every server architecture.
+ *
+ * All three architectures (supervisor/worker TCP, symmetric datagram
+ * workers, event-driven loops) wrap the same sequence around each
+ * received message: trace logging, feeding the overload controller's
+ * queue-depth signal, opening a causal span, running the Engine, and
+ * transmitting the SendActions it emits. Only the transmit step is
+ * architecture-specific, so dispatch() takes it as a callable and the
+ * rest lives here once.
+ *
+ * The timer-process bodies (terminated-transaction reclamation and the
+ * datagram retransmission walk) are equally architecture-independent
+ * and live here too.
+ *
+ * One WorkerLoop per *process*: dispatch() reuses a member SendAction
+ * vector (the parse+forward hot path is allocation-budgeted), so an
+ * instance must never be shared between processes that can interleave
+ * at co_await points.
+ */
+
+#ifndef SIPROX_CORE_WORKER_LOOP_HH
+#define SIPROX_CORE_WORKER_LOOP_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/engine.hh"
+#include "core/shared.hh"
+#include "net/datagram.hh"
+#include "sim/process.hh"
+#include "sim/task.hh"
+#include "sim/trace.hh"
+
+namespace siprox::core {
+
+class WorkerLoop
+{
+  public:
+    WorkerLoop(SharedState &shared, const ProxyConfig &cfg,
+               Engine &engine)
+        : shared_(shared), cfg_(cfg), engine_(engine)
+    {
+    }
+
+    WorkerLoop(const WorkerLoop &) = delete;
+    WorkerLoop &operator=(const WorkerLoop &) = delete;
+
+    Engine &engine() { return engine_; }
+
+    /** Trace one received stream chunk, labeled by connection. */
+    static void
+    traceRxConn(sim::Process &p, std::uint64_t conn_id,
+                std::size_t bytes)
+    {
+        if (sim::trace::enabled()) {
+            sim::trace::log(p.sim().now(), "proxy-rx",
+                            "conn " + std::to_string(conn_id) + " "
+                                + std::to_string(bytes) + "B");
+        }
+    }
+
+    /** Trace one received datagram, labeled by source address. */
+    static void
+    traceRxDatagram(sim::Process &p, const net::Addr &src,
+                    std::size_t bytes)
+    {
+        if (sim::trace::enabled()) {
+            sim::trace::log(p.sim().now(), "proxy-rx",
+                            src.toString() + " "
+                                + std::to_string(bytes) + "B");
+        }
+    }
+
+    /** Feed the overload controller's queue-occupancy signal. */
+    void
+    noteQueueDepth(std::size_t depth)
+    {
+        shared_.overload.noteQueueDepth(depth);
+    }
+
+    /**
+     * Process one raw message: open a causal span covering the engine
+     * work and every transmission it triggers, run the Engine, then
+     * hand each SendAction to @p send (a callable returning a
+     * sim::Task, e.g. a lambda that merely calls a named coroutine —
+     * see the lifetime rule in sim/task.hh).
+     */
+    template <typename SendFn>
+    sim::Task
+    dispatch(sim::Process &p, std::string raw, MsgSource src,
+             SendFn send)
+    {
+        sim::SpanScope span(p);
+        actions_.clear();
+        co_await engine_.handleMessage(p, std::move(raw), src,
+                                       actions_);
+        for (auto &action : actions_)
+            co_await send(p, std::move(action));
+    }
+
+    /**
+     * Reclaim terminated transaction records (every architecture's
+     * timer process runs this each tick). Static: the TCP timer has no
+     * engine of its own and this touches only the shared tables.
+     *
+     * @param now The cleanup horizon; pass sim::kTimeNever to sample
+     *        the clock *after* the table lock is acquired (the TCP
+     *        timer's historical behaviour — lock waits advance time).
+     */
+    static sim::Task reclaimTxns(sim::Process &p, SharedState &shared,
+                                 const ProxyConfig &cfg,
+                                 sim::SimTime now = sim::kTimeNever);
+
+    /**
+     * One datagram timer tick past the transaction reclaim: walk the
+     * global retransmission list (§3.2), resend due messages on
+     * @p sock, and answer Timer B/F expiries with 408 via the engine.
+     *
+     * @param now The tick's time horizon, sampled once when the tick
+     *        began (CPU charges during the tick advance the clock; the
+     *        due-set must not shift mid-walk).
+     */
+    sim::Task datagramTimerTick(sim::Process &p,
+                                net::DatagramSocket &sock,
+                                sim::SimTime now);
+
+  private:
+    SharedState &shared_;
+    const ProxyConfig &cfg_;
+    Engine &engine_;
+    /** Reused across messages: the hot path is allocation-budgeted. */
+    std::vector<SendAction> actions_;
+};
+
+} // namespace siprox::core
+
+#endif // SIPROX_CORE_WORKER_LOOP_HH

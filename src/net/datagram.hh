@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Common interface of the message-oriented sockets (UDP and SCTP).
+ *
+ * The symmetric-worker and event-driven proxy architectures are
+ * transport-generic over datagram sockets: they receive whole messages,
+ * send whole messages, and sample queue depth/overflow for overload
+ * control. Folding UDP and SCTP behind one interface keeps that code
+ * free of per-transport branches; the transports differ only in what
+ * the kernel does underneath (SCTP associates, retransmits, and keeps
+ * ordering; UDP does none of that).
+ */
+
+#ifndef SIPROX_NET_DATAGRAM_HH
+#define SIPROX_NET_DATAGRAM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "net/addr.hh"
+#include "sim/pollable.hh"
+#include "sim/process.hh"
+#include "sim/task.hh"
+
+namespace siprox::net {
+
+/** One received message. */
+struct Datagram
+{
+    Addr src;
+    Addr dst;
+    std::string payload;
+};
+
+/**
+ * A bound message-oriented socket. pollReady() (inherited from
+ * sim::Pollable) is true while the receive queue is non-empty, so
+ * readiness loops can wait on several sockets at once.
+ */
+class DatagramSocket : public sim::Pollable
+{
+  public:
+    /**
+     * Send @p payload to @p dst. Charges kernel send cost; the message
+     * arrives after the wire delay unless lost/impaired or the
+     * receiver's queue overflows.
+     */
+    virtual sim::Task sendTo(sim::Process &p, Addr dst,
+                             std::string payload) = 0;
+
+    /** Blocking receive of one whole message; charges kernel receive
+     *  cost on delivery. */
+    virtual sim::Task recvFrom(sim::Process &p, Datagram &out) = 0;
+
+    /** Non-blocking receive (no kernel cost charged — pair with
+     *  chargeRecv() when dequeuing from a readiness loop). */
+    virtual bool tryRecvFrom(Datagram &out) = 0;
+
+    /**
+     * Kernel receive-path cost for one message of @p bytes. Readiness
+     * loops that dequeue via tryRecvFrom() charge this explicitly so
+     * the non-blocking read path costs the same as a blocking
+     * recvFrom().
+     */
+    virtual sim::Task chargeRecv(sim::Process &p, std::size_t bytes) = 0;
+
+    virtual Addr localAddr() const = 0;
+
+    /** Receive-queue depth (overload-control occupancy signal). */
+    virtual std::size_t queueDepth() const = 0;
+
+    /** Messages discarded to receive-queue overflow. */
+    virtual std::uint64_t overflowDrops() const = 0;
+};
+
+} // namespace siprox::net
+
+#endif // SIPROX_NET_DATAGRAM_HH

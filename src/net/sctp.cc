@@ -87,10 +87,15 @@ SctpSocket::recvFrom(sim::Process &p, Datagram &out)
         if (it != waiters_.end())
             waiters_.erase(it);
     }
+    co_await chargeRecv(p, out.payload.size());
+}
+
+sim::Task
+SctpSocket::chargeRecv(sim::Process &p, std::size_t bytes)
+{
     const NetConfig &cfg = host_.net().config();
     co_await p.cpu(cfg.sctpRecvCost
-                   + static_cast<SimTime>(out.payload.size())
-                       * cfg.perByteCpu,
+                       + static_cast<SimTime>(bytes) * cfg.perByteCpu,
                    "kernel:sctp_recv");
 }
 

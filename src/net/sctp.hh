@@ -19,8 +19,8 @@
 #include <unordered_map>
 
 #include "net/addr.hh"
+#include "net/datagram.hh"
 #include "net/network.hh"
-#include "net/udp.hh"
 #include "sim/pollable.hh"
 #include "sim/process.hh"
 #include "sim/task.hh"
@@ -30,7 +30,7 @@ namespace siprox::net {
 /**
  * A bound SCTP one-to-many socket. Created via Host::sctpBind().
  */
-class SctpSocket : public sim::Pollable
+class SctpSocket : public DatagramSocket
 {
   public:
     SctpSocket(Host &host, std::uint16_t port);
@@ -41,23 +41,30 @@ class SctpSocket : public sim::Pollable
      * message to a new peer pays association setup (kernel CPU + one
      * extra round trip).
      */
-    sim::Task sendTo(sim::Process &p, Addr dst, std::string payload);
+    sim::Task sendTo(sim::Process &p, Addr dst,
+                     std::string payload) override;
 
     /** Blocking receive of one whole message. */
-    sim::Task recvFrom(sim::Process &p, Datagram &out);
+    sim::Task recvFrom(sim::Process &p, Datagram &out) override;
 
     /** Non-blocking receive. */
-    bool tryRecvFrom(Datagram &out);
+    bool tryRecvFrom(Datagram &out) override;
 
-    Addr localAddr() const { return Addr{host_.id(), port_}; }
+    /** Kernel receive cost for one dequeued message. */
+    sim::Task chargeRecv(sim::Process &p, std::size_t bytes) override;
+
+    Addr localAddr() const override { return Addr{host_.id(), port_}; }
 
     /** Live associations on this socket. */
     std::size_t assocCount() const { return assocs_.size(); }
 
-    std::size_t queueDepth() const { return queue_.size(); }
+    std::size_t queueDepth() const override { return queue_.size(); }
 
     /** Messages this socket discarded to receive-buffer overflow. */
-    std::uint64_t overflowDrops() const { return overflowDrops_; }
+    std::uint64_t overflowDrops() const override
+    {
+        return overflowDrops_;
+    }
 
     bool pollReady() const override { return !queue_.empty(); }
 

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "net/addr.hh"
+#include "net/datagram.hh"
 #include "net/network.hh"
 #include "sim/pollable.hh"
 #include "sim/process.hh"
@@ -19,18 +20,10 @@
 
 namespace siprox::net {
 
-/** One received message. */
-struct Datagram
-{
-    Addr src;
-    Addr dst;
-    std::string payload;
-};
-
 /**
  * A bound UDP socket. Created via Host::udpBind().
  */
-class UdpSocket : public sim::Pollable
+class UdpSocket : public DatagramSocket
 {
   public:
     UdpSocket(Host &host, std::uint16_t port);
@@ -41,20 +34,27 @@ class UdpSocket : public sim::Pollable
      * arrives after the wire delay unless lost or the receiver's queue
      * overflows.
      */
-    sim::Task sendTo(sim::Process &p, Addr dst, std::string payload);
+    sim::Task sendTo(sim::Process &p, Addr dst,
+                     std::string payload) override;
 
     /** Blocking receive; charges kernel receive cost on delivery. */
-    sim::Task recvFrom(sim::Process &p, Datagram &out);
+    sim::Task recvFrom(sim::Process &p, Datagram &out) override;
 
     /** Non-blocking receive (no kernel cost charged). */
-    bool tryRecvFrom(Datagram &out);
+    bool tryRecvFrom(Datagram &out) override;
 
-    Addr localAddr() const { return Addr{host_.id(), port_}; }
+    /** Kernel receive cost for one dequeued datagram. */
+    sim::Task chargeRecv(sim::Process &p, std::size_t bytes) override;
 
-    std::size_t queueDepth() const { return queue_.size(); }
+    Addr localAddr() const override { return Addr{host_.id(), port_}; }
+
+    std::size_t queueDepth() const override { return queue_.size(); }
 
     /** Datagrams this socket dropped to receive-queue overflow. */
-    std::uint64_t overflowDrops() const { return overflowDrops_; }
+    std::uint64_t overflowDrops() const override
+    {
+        return overflowDrops_;
+    }
 
     bool pollReady() const override { return !queue_.empty(); }
 

@@ -75,6 +75,20 @@ class Pollable
 Task poll(Process &self, const std::vector<Pollable *> &items,
           SimTime timeout, int &ready_index);
 
+/**
+ * Wait until at least one of @p items is ready or @p timeout elapses,
+ * collecting the indices of *every* ready item (epoll_wait semantics:
+ * one wakeup reports the whole ready set, so an event loop services a
+ * batch per scheduling round instead of one item per wakeup).
+ *
+ * @param ready Cleared, then filled with ready indices in item order;
+ *        left empty on timeout. The caller must revalidate each entry
+ *        as it services the batch — handling one item can retire
+ *        another (e.g. closing a connection that was also ready).
+ */
+Task pollAll(Process &self, const std::vector<Pollable *> &items,
+             SimTime timeout, std::vector<int> &ready);
+
 } // namespace siprox::sim
 
 #endif // SIPROX_SIM_POLLABLE_HH

@@ -260,6 +260,10 @@ runScenario(const Scenario &sc)
     result.connEntriesAtEnd = proxy.shared().conns.size();
     result.proxyRecvQueueDrops = proxy.recvQueueDrops();
     result.proxyAcceptRefused = proxy.acceptRefused();
+    if (const core::ServerArch *arch = proxy.arch()) {
+        result.archKind = arch->kind();
+        result.archLoops = arch->loopCount();
+    }
     result.occupancy = std::move(occupancy);
     result.serverProfile = server_machine.profiler();
     if (result.duration > 0) {
@@ -432,6 +436,17 @@ collectMetrics(const RunResult &r)
     reg.setCounter("proxy.retransEntriesAtEnd",
                    r.retransEntriesAtEnd);
     reg.setCounter("proxy.connEntriesAtEnd", r.connEntriesAtEnd);
+
+    // Server-architecture identity: the ArchKind ordinal (1 =
+    // supervisor/worker, 2 = symmetric, 3 = event-driven) and how many
+    // receive loops the resolved architecture actually ran.
+    reg.setCounter("proxy.arch.kind",
+                   static_cast<std::uint64_t>(r.archKind));
+    reg.setCounter("proxy.arch.loops",
+                   r.archLoops > 0
+                       ? static_cast<std::uint64_t>(r.archLoops)
+                       : 0);
+    reg.setCounter("proxy.arch.connsStolen", c.connsStolen);
 
     // Network counters.
     reg.setCounter("net.udpSent", r.net.udpSent);

@@ -138,6 +138,11 @@ struct RunResult
     std::vector<OccupancySample> occupancy;
     /** Server CPU profile over the measured phase. */
     sim::Profiler serverProfile;
+    /** Resolved server architecture (never Auto) and its receive-loop
+     *  count. Informational; not part of the digest — existing goldens
+     *  for the transport-implied architectures must stay byte-stable. */
+    core::ArchKind archKind = core::ArchKind::Auto;
+    int archLoops = 0;
     /** Simulation events executed over the whole run (wall-clock perf
      *  accounting; not part of the digest). */
     std::uint64_t simEvents = 0;

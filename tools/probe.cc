@@ -37,6 +37,11 @@ constexpr const char *kUsage =
     "  supervisorNice   -20..19                   (default -20)\n"
     "\n"
     "options:\n"
+    "  --arch=KIND          server architecture: auto | supervisor |\n"
+    "                       symmetric | event (default auto: the\n"
+    "                       transport-implied OpenSER architecture).\n"
+    "                       supervisor requires tcp; symmetric\n"
+    "                       requires udp/sctp; event serves all\n"
     "  --window=SECS        time-based measured phase of SECS\n"
     "                       simulated seconds (overrides the WINDOW\n"
     "                       environment variable)\n"
@@ -96,6 +101,21 @@ parseTransport(const char *s)
                + "' (expected udp, tcp, or sctp)");
 }
 
+core::ArchKind
+parseArch(const char *s)
+{
+    if (std::strcmp(s, "auto") == 0)
+        return core::ArchKind::Auto;
+    if (std::strcmp(s, "supervisor") == 0)
+        return core::ArchKind::SupervisorWorker;
+    if (std::strcmp(s, "symmetric") == 0)
+        return core::ArchKind::SymmetricWorker;
+    if (std::strcmp(s, "event") == 0)
+        return core::ArchKind::EventDriven;
+    usageError(std::string("unknown architecture '") + s
+               + "' (expected auto, supervisor, symmetric, or event)");
+}
+
 } // namespace
 
 int
@@ -104,6 +124,7 @@ main(int argc, char **argv)
     std::string trace_out;
     std::string metrics_out;
     double window_secs = 0;
+    core::ArchKind arch = core::ArchKind::Auto;
 
     // Split --options from positionals (options may appear anywhere).
     std::vector<const char *> pos;
@@ -113,7 +134,9 @@ main(int argc, char **argv)
             std::fputs(kUsage, stdout);
             return 0;
         }
-        if (std::strncmp(a, "--window=", 9) == 0)
+        if (std::strncmp(a, "--arch=", 7) == 0)
+            arch = parseArch(a + 7);
+        else if (std::strncmp(a, "--window=", 9) == 0)
             window_secs = parseSeconds("--window", a + 9);
         else if (std::strncmp(a, "--trace-out=", 12) == 0)
             trace_out = a + 12;
@@ -146,7 +169,16 @@ main(int argc, char **argv)
         ? static_cast<int>(parseLong("supervisorNice", pos[5], -20, 19))
         : -20;
 
+    // Reject unsupported arch x transport pairings up front, with the
+    // same reason string Proxy::start() would throw.
+    if (const char *err = core::archSupportError(arch, tr))
+        usageError(std::string("--arch=") + core::archKindName(arch)
+                   + " with " + core::transportName(tr) + ": " + err);
+
     Scenario sc = paperScenario(tr, clients, opc);
+    sc.proxy.arch = arch;
+    if (arch != core::ArchKind::Auto)
+        sc.name = std::string(core::archKindName(arch)) + "/" + sc.name;
     if (window_secs > 0)
         sc.measureWindow = sim::secs(window_secs);
     else if (const char *w = std::getenv("WINDOW"))
