@@ -2,7 +2,8 @@
  * @file
  * Server-architecture matrix: the three architectures of the pluggable
  * layer (supervisor/worker §3.1, symmetric workers §3.2, event-driven
- * §5–§6) side by side over TCP, UDP, and SCTP on the fig-4/5 workload.
+ * §5–§6) side by side over UDP, TCP, TLS, SCTP, and SST on the
+ * fig-4/5 workload, persistent and connection-churn variants.
  *
  * Expected shape: event-driven TCP meets or beats the best
  * supervisor/worker configuration (fd cache + priority queue, fig 5)
@@ -11,6 +12,13 @@
  * datagram transports the loops degenerate to symmetric receivers, so
  * event ≈ symmetric there (the architecture only has headroom to
  * reclaim where TCP's connection management put overhead in).
+ *
+ * The transport extensions probe the churn axis: TLS without session
+ * resumption pays a full handshake per reconnect and lands strictly
+ * below plain TCP churn; with resumption (and 0-RTT) most of that
+ * cost disappears. SST's per-call streams make "reconnect every N
+ * ops" structurally free — its churn cell tracks its persistent cell,
+ * at or above TCP churn.
  *
  * Output: a table on stdout, and a JSON artifact (argv[1], default
  * BENCH_arch_matrix.json) for CI trend tracking.
@@ -34,6 +42,7 @@ struct Case
     bool fdCache;
     core::IdleStrategy idle;
     int opsPerConn;
+    bool tlsNoResume = false;
 };
 
 struct Row
@@ -66,15 +75,24 @@ main(int argc, char **argv)
         {"TCP event-driven",             Transport::Tcp,  ArchKind::EventDriven,      false, IdleStrategy::LinearScan,     0},
         {"SCTP symmetric (par. 6)",      Transport::Sctp, ArchKind::SymmetricWorker,  false, IdleStrategy::LinearScan,     0},
         {"SCTP event-driven",            Transport::Sctp, ArchKind::EventDriven,      false, IdleStrategy::LinearScan,     0},
+        {"TLS supervisor",               Transport::Tls,  ArchKind::SupervisorWorker, false, IdleStrategy::LinearScan,     0},
+        {"TLS event-driven",             Transport::Tls,  ArchKind::EventDriven,      false, IdleStrategy::LinearScan,     0},
+        {"TLS supervisor, resumption",   Transport::Tls,  ArchKind::SupervisorWorker, false, IdleStrategy::LinearScan,    50},
+        {"TLS supervisor, no resume",    Transport::Tls,  ArchKind::SupervisorWorker, false, IdleStrategy::LinearScan,    50, true},
+        {"TLS event-driven, resumption", Transport::Tls,  ArchKind::EventDriven,      false, IdleStrategy::LinearScan,    50},
+        {"SST symmetric",                Transport::Sst,  ArchKind::SymmetricWorker,  false, IdleStrategy::LinearScan,     0},
+        {"SST event-driven",             Transport::Sst,  ArchKind::EventDriven,      false, IdleStrategy::LinearScan,     0},
+        {"SST symmetric, per-call",      Transport::Sst,  ArchKind::SymmetricWorker,  false, IdleStrategy::LinearScan,    50},
     };
     // clang-format on
 
     std::vector<Row> rows;
     double udp_ops = 0;
     for (const Case &c : all_cases) {
-        // CI smoke proves all three architectures run end to end over
-        // TCP and UDP; the connection-churn duplicates and SCTP add
-        // nothing to that and double the runtime.
+        // CI smoke proves every architecture x transport pairing runs
+        // end to end (UDP, TCP, TLS, SST); SCTP and the
+        // connection-churn duplicates add nothing to that and double
+        // the runtime.
         if (smoke
             && (c.transport == Transport::Sctp || c.opsPerConn != 0)) {
             continue;
@@ -86,6 +104,10 @@ main(int argc, char **argv)
         sc.proxy.arch = c.arch;
         sc.proxy.fdCache = c.fdCache;
         sc.proxy.idleStrategy = c.idle;
+        if (c.tlsNoResume) {
+            sc.net.tlsResumption = false;
+            sc.name += "/noresume";
+        }
         workload::RunResult r = workload::runScenario(sc);
         bench::logPoint(sc, r);
         if (c.transport == Transport::Udp && udp_ops == 0)
@@ -128,16 +150,25 @@ main(int argc, char **argv)
             + (row.c->opsPerConn == 0
                    ? "persistent"
                    : std::to_string(row.c->opsPerConn) + "opc")
-            + (row.c->fdCache ? "_fixes" : "");
+            + (row.c->fdCache ? "_fixes" : "")
+            + (row.c->tlsNoResume ? "_noresume" : "");
         std::fprintf(f,
                      "  \"%s\": {\"ops_per_sec\": %.1f, \"loops\": %d, "
                      "\"fd_requests\": %llu, \"conns_stolen\": %llu, "
+                     "\"tls_full\": %llu, \"tls_resumed\": %llu, "
+                     "\"sst_streams\": %llu, "
                      "\"pct_of_udp\": %.3f}%s\n",
                      key.c_str(), row.r.opsPerSec, row.r.archLoops,
                      static_cast<unsigned long long>(
                          row.r.counters.fdRequests),
                      static_cast<unsigned long long>(
                          row.r.counters.connsStolen),
+                     static_cast<unsigned long long>(
+                         row.r.net.tlsHandshakesFull),
+                     static_cast<unsigned long long>(
+                         row.r.net.tlsHandshakesResumed),
+                     static_cast<unsigned long long>(
+                         row.r.net.sstStreams),
                      udp_ops > 0 ? row.r.opsPerSec / udp_ops : 0.0,
                      i + 1 < rows.size() ? "," : "");
     }

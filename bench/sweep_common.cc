@@ -23,7 +23,10 @@ sim::SimTime
 windowFor(core::Transport transport, int ops_per_conn)
 {
     double seconds;
-    if (transport != core::Transport::Tcp)
+    // Byte-stream transports (TCP, TLS) are slower per op, and churn
+    // workloads slower still: give them proportionally longer windows
+    // so every cell completes a comparable number of calls.
+    if (!core::isStreamTransport(transport))
         seconds = 6;
     else if (ops_per_conn == 0)
         seconds = 8;

@@ -31,8 +31,10 @@ resolveArchKind(ArchKind k, Transport t)
     if (k != ArchKind::Auto)
         return k;
     // OpenSER's hard-wired map: the transport implies the architecture.
-    return t == Transport::Tcp ? ArchKind::SupervisorWorker
-                               : ArchKind::SymmetricWorker;
+    // Byte-stream transports (TCP, TLS) get the supervisor/worker
+    // design; message-oriented ones the symmetric workers.
+    return isStreamTransport(t) ? ArchKind::SupervisorWorker
+                                : ArchKind::SymmetricWorker;
 }
 
 const char *
@@ -40,15 +42,16 @@ archSupportError(ArchKind k, Transport t)
 {
     switch (resolveArchKind(k, t)) {
       case ArchKind::SupervisorWorker:
-        if (t != Transport::Tcp)
+        if (!isStreamTransport(t))
             return "the supervisor/worker architecture is "
                    "connection-oriented (accept, assign, fd-passing); "
-                   "it only serves TCP";
+                   "it only serves the byte-stream transports TCP and "
+                   "TLS";
         return nullptr;
       case ArchKind::SymmetricWorker:
-        if (t == Transport::Tcp)
+        if (isStreamTransport(t))
             return "symmetric workers share one message-based socket; "
-                   "TCP's byte streams need per-connection ownership "
+                   "TCP/TLS byte streams need per-connection ownership "
                    "(use supervisor or event)";
         return nullptr;
       case ArchKind::EventDriven:

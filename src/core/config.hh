@@ -21,9 +21,26 @@ enum class Transport
     Udp,
     Tcp,
     Sctp,
+    /** TLS over TCP (RFC 3261 sips, port 5061): TCP's byte stream
+     *  plus a simulated handshake, session resumption, and per-record
+     *  crypto cost. */
+    Tls,
+    /** SST/QUIC-style structured streams: lightweight per-call streams
+     *  multiplexed over a datagram substrate — message-oriented at the
+     *  API like UDP/SCTP, ordered within each stream, with cheap
+     *  stream setup/teardown instead of per-connection state. */
+    Sst,
 };
 
 const char *transportName(Transport t);
+
+/** True for byte-stream transports carried over per-connection
+ *  handles (TCP and TLS); datagram-substrate transports are false. */
+constexpr bool
+isStreamTransport(Transport t)
+{
+    return t == Transport::Tcp || t == Transport::Tls;
+}
 
 /**
  * Server architecture: how sockets, processes, and connection

@@ -42,6 +42,10 @@ transportName(Transport t)
         return "TCP";
       case Transport::Sctp:
         return "SCTP";
+      case Transport::Tls:
+        return "TLS";
+      case Transport::Sst:
+        return "SST";
     }
     return "?";
 }
@@ -87,7 +91,7 @@ Engine::handleMessage(sim::Process &p, std::string raw, MsgSource src,
     // watermark even 503 generation is unaffordable, so datagrams are
     // dropped unread. Stream transports never drop (reads pause
     // instead, so kernel flow control pushes back).
-    if (cfg_.transport != Transport::Tcp
+    if (!isStreamTransport(cfg_.transport)
         && shared_.overload.panicDrop(p.sim().now()))
         co_return;
     co_await p.cpu(scaled(cfg_.costs.parse), ccParse_);

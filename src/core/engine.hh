@@ -108,7 +108,7 @@ class Engine
     sim::Task resolveConn(sim::Process &p, net::Addr dst,
                           std::uint64_t *conn_id);
 
-    bool tcp() const { return cfg_.transport == Transport::Tcp; }
+    bool tcp() const { return isStreamTransport(cfg_.transport); }
     bool unreliable() const { return cfg_.transport == Transport::Udp; }
     const char *viaTransport() const;
 

@@ -4,6 +4,7 @@
 
 #include "net/error.hh"
 #include "net/sctp.hh"
+#include "net/sst.hh"
 #include "net/udp.hh"
 #include "sim/pollable.hh"
 #include "sim/simulation.hh"
@@ -29,6 +30,8 @@ EventArch::start()
         listener_ = &host_.tcpListen(cfg_.port);
     } else if (cfg_.transport == Transport::Sctp) {
         sock_ = &host_.sctpBind(cfg_.port);
+    } else if (cfg_.transport == Transport::Sst) {
+        sock_ = &host_.sstBind(cfg_.port);
     } else {
         sock_ = &host_.udpBind(cfg_.port);
     }
@@ -332,7 +335,10 @@ EventArch::loopConnect(sim::Process &p, Loop &l, SendAction action)
     ++shared_.counters.outboundConnects;
     net::TcpConn conn;
     try {
-        co_await host_.tcpConnect(p, action.dstAddr, conn);
+        if (cfg_.transport == Transport::Tls)
+            co_await host_.tlsConnect(p, action.dstAddr, conn);
+        else
+            co_await host_.tcpConnect(p, action.dstAddr, conn);
     } catch (const net::NetError &) {
         ++shared_.counters.sendsToDeadConns;
         co_return;

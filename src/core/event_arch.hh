@@ -110,7 +110,7 @@ class EventArch final : public ServerArch
         int rrCursor = 0;
     };
 
-    bool tcpMode() const { return cfg_.transport == Transport::Tcp; }
+    bool tcpMode() const { return isStreamTransport(cfg_.transport); }
 
     sim::Task loopMain(sim::Process &p, int id);
     sim::Task loopMainDatagram(sim::Process &p, int id);

@@ -332,7 +332,10 @@ TcpArch::workerOutboundConnect(sim::Process &p, Worker &w,
     ++shared_.counters.outboundConnects;
     net::TcpConn conn;
     try {
-        co_await host_.tcpConnect(p, action.dstAddr, conn);
+        if (cfg_.transport == Transport::Tls)
+            co_await host_.tlsConnect(p, action.dstAddr, conn);
+        else
+            co_await host_.tcpConnect(p, action.dstAddr, conn);
     } catch (const net::NetError &) {
         ++shared_.counters.sendsToDeadConns;
         co_return;

@@ -1,6 +1,7 @@
 #include "core/udp_arch.hh"
 
 #include "net/sctp.hh"
+#include "net/sst.hh"
 #include "net/udp.hh"
 #include "sim/simulation.hh"
 
@@ -17,6 +18,8 @@ UdpArch::start()
 {
     if (cfg_.transport == Transport::Sctp)
         sock_ = &host_.sctpBind(cfg_.port);
+    else if (cfg_.transport == Transport::Sst)
+        sock_ = &host_.sstBind(cfg_.port);
     else
         sock_ = &host_.udpBind(cfg_.port);
     net::Addr addr = host_.addr(cfg_.port);

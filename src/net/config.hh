@@ -44,6 +44,47 @@ struct NetConfig
     /** Kernel-side SCTP association setup (charged to first sender). */
     SimTime sctpAssocCost = sim::usecs(14);
 
+    // --- TLS over TCP (RFC 3261 sips) -----------------------------------
+    /** Asymmetric-crypto CPU for a full handshake, charged once per
+     *  side (client at connect, server on its first read). */
+    SimTime tlsFullHandshakeCost = sim::usecs(120);
+    /** Symmetric-only resumed handshake (session ticket accepted). */
+    SimTime tlsResumedHandshakeCost = sim::usecs(30);
+    /** 0-RTT resume: ticket + early data, no extra flight. */
+    SimTime tlsZeroRttHandshakeCost = sim::usecs(18);
+    /** Extra round trips a full handshake adds after TCP establishes
+     *  (TLS 1.2 shape; a resumed handshake pays one, 0-RTT none). */
+    int tlsFullHandshakeRtts = 2;
+    /** Per-record framing/MAC CPU added to every TLS send and recv. */
+    SimTime tlsRecordCost = sim::usecs(1.5);
+    /** Bulk-cipher CPU per payload byte (both directions). */
+    SimTime tlsPerByteCpu = sim::nsecs(4);
+    /** Server-side session cache entries (per host, LRU-evicted).
+     *  A client whose session was evicted falls back to a full
+     *  handshake on its next connect. */
+    int tlsSessionCacheCapacity = 4096;
+    /** Offer/accept session resumption at all. */
+    bool tlsResumption = true;
+    /** Resume with 0-RTT early data instead of one round trip. */
+    bool tlsZeroRtt = false;
+
+    // --- SST (structured streams over a datagram substrate) -------------
+    /** Kernel send/recv cost per message (UDP-like fast path plus
+     *  stream framing). */
+    SimTime sstSendCost = sim::usecs(5.0);
+    SimTime sstRecvCost = sim::usecs(4.5);
+    /** One-time channel (connection) setup to a new peer, charged to
+     *  the first sender; the channel also pays one extra round trip. */
+    SimTime sstChannelCost = sim::usecs(12);
+    /** Lightweight per-stream setup/teardown CPU — the design point:
+     *  orders of magnitude below a TCP+TLS connection cycle. */
+    SimTime sstStreamCost = sim::usecs(0.8);
+    /** Datagram-substrate MTU; larger messages are fragmented into
+     *  frames and reassembled in order per stream. */
+    int sstMtu = 1200;
+    /** Idle SST channels are reaped by the kernel after this. */
+    SimTime sstIdleTimeout = sim::secs(30);
+
     // --- behaviour ------------------------------------------------------
     /** Probability an individual UDP datagram is lost. */
     double udpLossProb = 0.0;

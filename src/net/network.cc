@@ -2,7 +2,9 @@
 
 #include "net/error.hh"
 #include "net/sctp.hh"
+#include "net/sst.hh"
 #include "net/tcp.hh"
+#include "net/tls.hh"
 #include "net/udp.hh"
 
 namespace siprox::net {
@@ -89,6 +91,38 @@ Host::sctpBind(std::uint16_t port)
     sctp_.emplace(port, std::move(sock));
     socketOpened();
     return ref;
+}
+
+SstSocket &
+Host::sstBind(std::uint16_t port)
+{
+    ports_.reserve(port);
+    auto sock = std::make_unique<SstSocket>(*this, port);
+    auto &ref = *sock;
+    sst_.emplace(port, std::move(sock));
+    socketOpened();
+    return ref;
+}
+
+TlsHostState &
+Host::tls()
+{
+    if (!tls_)
+        tls_ = std::make_unique<TlsHostState>();
+    return *tls_;
+}
+
+std::size_t
+Host::tlsSessionCount() const
+{
+    return tls_ ? tls_->sessions.size() : 0;
+}
+
+void
+Host::tlsForgetTickets()
+{
+    if (tls_)
+        tls_->tickets.clear();
 }
 
 Network::Network(sim::Simulation &sim, NetConfig cfg)

@@ -30,6 +30,8 @@ class TcpListener;
 class TcpEndpoint;
 class TcpConn;
 class SctpSocket;
+class SstSocket;
+struct TlsHostState;
 
 /** Aggregate traffic counters, for tests and benches. */
 struct NetStats
@@ -45,6 +47,21 @@ struct NetStats
     std::uint64_t sctpMessages = 0;
     std::uint64_t sctpAssocs = 0;
     std::uint64_t sctpDropped = 0; ///< receive-buffer overflow
+    // --- TLS over TCP -------------------------------------------------
+    std::uint64_t tlsConnects = 0;        ///< handshakes completed
+    std::uint64_t tlsHandshakesFull = 0;  ///< full (asymmetric) paths
+    std::uint64_t tlsHandshakesResumed = 0; ///< ticket-resumed, 1-RTT
+    std::uint64_t tlsZeroRttResumes = 0;  ///< ticket-resumed, 0-RTT
+    std::uint64_t tlsSessionEvictions = 0; ///< server cache LRU drops
+    std::uint64_t tlsHandshakeAborts = 0; ///< impairment mid-handshake
+    std::uint64_t tlsRecords = 0;         ///< records encrypted (sends)
+    // --- SST structured streams ---------------------------------------
+    std::uint64_t sstMessages = 0; ///< application messages sent
+    std::uint64_t sstStreams = 0;  ///< streams opened (local side)
+    std::uint64_t sstFrames = 0;   ///< MTU-sized frames on the wire
+    std::uint64_t sstChannels = 0; ///< channel setups paid
+    std::uint64_t sstDropped = 0;  ///< receive-buffer overflow
+    std::uint64_t sstLost = 0;     ///< messages lost to dead links
     // --- injected faults (aggregates; per-link detail in faults()) ----
     std::uint64_t faultDropped = 0;    ///< datagrams lost/partitioned
     std::uint64_t faultDuplicated = 0; ///< duplicate datagrams injected
@@ -91,6 +108,24 @@ class Host
     /** Bind an SCTP one-to-many socket; throws AddressInUse. */
     SctpSocket &sctpBind(std::uint16_t port);
 
+    /** Bind an SST structured-stream socket; throws AddressInUse. */
+    SstSocket &sstBind(std::uint16_t port);
+
+    /**
+     * Open a TLS connection: TCP connect, then the handshake — full
+     * (2 extra RTTs + asymmetric CPU), ticket-resumed (1 RTT), or
+     * 0-RTT, depending on the config knobs and both sides' session
+     * state. Link faults during a handshake flight abort the connect.
+     * @throws NetError on refusal, abort, or port/socket exhaustion.
+     */
+    sim::Task tlsConnect(sim::Process &p, Addr remote, TcpConn &out);
+
+    /** Server-side resumable-session cache occupancy (tests). */
+    std::size_t tlsSessionCount() const;
+
+    /** Drop this host's client-side TLS session tickets (tests). */
+    void tlsForgetTickets();
+
     PortAllocator &ports() { return ports_; }
 
     /** Currently open socket structures (endpoints + bound sockets). */
@@ -102,6 +137,7 @@ class Host
     friend class TcpListener;
     friend class UdpSocket;
     friend class SctpSocket;
+    friend class SstSocket;
 
     void
     socketOpened()
@@ -120,6 +156,9 @@ class Host
      *  the Network, and their close path must not touch it. */
     void adoptEndpoint(const std::shared_ptr<TcpEndpoint> &ep);
 
+    /** Lazily created TLS session state (tickets + server cache). */
+    TlsHostState &tls();
+
     Network &net_;
     sim::Machine &machine_;
     std::uint32_t id_;
@@ -129,7 +168,9 @@ class Host
     std::unordered_map<std::uint16_t, std::unique_ptr<TcpListener>>
         listeners_;
     std::unordered_map<std::uint16_t, std::unique_ptr<SctpSocket>> sctp_;
+    std::unordered_map<std::uint16_t, std::unique_ptr<SstSocket>> sst_;
     std::vector<std::weak_ptr<TcpEndpoint>> tcpEndpoints_;
+    std::unique_ptr<TlsHostState> tls_;
 };
 
 /**

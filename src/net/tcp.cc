@@ -39,6 +39,14 @@ struct TcpOps
         co_await p.cpu(cfg.tcpSendCost
                        + static_cast<SimTime>(bytes) * cfg.perByteCpu,
                        "kernel:tcp_send");
+        if (ep->tls_) {
+            // Record framing + bulk cipher on the way out.
+            co_await p.cpu(cfg.tlsRecordCost
+                           + static_cast<SimTime>(bytes)
+                               * cfg.tlsPerByteCpu,
+                           "tls:record");
+            ++net.stats().tlsRecords;
+        }
         ++net.stats().tcpSegments;
         net.stats().tcpBytes += bytes;
         if (ep->closed_ || ep->state_ != TcpState::Established
@@ -127,6 +135,13 @@ struct TcpOps
                 q.erase(it);
         }
         const NetConfig &cfg = ep->host_.net().config();
+        if (ep->tlsPendingHandshake_ > 0) {
+            // The accepting side runs its half of the TLS handshake
+            // the first time it touches the connection.
+            SimTime hs = ep->tlsPendingHandshake_;
+            ep->tlsPendingHandshake_ = 0;
+            co_await p.cpu(hs, "tls:handshake");
+        }
         if (!ep->rxBuf_.empty()) {
             std::size_t n = std::min(max_bytes, ep->rxBuf_.size());
             if (n == ep->rxBuf_.size()) {
@@ -141,6 +156,13 @@ struct TcpOps
             co_await p.cpu(cfg.tcpRecvCost
                            + static_cast<SimTime>(n) * cfg.perByteCpu,
                            "kernel:tcp_recv");
+            if (ep->tls_) {
+                // Record MAC check + bulk decipher on the way in.
+                co_await p.cpu(cfg.tlsRecordCost
+                               + static_cast<SimTime>(n)
+                                   * cfg.tlsPerByteCpu,
+                               "tls:record");
+            }
         } else {
             // EOF or reset: an empty read still costs a syscall.
             co_await p.cpu(cfg.tcpRecvCost, "kernel:tcp_recv");

@@ -74,6 +74,9 @@ class TcpEndpoint : public sim::Pollable,
         return !rxBuf_.empty() || peerClosed_ || state_ == TcpState::Reset;
     }
 
+    /** True once a TLS handshake completed over this connection. */
+    bool tls() const { return tls_; }
+
   private:
     friend class Host;
     friend class TcpConn;
@@ -101,6 +104,13 @@ class TcpEndpoint : public sim::Pollable,
     sim::SimTime txArrivalFloor_ = 0;
     bool closed_ = false;
     int openHandles_ = 0;
+    /** TLS session over this connection: adds per-record crypto cost
+     *  to every send/recv. Set by Host::tlsConnect on both ends. */
+    bool tls_ = false;
+    /** Server-side handshake CPU, charged (once) on the first read —
+     *  that is when the accepting process actually runs the
+     *  handshake in this model. */
+    sim::SimTime tlsPendingHandshake_ = 0;
     std::shared_ptr<TcpEndpoint> peer_;
     std::deque<sim::Process *> waiters_;
 #ifdef SIPROX_TCP_HANDLE_DEBUG

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * TLS-over-TCP session state (RFC 3261 "sips", port 5061). The wire
+ * behaviour lives on the TCP endpoints (per-record crypto cost) and in
+ * Host::tlsConnect (handshake flights and CPU); this header holds the
+ * per-host session-resumption state those paths consult.
+ *
+ * What is modeled (because connection churn depends on it): the
+ * asymmetric-crypto cost gap between a full and a resumed handshake,
+ * the extra round trips a full handshake adds after TCP establishes,
+ * a bounded LRU server-side session cache whose evictions force full
+ * handshakes, and optional 0-RTT resumption. What is not modeled:
+ * certificate chains, cipher negotiation, and key-update records —
+ * none of them change the churn-vs-persistent comparison the paper's
+ * methodology turns on.
+ */
+
+#ifndef SIPROX_NET_TLS_HH
+#define SIPROX_NET_TLS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/addr.hh"
+
+namespace siprox::net {
+
+/**
+ * Per-host TLS session state, lazily created on first use.
+ *
+ * Client side: `tickets` records the server addresses this host holds
+ * a session ticket for. Server side: `sessions` is the bounded
+ * resumable-session cache keyed by client host id, LRU-evicted at
+ * capacity. Resumption needs BOTH — the client must present the
+ * ticket and the server must still hold the session; an evicted entry
+ * silently degrades the next connect to a full handshake.
+ */
+struct TlsHostState
+{
+    /** Servers this host (as a client) can offer a ticket to. */
+    std::unordered_set<Addr, AddrHash> tickets;
+
+    /** Server cache LRU order, most recently used at the front. */
+    std::list<std::uint32_t> lru;
+    /** Server cache: client host id -> position in `lru`. */
+    std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator>
+        sessions;
+
+    bool
+    hasSession(std::uint32_t client) const
+    {
+        return sessions.find(client) != sessions.end();
+    }
+
+    /**
+     * Record a completed handshake with @p client: move it to the
+     * front of the LRU, inserting if new and evicting the coldest
+     * entry when over @p capacity.
+     * @return true if an entry was evicted to make room.
+     */
+    bool touchSession(std::uint32_t client, std::size_t capacity);
+};
+
+} // namespace siprox::net
+
+#endif // SIPROX_NET_TLS_HH

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "net/error.hh"
+#include "net/sst.hh"
 #include "sim/pollable.hh"
 #include "sim/simulation.hh"
 #include "sim/trace.hh"
@@ -41,7 +42,11 @@ class Phone::Link
           case core::Transport::Sctp:
             sctp_ = &host_.sctpBind(cfg_.port);
             break;
+          case core::Transport::Sst:
+            sst_ = &host_.sstBind(cfg_.port);
+            break;
           case core::Transport::Tcp:
+          case core::Transport::Tls:
             co_await connect(p, ok);
             break;
         }
@@ -68,7 +73,11 @@ class Phone::Link
           case core::Transport::Sctp:
             co_await sctp_->sendTo(p, target, std::move(wire));
             break;
+          case core::Transport::Sst:
+            co_await sst_->sendTo(p, target, std::move(wire));
+            break;
           case core::Transport::Tcp:
+          case core::Transport::Tls:
             if (!active_) {
                 *ok = false;
                 co_return;
@@ -93,6 +102,8 @@ class Phone::Link
                 items.push_back(udp_);
             } else if (sctp_) {
                 items.push_back(sctp_);
+            } else if (sst_) {
+                items.push_back(sst_);
             } else {
                 if (active_)
                     items.push_back(&active_->conn.readable());
@@ -132,7 +143,7 @@ class Phone::Link
     cycle(sim::Process &p, bool *ok)
     {
         *ok = true;
-        if (cfg_.transport != core::Transport::Tcp)
+        if (!core::isStreamTransport(cfg_.transport))
             co_return;
         auto old = std::move(active_);
         active_.reset();
@@ -149,7 +160,7 @@ class Phone::Link
 
     bool hasActiveFlow() const
     {
-        return udp_ || sctp_ || active_ != nullptr;
+        return udp_ || sctp_ || sst_ || active_ != nullptr;
     }
 
   private:
@@ -164,7 +175,12 @@ class Phone::Link
     {
         auto flow = std::make_unique<TcpFlow>();
         try {
-            co_await host_.tcpConnect(p, cfg_.proxyAddr, flow->conn);
+            if (cfg_.transport == core::Transport::Tls)
+                co_await host_.tlsConnect(p, cfg_.proxyAddr,
+                                          flow->conn);
+            else
+                co_await host_.tcpConnect(p, cfg_.proxyAddr,
+                                          flow->conn);
         } catch (const net::NetError &) {
             *ok = false;
             co_return;
@@ -189,6 +205,14 @@ class Phone::Link
             net::Datagram d;
             while (sctp_->pollReady()) {
                 co_await sctp_->recvFrom(p, d);
+                ready_.push_back(std::move(d.payload));
+            }
+            co_return;
+        }
+        if (sst_) {
+            net::Datagram d;
+            while (sst_->pollReady()) {
+                co_await sst_->recvFrom(p, d);
                 ready_.push_back(std::move(d.payload));
             }
             co_return;
@@ -233,6 +257,7 @@ class Phone::Link
     const PhoneConfig &cfg_;
     net::UdpSocket *udp_ = nullptr;
     net::SctpSocket *sctp_ = nullptr;
+    net::SstSocket *sst_ = nullptr;
     std::unique_ptr<TcpFlow> active_;
     std::vector<std::unique_ptr<TcpFlow>> zombies_;
     std::deque<std::string> ready_;
@@ -296,7 +321,7 @@ Phone::opDone(sim::SimTime now)
 sim::Task
 Phone::maybeCycle(sim::Process &p)
 {
-    if (cfg_.transport != core::Transport::Tcp || cfg_.opsPerConn <= 0
+    if (!core::isStreamTransport(cfg_.transport) || cfg_.opsPerConn <= 0
         || opsSinceConnect_ < cfg_.opsPerConn) {
         co_return;
     }
@@ -522,7 +547,7 @@ Phone::placeCall(sim::Process &p, const std::string &callee_user,
 
     if (final_rsp
         && final_rsp->statusCode() == sip::status::kMovedTemporarily
-        && cfg_.transport != core::Transport::Tcp) {
+        && !core::isStreamTransport(cfg_.transport)) {
         // Redirect server (paper Â§2): re-issue the INVITE straight to
         // the contact; the rest of the call bypasses the server.
         auto contact = final_rsp->contactUri();

@@ -362,6 +362,25 @@ RunResult::digest() const
     add("txnEntriesAtEnd", txnEntriesAtEnd);
     add("retransEntriesAtEnd", retransEntriesAtEnd);
     add("connEntriesAtEnd", connEntriesAtEnd);
+    // TLS and SST groups are appended only when the transport was in
+    // play, so pre-existing digests stay byte-identical.
+    if (net.tlsConnects || net.tlsHandshakeAborts) {
+        add("tlsConnects", net.tlsConnects);
+        add("tlsHandshakesFull", net.tlsHandshakesFull);
+        add("tlsHandshakesResumed", net.tlsHandshakesResumed);
+        add("tlsZeroRttResumes", net.tlsZeroRttResumes);
+        add("tlsSessionEvictions", net.tlsSessionEvictions);
+        add("tlsHandshakeAborts", net.tlsHandshakeAborts);
+        add("tlsRecords", net.tlsRecords);
+    }
+    if (net.sstMessages || net.sstChannels) {
+        add("sstMessages", net.sstMessages);
+        add("sstStreams", net.sstStreams);
+        add("sstFrames", net.sstFrames);
+        add("sstChannels", net.sstChannels);
+        add("sstDropped", net.sstDropped);
+        add("sstLost", net.sstLost);
+    }
     out += faults.digest();
     return out;
 }
@@ -460,6 +479,21 @@ collectMetrics(const RunResult &r)
     reg.setCounter("net.sctpMessages", r.net.sctpMessages);
     reg.setCounter("net.sctpDropped", r.net.sctpDropped);
     reg.setCounter("net.sctpAssocs", r.net.sctpAssocs);
+    reg.setCounter("net.tlsConnects", r.net.tlsConnects);
+    reg.setCounter("net.tlsHandshakesFull", r.net.tlsHandshakesFull);
+    reg.setCounter("net.tlsHandshakesResumed",
+                   r.net.tlsHandshakesResumed);
+    reg.setCounter("net.tlsZeroRttResumes", r.net.tlsZeroRttResumes);
+    reg.setCounter("net.tlsSessionEvictions",
+                   r.net.tlsSessionEvictions);
+    reg.setCounter("net.tlsHandshakeAborts", r.net.tlsHandshakeAborts);
+    reg.setCounter("net.tlsRecords", r.net.tlsRecords);
+    reg.setCounter("net.sstMessages", r.net.sstMessages);
+    reg.setCounter("net.sstStreams", r.net.sstStreams);
+    reg.setCounter("net.sstFrames", r.net.sstFrames);
+    reg.setCounter("net.sstChannels", r.net.sstChannels);
+    reg.setCounter("net.sstDropped", r.net.sstDropped);
+    reg.setCounter("net.sstLost", r.net.sstLost);
     reg.setCounter("net.faultDropped", r.net.faultDropped);
     reg.setCounter("net.faultDuplicated", r.net.faultDuplicated);
     reg.setCounter("net.faultDelayed", r.net.faultDelayed);
@@ -503,7 +537,9 @@ paperScenario(core::Transport transport, int clients, int ops_per_conn)
     sc.proxy.transport = transport;
     sc.clients = clients;
     sc.opsPerConn = ops_per_conn;
-    sc.proxy.workers = transport == core::Transport::Tcp ? 32 : 24;
+    sc.proxy.workers = core::isStreamTransport(transport) ? 32 : 24;
+    if (transport == core::Transport::Tls)
+        sc.proxy.port = 5061; // RFC 3261 sips
     sc.proxy.stateful = true;
     // Scale call counts so each grid point runs a similar number of
     // operations regardless of client count.

@@ -51,9 +51,10 @@ smallScenario(const ArchParam &param)
     sc.proxy.workers = 6;
     sc.clients = 4;
     sc.callsPerClient = 6;
-    // TCP cells cycle connections to exercise accept/destroy churn in
-    // every architecture.
-    sc.opsPerConn = param.transport == Transport::Tcp ? 4 : 0;
+    // Byte-stream cells (TCP, TLS) cycle connections to exercise
+    // accept/destroy churn — and for TLS, handshake churn — in every
+    // architecture.
+    sc.opsPerConn = core::isStreamTransport(param.transport) ? 4 : 0;
     sc.clientMachines = 2;
     sc.maxDuration = sim::secs(60);
     // A tiny delivery jitter on every client link makes the message
@@ -100,6 +101,31 @@ TEST_P(ArchMatrixTest, CompletesAndRerunsByteIdentical)
         EXPECT_EQ(r.counters.connsReturnedByWorkers, 0u);
     }
 
+    if (param.transport == Transport::Tls) {
+        // Every TLS connection did a handshake of exactly one kind,
+        // and full handshakes cover whatever resumption didn't.
+        EXPECT_GT(r.net.tlsConnects, 0u);
+        EXPECT_EQ(r.net.tlsHandshakesFull + r.net.tlsHandshakesResumed
+                      + r.net.tlsZeroRttResumes,
+                  r.net.tlsConnects);
+        EXPECT_GE(r.net.tlsHandshakesFull,
+                  r.net.tlsConnects - r.net.tlsHandshakesResumed
+                      - r.net.tlsZeroRttResumes);
+        EXPECT_EQ(r.net.tlsHandshakeAborts, 0u);
+        // Application traffic rode the record layer.
+        EXPECT_GT(r.net.tlsRecords, 0u);
+    }
+    if (param.transport == Transport::Sst) {
+        // Channels were set up and reused; messages rode per-call
+        // streams, not accepted connections — so the fd-passing
+        // machinery is structurally idle in every architecture.
+        EXPECT_GT(r.net.sstMessages, 0u);
+        EXPECT_GT(r.net.sstChannels, 0u);
+        EXPECT_GE(r.net.sstStreams, r.net.sstMessages);
+        EXPECT_EQ(r.counters.connsAccepted, 0u);
+        EXPECT_EQ(r.counters.fdRequests, 0u);
+    }
+
     // Determinism: a rerun of the identical scenario must match byte
     // for byte, for every architecture (the work-stealing event loops
     // included).
@@ -135,7 +161,9 @@ matrix()
     } transports[] = {
         {Transport::Udp, "udp"},
         {Transport::Tcp, "tcp"},
+        {Transport::Tls, "tls"},
         {Transport::Sctp, "sctp"},
+        {Transport::Sst, "sst"},
     };
     for (const auto &k : kinds) {
         for (const auto &t : transports) {
@@ -171,7 +199,8 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ArchSupport, UnsupportedPairingsThrow)
 {
     // Supervisor/worker needs a byte-stream listener.
-    for (Transport t : {Transport::Udp, Transport::Sctp}) {
+    for (Transport t :
+         {Transport::Udp, Transport::Sctp, Transport::Sst}) {
         Scenario sc;
         sc.proxy.transport = t;
         sc.proxy.arch = ArchKind::SupervisorWorker;
@@ -179,33 +208,46 @@ TEST(ArchSupport, UnsupportedPairingsThrow)
         sc.callsPerClient = 1;
         EXPECT_THROW(runScenario(sc), std::invalid_argument);
     }
-    // Symmetric workers share one message-based socket; TCP needs
-    // per-connection ownership.
-    Scenario sc;
-    sc.proxy.transport = Transport::Tcp;
-    sc.proxy.arch = ArchKind::SymmetricWorker;
-    sc.clients = 2;
-    sc.callsPerClient = 1;
-    EXPECT_THROW(runScenario(sc), std::invalid_argument);
+    // Symmetric workers share one message-based socket; byte streams
+    // (TCP, TLS) need per-connection ownership.
+    for (Transport t : {Transport::Tcp, Transport::Tls}) {
+        Scenario sc;
+        sc.proxy.transport = t;
+        sc.proxy.arch = ArchKind::SymmetricWorker;
+        sc.clients = 2;
+        sc.callsPerClient = 1;
+        EXPECT_THROW(runScenario(sc), std::invalid_argument);
+    }
 }
 
 TEST(ArchSupport, ReasonStringsNameTheArchitecture)
 {
-    EXPECT_EQ(core::archSupportError(ArchKind::EventDriven,
-                                     Transport::Tcp),
-              nullptr);
-    EXPECT_EQ(core::archSupportError(ArchKind::EventDriven,
-                                     Transport::Udp),
-              nullptr);
-    EXPECT_EQ(core::archSupportError(ArchKind::EventDriven,
-                                     Transport::Sctp),
-              nullptr);
+    for (Transport t : {Transport::Udp, Transport::Tcp, Transport::Tls,
+                        Transport::Sctp, Transport::Sst})
+        EXPECT_EQ(core::archSupportError(ArchKind::EventDriven, t),
+                  nullptr);
     EXPECT_NE(core::archSupportError(ArchKind::SupervisorWorker,
                                      Transport::Udp),
               nullptr);
     EXPECT_NE(core::archSupportError(ArchKind::SymmetricWorker,
                                      Transport::Tcp),
               nullptr);
+    // The rejections name the transports they do serve, so a bad
+    // config points straight at the fix.
+    std::string sup = core::archSupportError(ArchKind::SupervisorWorker,
+                                             Transport::Sst);
+    EXPECT_NE(sup.find("TCP and TLS"), std::string::npos) << sup;
+    std::string sym = core::archSupportError(ArchKind::SymmetricWorker,
+                                             Transport::Tls);
+    EXPECT_NE(sym.find("TCP/TLS"), std::string::npos) << sym;
+}
+
+TEST(ArchSupport, AutoResolvesByTransportFamily)
+{
+    EXPECT_EQ(core::resolveArchKind(ArchKind::Auto, Transport::Tls),
+              ArchKind::SupervisorWorker);
+    EXPECT_EQ(core::resolveArchKind(ArchKind::Auto, Transport::Sst),
+              ArchKind::SymmetricWorker);
 }
 
 } // namespace

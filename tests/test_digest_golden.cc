@@ -140,6 +140,139 @@ const char kTcpSeed11Golden[] = "ops=240\n"
                                 "retransEntriesAtEnd=0\n"
                                 "connEntriesAtEnd=90\n";
 
+const char kTlsSeed13Golden[] = "ops=144\n"
+                                "callsCompleted=72\n"
+                                "callsFailed=0\n"
+                                "phoneRetransmissions=0\n"
+                                "reconnects=72\n"
+                                "reconnectFailures=0\n"
+                                "duration=12865877\n"
+                                "inviteP50=917503\n"
+                                "inviteP99=1245183\n"
+                                "timedOut=0\n"
+                                "messagesIn=528\n"
+                                "requestsIn=312\n"
+                                "responsesIn=216\n"
+                                "forwards=432\n"
+                                "localReplies=168\n"
+                                "parseErrors=0\n"
+                                "routeFailures=0\n"
+                                "retransAbsorbed=0\n"
+                                "retransSent=0\n"
+                                "retransTimeouts=0\n"
+                                "timerB408s=0\n"
+                                "registrations=96\n"
+                                "connsAccepted=96\n"
+                                "connsDestroyed=0\n"
+                                "outboundConnects=0\n"
+                                "overloadRejected=0\n"
+                                "overloadThrottled=0\n"
+                                "overloadPanicDrops=0\n"
+                                "overloadShedEnters=0\n"
+                                "overloadShedExits=0\n"
+                                "tcpReadPauses=0\n"
+                                "tcpReadResumes=0\n"
+                                "tcpAcceptPauses=0\n"
+                                "phoneRejected503=0\n"
+                                "phoneBackoffs=0\n"
+                                "proxyRecvQueueDrops=0\n"
+                                "proxyAcceptRefused=0\n"
+                                "occupancySamples=0\n"
+                                "udpSent=0\n"
+                                "udpDelivered=0\n"
+                                "udpLost=0\n"
+                                "udpDropped=0\n"
+                                "tcpConnects=96\n"
+                                "tcpRefused=0\n"
+                                "tcpSegments=1128\n"
+                                "tcpBytes=333738\n"
+                                "sctpMessages=0\n"
+                                "sctpDropped=0\n"
+                                "sctpAssocs=0\n"
+                                "faultDropped=0\n"
+                                "faultDuplicated=0\n"
+                                "faultDelayed=0\n"
+                                "tcpFaultRefused=0\n"
+                                "tcpRstInjected=0\n"
+                                "tcpBlackholed=0\n"
+                                "tcpRecoveries=0\n"
+                                "txnEntriesAtEnd=288\n"
+                                "retransEntriesAtEnd=0\n"
+                                "connEntriesAtEnd=96\n"
+                                "tlsConnects=96\n"
+                                "tlsHandshakesFull=24\n"
+                                "tlsHandshakesResumed=72\n"
+                                "tlsZeroRttResumes=0\n"
+                                "tlsSessionEvictions=0\n"
+                                "tlsHandshakeAborts=0\n"
+                                "tlsRecords=1128\n";
+
+const char kSstSeed17Golden[] = "ops=144\n"
+                                "callsCompleted=72\n"
+                                "callsFailed=0\n"
+                                "phoneRetransmissions=0\n"
+                                "reconnects=0\n"
+                                "reconnectFailures=0\n"
+                                "duration=5022364\n"
+                                "inviteP50=409599\n"
+                                "inviteP99=589823\n"
+                                "timedOut=0\n"
+                                "messagesIn=456\n"
+                                "requestsIn=240\n"
+                                "responsesIn=216\n"
+                                "forwards=432\n"
+                                "localReplies=96\n"
+                                "parseErrors=0\n"
+                                "routeFailures=0\n"
+                                "retransAbsorbed=0\n"
+                                "retransSent=0\n"
+                                "retransTimeouts=0\n"
+                                "timerB408s=0\n"
+                                "registrations=24\n"
+                                "connsAccepted=0\n"
+                                "connsDestroyed=0\n"
+                                "outboundConnects=0\n"
+                                "overloadRejected=0\n"
+                                "overloadThrottled=0\n"
+                                "overloadPanicDrops=0\n"
+                                "overloadShedEnters=0\n"
+                                "overloadShedExits=0\n"
+                                "tcpReadPauses=0\n"
+                                "tcpReadResumes=0\n"
+                                "tcpAcceptPauses=0\n"
+                                "phoneRejected503=0\n"
+                                "phoneBackoffs=0\n"
+                                "proxyRecvQueueDrops=0\n"
+                                "proxyAcceptRefused=0\n"
+                                "occupancySamples=0\n"
+                                "udpSent=0\n"
+                                "udpDelivered=0\n"
+                                "udpLost=0\n"
+                                "udpDropped=0\n"
+                                "tcpConnects=0\n"
+                                "tcpRefused=0\n"
+                                "tcpSegments=0\n"
+                                "tcpBytes=0\n"
+                                "sctpMessages=0\n"
+                                "sctpDropped=0\n"
+                                "sctpAssocs=0\n"
+                                "faultDropped=0\n"
+                                "faultDuplicated=0\n"
+                                "faultDelayed=0\n"
+                                "tcpFaultRefused=0\n"
+                                "tcpRstInjected=0\n"
+                                "tcpBlackholed=0\n"
+                                "tcpRecoveries=0\n"
+                                "txnEntriesAtEnd=288\n"
+                                "retransEntriesAtEnd=0\n"
+                                "connEntriesAtEnd=0\n"
+                                "sstMessages=984\n"
+                                "sstStreams=984\n"
+                                "sstFrames=984\n"
+                                "sstChannels=24\n"
+                                "sstDropped=0\n"
+                                "sstLost=0\n";
+
 TEST(DigestGolden, UdpPaperScenarioSeed7)
 {
     Scenario sc = paperScenario(core::Transport::Udp, 20, 0);
@@ -156,6 +289,26 @@ TEST(DigestGolden, TcpPaperScenarioSeed11)
     sc.seed = 11;
     RunResult r = runScenario(sc);
     EXPECT_EQ(r.digest(), kTcpSeed11Golden);
+}
+
+TEST(DigestGolden, TlsPaperScenarioSeed13)
+{
+    // Connection churn every 4 ops: the TLS group in the digest pins
+    // the full-vs-resumed handshake split byte-for-byte.
+    Scenario sc = paperScenario(core::Transport::Tls, 12, 4);
+    sc.callsPerClient = 6;
+    sc.seed = 13;
+    RunResult r = runScenario(sc);
+    EXPECT_EQ(r.digest(), kTlsSeed13Golden);
+}
+
+TEST(DigestGolden, SstPaperScenarioSeed17)
+{
+    Scenario sc = paperScenario(core::Transport::Sst, 12, 0);
+    sc.callsPerClient = 6;
+    sc.seed = 17;
+    RunResult r = runScenario(sc);
+    EXPECT_EQ(r.digest(), kSstSeed17Golden);
 }
 
 TEST(DigestGolden, RepeatRunsAreByteIdentical)

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * SST structured-stream tests: ephemeral per-message streams over the
+ * datagram API, channel setup/reuse, MTU fragmentation + reassembly,
+ * the explicit stream lifecycle (open / half-close / teardown), and
+ * per-stream ordering when streams interleave over a lossy substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "net/error.hh"
+#include "net/sst.hh"
+#include "net_fixture.hh"
+
+namespace {
+
+using namespace siprox;
+using namespace siprox::sim;
+using namespace siprox::net;
+using siprox::tests::NetFixture;
+
+using SstTest = NetFixture;
+
+Task
+sstSendN(Process &p, SstSocket *sock, Addr dst, int n,
+         std::string prefix)
+{
+    for (int i = 0; i < n; ++i)
+        co_await sock->sendTo(p, dst, prefix + std::to_string(i));
+}
+
+Task
+sstRecvN(Process &p, SstSocket *sock, int n,
+         std::vector<Datagram> *out)
+{
+    for (int i = 0; i < n; ++i) {
+        Datagram d;
+        co_await sock->recvFrom(p, d);
+        out->push_back(std::move(d));
+    }
+}
+
+TEST_F(SstTest, DeliversWholeMessagesAndTearsDownEphemeralStreams)
+{
+    auto &ssock = server.sstBind(5060);
+    auto &csock = client.sstBind(5062);
+    std::vector<Datagram> got;
+    serverMachine.spawn("rx", 0, [&](Process &p) {
+        return sstRecvN(p, &ssock, 5, &got);
+    });
+    clientMachine.spawn("tx", 0, [&](Process &p) {
+        return sstSendN(p, &csock, server.addr(5060), 5, "msg");
+    });
+    // Stop before the idle sweep so channel state is still visible.
+    sim.runUntil(secs(1));
+
+    ASSERT_EQ(got.size(), 5u);
+    // Each message rode its own ephemeral stream, so there is no
+    // cross-message ordering guarantee (the first one absorbed the
+    // channel setup and lands last) — but nothing is lost or torn.
+    std::vector<std::string> payloads;
+    for (const auto &d : got) {
+        payloads.push_back(d.payload);
+        EXPECT_EQ(d.src, client.addr(5062));
+    }
+    std::sort(payloads.begin(), payloads.end());
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(payloads[i], "msg" + std::to_string(i));
+    EXPECT_EQ(net.stats().sstMessages, 5u);
+    EXPECT_EQ(net.stats().sstStreams, 5u); // one ephemeral per message
+    EXPECT_EQ(net.stats().sstChannels, 1u);
+    // Every ephemeral stream tore itself down on delivery.
+    EXPECT_EQ(ssock.streamCount(), 0u);
+    EXPECT_EQ(csock.streamCount(), 0u);
+    // Both ends hold the (single) channel's state.
+    EXPECT_EQ(csock.channelCount(), 1u);
+    EXPECT_EQ(ssock.channelCount(), 1u);
+}
+
+Task
+sstEchoServer(Process &p, SstSocket *sock, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        Datagram d;
+        co_await sock->recvFrom(p, d);
+        co_await sock->sendTo(p, d.src, std::move(d.payload));
+    }
+}
+
+Task
+sstPingClient(Process &p, SstSocket *sock, Addr dst, int n,
+              std::vector<SimTime> *rtts)
+{
+    for (int i = 0; i < n; ++i) {
+        SimTime t0 = p.sim().now();
+        co_await sock->sendTo(p, dst, "ping" + std::to_string(i));
+        Datagram d;
+        co_await sock->recvFrom(p, d);
+        rtts->push_back(p.sim().now() - t0);
+        EXPECT_EQ(d.payload, "ping" + std::to_string(i));
+    }
+}
+
+TEST_F(SstTest, ChannelSetupPaysOneRoundTripOnceAndOnlyForward)
+{
+    auto &ssock = server.sstBind(5060);
+    auto &csock = client.sstBind(5062);
+    serverMachine.spawn("srv", 0, [&](Process &p) {
+        return sstEchoServer(p, &ssock, 3);
+    });
+    std::vector<SimTime> rtts;
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return sstPingClient(p, &csock, server.addr(5060), 3, &rtts);
+    });
+    sim.run();
+
+    ASSERT_EQ(rtts.size(), 3u);
+    // First exchange absorbs the channel's extra round trip.
+    EXPECT_GE(rtts[0] - rtts[1], 2 * net.config().latency);
+    // The reverse direction rides the same channel: exactly one
+    // channel setup was ever paid.
+    EXPECT_EQ(net.stats().sstChannels, 1u);
+}
+
+TEST_F(SstTest, FragmentsLargeMessagesAndReassembles)
+{
+    auto &ssock = server.sstBind(5060);
+    auto &csock = client.sstBind(5062);
+    std::string big;
+    for (int i = 0; i < 5000; ++i)
+        big += static_cast<char>('a' + i % 26);
+    std::vector<Datagram> got;
+    serverMachine.spawn("rx", 0, [&](Process &p) {
+        return sstRecvN(p, &ssock, 1, &got);
+    });
+    std::string copy = big;
+    clientMachine.spawn("tx", 0, [&](Process &p) {
+        return sstSendN(p, &csock, server.addr(5060), 1, copy);
+    });
+    sim.run();
+
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].payload, big + "0");
+    // 5001 bytes over a 1200-byte MTU: 5 frames.
+    EXPECT_EQ(net.stats().sstFrames, 5u);
+    EXPECT_EQ(net.stats().sstMessages, 1u);
+}
+
+Task
+streamLifecycle(Process &p, SstSocket *cli, SstSocket *srv, Addr dst,
+                std::uint32_t *id)
+{
+    co_await cli->openStream(p, dst, *id);
+    EXPECT_EQ(cli->streamState(*id), SstStreamState::Open);
+    co_await cli->streamSend(p, *id, "hello stream");
+    co_await p.sleepFor(msecs(1));
+    // The receiver's half of the stream exists and is open.
+    EXPECT_EQ(srv->streamState(*id), SstStreamState::Open);
+
+    co_await cli->streamHalfClose(p, *id);
+    EXPECT_EQ(cli->streamState(*id), SstStreamState::HalfClosedLocal);
+    co_await p.sleepFor(msecs(1));
+    // FIN seen remotely; teardown round trip completed locally.
+    EXPECT_EQ(srv->streamState(*id), SstStreamState::HalfClosedRemote);
+    EXPECT_EQ(cli->streamState(*id), SstStreamState::Closed);
+
+    // Sending on a torn-down stream is a loud error.
+    bool threw = false;
+    try {
+        co_await cli->streamSend(p, *id, "late");
+    } catch (const NetError &e) {
+        threw = true;
+        EXPECT_EQ(e.code(), NetErrc::NotConnected);
+    }
+    EXPECT_TRUE(threw);
+}
+
+TEST_F(SstTest, ExplicitStreamLifecycle)
+{
+    auto &ssock = server.sstBind(5060);
+    auto &csock = client.sstBind(5062);
+    std::vector<Datagram> got;
+    serverMachine.spawn("rx", 0, [&](Process &p) {
+        return sstRecvN(p, &ssock, 1, &got);
+    });
+    std::uint32_t id = 0;
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return streamLifecycle(p, &csock, &ssock, server.addr(5060),
+                               &id);
+    });
+    // Stop before the idle sweep so the lingering remote half-closed
+    // record is still visible.
+    sim.runUntil(secs(1));
+
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].payload, "hello stream");
+    EXPECT_NE(id, 0u);
+    // The client record is gone; only the server's half-closed remote
+    // record lingers (until the idle sweep).
+    EXPECT_EQ(csock.streamCount(), 0u);
+    EXPECT_EQ(ssock.streamCount(), 1u);
+
+    // ... and the idle sweep eventually reclaims even that.
+    sim.run();
+    EXPECT_EQ(ssock.streamCount(), 0u);
+}
+
+Task
+interleavedSender(Process &p, SstSocket *sock, Addr dst, int rounds)
+{
+    std::uint32_t a = 0, b = 0;
+    co_await sock->openStream(p, dst, a);
+    co_await sock->openStream(p, dst, b);
+    const std::string pad(3000, 'x'); // 3 frames per message
+    for (int i = 0; i < rounds; ++i) {
+        co_await sock->streamSend(p, a,
+                                  "A" + std::to_string(i) + pad);
+        co_await sock->streamSend(p, b,
+                                  "B" + std::to_string(i) + pad);
+    }
+}
+
+TEST_F(SstTest, InterleavedStreamsStayOrderedPerStreamOverLossyLink)
+{
+    auto &ssock = server.sstBind(5060);
+    auto &csock = client.sstBind(5062);
+    // Lossy, jittery substrate: frames are delayed (in-kernel
+    // recovery) and arrival order across streams is scrambled, but
+    // per-stream floors must keep each stream's messages in order.
+    Impairment imp;
+    imp.lossProb = 0.3;
+    imp.jitter = msecs(2);
+    imp.recoveryDelay = msecs(5);
+    net.faults().setLinkSymmetric(client.id(), server.id(), imp);
+
+    const int rounds = 8;
+    std::vector<Datagram> got;
+    serverMachine.spawn("rx", 0, [&](Process &p) {
+        return sstRecvN(p, &ssock, 2 * rounds, &got);
+    });
+    clientMachine.spawn("tx", 0, [&](Process &p) {
+        return interleavedSender(p, &csock, server.addr(5060), rounds);
+    });
+    sim.run();
+
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(2 * rounds));
+    int next_a = 0, next_b = 0;
+    for (const auto &d : got) {
+        ASSERT_GE(d.payload.size(), 2u);
+        int idx = d.payload[1] - '0';
+        if (d.payload[0] == 'A')
+            EXPECT_EQ(idx, next_a++);
+        else
+            EXPECT_EQ(idx, next_b++);
+    }
+    EXPECT_EQ(next_a, rounds);
+    EXPECT_EQ(next_b, rounds);
+    EXPECT_EQ(net.stats().sstLost, 0u); // lossy, not dead: recovered
+}
+
+Task
+loseThenHeal(Process &p, Network *network, SstSocket *sock, Addr dst)
+{
+    // Dead link: three whole messages vanish.
+    co_await sstSendN(p, sock, dst, 3, "lost");
+    network->faults().setLinkSymmetric(sock->localAddr().host, dst.host,
+                                       Impairment{});
+    co_await sock->sendTo(p, dst, "through");
+}
+
+TEST_F(SstTest, DeadLinkLosesWholeMessages)
+{
+    auto &ssock = server.sstBind(5060);
+    auto &csock = client.sstBind(5062);
+    Impairment imp;
+    imp.stalled = true;
+    net.faults().setLinkSymmetric(client.id(), server.id(), imp);
+
+    std::vector<Datagram> got;
+    serverMachine.spawn("rx", 0, [&](Process &p) {
+        return sstRecvN(p, &ssock, 1, &got);
+    });
+    clientMachine.spawn("tx", 0, [&](Process &p) {
+        return loseThenHeal(p, &net, &csock, server.addr(5060));
+    });
+    sim.run();
+
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].payload, "through");
+    EXPECT_EQ(net.stats().sstLost, 3u);
+}
+
+TEST_F(SstTest, IdleChannelsAndStaleStreamsAreReaped)
+{
+    auto &ssock = server.sstBind(5060);
+    auto &csock = client.sstBind(5062);
+    std::vector<Datagram> got;
+    serverMachine.spawn("rx", 0, [&](Process &p) {
+        return sstRecvN(p, &ssock, 1, &got);
+    });
+    clientMachine.spawn("tx", 0, [&](Process &p) {
+        return sstSendN(p, &csock, server.addr(5060), 1, "only");
+    });
+    sim.run(); // drains traffic, then the sweeps run dry
+
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_GE(sim.now(), net.config().sstIdleTimeout);
+    EXPECT_EQ(csock.channelCount(), 0u);
+    EXPECT_EQ(ssock.channelCount(), 0u);
+    EXPECT_EQ(ssock.streamCount(), 0u);
+}
+
+class SstTinyQueueTest : public NetFixture
+{
+  protected:
+    static NetConfig
+    cfg()
+    {
+        NetConfig c;
+        c.udpRecvQueue = 2;
+        return c;
+    }
+    SstTinyQueueTest() : NetFixture(cfg()) {}
+};
+
+TEST_F(SstTinyQueueTest, ReceiveOverflowDropsAndCounts)
+{
+    auto &ssock = server.sstBind(5060);
+    auto &csock = client.sstBind(5062);
+    // No receiver process: the bounded queue fills and drops.
+    clientMachine.spawn("tx", 0, [&](Process &p) {
+        return sstSendN(p, &csock, server.addr(5060), 5, "burst");
+    });
+    sim.run();
+
+    EXPECT_EQ(ssock.queueDepth(), 2u);
+    EXPECT_EQ(ssock.overflowDrops(), 3u);
+    EXPECT_EQ(net.stats().sstDropped, 3u);
+}
+
+} // namespace

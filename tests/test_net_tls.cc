@@ -1,0 +1,346 @@
+/**
+ * @file
+ * TLS-over-TCP tests: the handshake state machine (full vs resumed vs
+ * 0-RTT), session-ticket plumbing, resumption-cache LRU eviction,
+ * handshake abort under link impairment, and per-record cost wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/error.hh"
+#include "net_fixture.hh"
+
+namespace {
+
+using namespace siprox;
+using namespace siprox::sim;
+using namespace siprox::net;
+using siprox::tests::NetFixture;
+
+using TlsTest = NetFixture;
+
+Task
+tlsConnectSeq(Process &p, Host *host, Addr remote, int times,
+              std::vector<SimTime> *durations,
+              std::vector<TcpConn> *conns, NetErrc *err = nullptr)
+{
+    for (int i = 0; i < times; ++i) {
+        TcpConn c;
+        SimTime t0 = p.sim().now();
+        try {
+            co_await host->tlsConnect(p, remote, c);
+        } catch (const NetError &e) {
+            if (err)
+                *err = e.code();
+            co_return;
+        }
+        durations->push_back(p.sim().now() - t0);
+        conns->push_back(std::move(c));
+    }
+}
+
+TEST_F(TlsTest, FullHandshakeThenTicketResumption)
+{
+    server.tcpListen(5061);
+    std::vector<SimTime> durations;
+    std::vector<TcpConn> conns;
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return tlsConnectSeq(p, &client, server.addr(5061), 2,
+                             &durations, &conns);
+    });
+    sim.run();
+
+    ASSERT_EQ(conns.size(), 2u);
+    EXPECT_EQ(net.stats().tlsConnects, 2u);
+    EXPECT_EQ(net.stats().tlsHandshakesFull, 1u);
+    EXPECT_EQ(net.stats().tlsHandshakesResumed, 1u);
+    EXPECT_EQ(net.stats().tlsZeroRttResumes, 0u);
+    EXPECT_EQ(server.tlsSessionCount(), 1u);
+    // Both ends of each connection are TLS.
+    for (auto &c : conns) {
+        ASSERT_TRUE(c.valid());
+        EXPECT_TRUE(c.endpoint()->tls());
+    }
+    // The resumed handshake skips one full-handshake flight and the
+    // asymmetric crypto: at least 2*latency faster.
+    ASSERT_EQ(durations.size(), 2u);
+    EXPECT_GE(durations[0] - durations[1], 2 * net.config().latency);
+    // Full handshake: TCP (1 RTT) + tlsFullHandshakeRtts extra RTTs.
+    EXPECT_GE(durations[0],
+              (1 + net.config().tlsFullHandshakeRtts) * 2
+                  * net.config().latency);
+}
+
+Task
+connectForgetConnect(Process &p, Host *host, Addr remote,
+                     std::vector<SimTime> *durations,
+                     std::vector<TcpConn> *conns)
+{
+    co_await tlsConnectSeq(p, host, remote, 1, durations, conns);
+    host->tlsForgetTickets();
+    co_await tlsConnectSeq(p, host, remote, 1, durations, conns);
+}
+
+TEST_F(TlsTest, ForgettingTicketsForcesFullHandshake)
+{
+    server.tcpListen(5061);
+    std::vector<SimTime> durations;
+    std::vector<TcpConn> conns;
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return connectForgetConnect(p, &client, server.addr(5061),
+                                    &durations, &conns);
+    });
+    sim.run();
+
+    // No ticket offered: the server cache entry alone is not enough.
+    EXPECT_EQ(net.stats().tlsHandshakesFull, 2u);
+    EXPECT_EQ(net.stats().tlsHandshakesResumed, 0u);
+}
+
+class TlsZeroRttTest : public NetFixture
+{
+  protected:
+    static NetConfig
+    cfg()
+    {
+        NetConfig c;
+        c.tlsZeroRtt = true;
+        return c;
+    }
+    TlsZeroRttTest() : NetFixture(cfg()) {}
+};
+
+TEST_F(TlsZeroRttTest, ZeroRttResumeSkipsTheFlight)
+{
+    server.tcpListen(5061);
+    std::vector<SimTime> durations;
+    std::vector<TcpConn> conns;
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return tlsConnectSeq(p, &client, server.addr(5061), 2,
+                             &durations, &conns);
+    });
+    sim.run();
+
+    EXPECT_EQ(net.stats().tlsHandshakesFull, 1u);
+    EXPECT_EQ(net.stats().tlsHandshakesResumed, 0u);
+    EXPECT_EQ(net.stats().tlsZeroRttResumes, 1u);
+    // 0-RTT pays no handshake flight at all: the reconnect is within
+    // kernel-CPU distance of a bare TCP connect's one round trip.
+    ASSERT_EQ(durations.size(), 2u);
+    EXPECT_LT(durations[1], 2 * net.config().latency
+                  + net.config().tcpConnectCost
+                  + net.config().tlsZeroRttHandshakeCost
+                  + net.config().latency);
+}
+
+class TlsNoResumptionTest : public NetFixture
+{
+  protected:
+    static NetConfig
+    cfg()
+    {
+        NetConfig c;
+        c.tlsResumption = false;
+        return c;
+    }
+    TlsNoResumptionTest() : NetFixture(cfg()) {}
+};
+
+TEST_F(TlsNoResumptionTest, EveryHandshakeIsFull)
+{
+    server.tcpListen(5061);
+    std::vector<SimTime> durations;
+    std::vector<TcpConn> conns;
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return tlsConnectSeq(p, &client, server.addr(5061), 3,
+                             &durations, &conns);
+    });
+    sim.run();
+
+    EXPECT_EQ(net.stats().tlsConnects, 3u);
+    EXPECT_EQ(net.stats().tlsHandshakesFull, 3u);
+    EXPECT_EQ(net.stats().tlsHandshakesResumed, 0u);
+    EXPECT_EQ(server.tlsSessionCount(), 0u);
+}
+
+class TlsTinyCacheTest : public NetFixture
+{
+  protected:
+    static NetConfig
+    cfg()
+    {
+        NetConfig c;
+        c.tlsSessionCacheCapacity = 1;
+        return c;
+    }
+    TlsTinyCacheTest() : NetFixture(cfg()) {}
+};
+
+Task
+competeForCache(Process &p, Host *a, Host *b, Addr remote,
+                std::vector<SimTime> *durations,
+                std::vector<TcpConn> *conns)
+{
+    // a fills the cache, b evicts a's session, then a — ticket in
+    // hand — still falls back to a full handshake.
+    co_await tlsConnectSeq(p, a, remote, 1, durations, conns);
+    co_await tlsConnectSeq(p, b, remote, 1, durations, conns);
+    co_await tlsConnectSeq(p, a, remote, 1, durations, conns);
+}
+
+TEST_F(TlsTinyCacheTest, EvictionDegradesToFullHandshake)
+{
+    server.tcpListen(5061);
+    // A second client host competing for the one-entry server cache.
+    Host &client2 = net.attach(clientMachine);
+    std::vector<SimTime> durations;
+    std::vector<TcpConn> conns;
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return competeForCache(p, &client, &client2,
+                               server.addr(5061), &durations, &conns);
+    });
+    sim.run();
+
+    EXPECT_EQ(net.stats().tlsHandshakesFull, 3u);
+    EXPECT_EQ(net.stats().tlsHandshakesResumed, 0u);
+    EXPECT_EQ(net.stats().tlsSessionEvictions, 2u);
+    EXPECT_EQ(server.tlsSessionCount(), 1u);
+}
+
+TEST_F(TlsTinyCacheTest, LruKeepsTheRecentlyTouchedSession)
+{
+    server.tcpListen(5061);
+    std::vector<SimTime> durations;
+    std::vector<TcpConn> conns;
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        // Same client twice: the second connect touches the existing
+        // entry instead of evicting it.
+        return tlsConnectSeq(p, &client, server.addr(5061), 2,
+                             &durations, &conns);
+    });
+    sim.run();
+
+    EXPECT_EQ(net.stats().tlsHandshakesResumed, 1u);
+    EXPECT_EQ(net.stats().tlsSessionEvictions, 0u);
+}
+
+TEST_F(TlsTest, HandshakeAbortsOnStalledLink)
+{
+    server.tcpListen(5061);
+    // The TCP handshake itself survives (SYNs only roll connect
+    // faults), but every handshake flight is swallowed.
+    Impairment imp;
+    imp.stalled = true;
+    net.faults().setLinkSymmetric(client.id(), server.id(), imp);
+
+    std::vector<SimTime> durations;
+    std::vector<TcpConn> conns;
+    NetErrc err{};
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return tlsConnectSeq(p, &client, server.addr(5061), 1,
+                             &durations, &conns, &err);
+    });
+    sim.run();
+
+    EXPECT_EQ(conns.size(), 0u);
+    EXPECT_EQ(err, NetErrc::ConnectionRefused);
+    EXPECT_EQ(net.stats().tlsHandshakeAborts, 1u);
+    EXPECT_EQ(net.stats().tlsConnects, 0u);
+    // The underlying TCP connection did establish, then was closed.
+    EXPECT_EQ(net.stats().tcpConnects, 1u);
+}
+
+Task
+abortThenRetry(Process &p, Network *network, Host *host, Addr remote,
+               std::vector<SimTime> *durations,
+               std::vector<TcpConn> *conns)
+{
+    NetErrc err{};
+    co_await tlsConnectSeq(p, host, remote, 1, durations, conns, &err);
+    EXPECT_EQ(err, NetErrc::ConnectionRefused);
+    // Link heals; the retry completes as a full handshake (the
+    // aborted attempt must not have minted a ticket).
+    network->faults().setLinkSymmetric(host->id(), remote.host,
+                                       Impairment{});
+    co_await tlsConnectSeq(p, host, remote, 1, durations, conns);
+}
+
+TEST_F(TlsTest, AbortedHandshakeRetriesCleanly)
+{
+    server.tcpListen(5061);
+    Impairment imp;
+    imp.stalled = true;
+    net.faults().setLinkSymmetric(client.id(), server.id(), imp);
+
+    std::vector<SimTime> durations;
+    std::vector<TcpConn> conns;
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return abortThenRetry(p, &net, &client, server.addr(5061),
+                              &durations, &conns);
+    });
+    sim.run();
+
+    ASSERT_EQ(conns.size(), 1u);
+    EXPECT_EQ(net.stats().tlsHandshakeAborts, 1u);
+    EXPECT_EQ(net.stats().tlsConnects, 1u);
+    EXPECT_EQ(net.stats().tlsHandshakesFull, 1u);
+    EXPECT_EQ(net.stats().tlsHandshakesResumed, 0u);
+}
+
+Task
+tlsPingClient(Process &p, Host *host, Addr remote, int bursts,
+              std::vector<std::string> *echoes)
+{
+    TcpConn c;
+    co_await host->tlsConnect(p, remote, c);
+    for (int i = 0; i < bursts; ++i) {
+        co_await c.send(p, "sips" + std::to_string(i));
+        std::string data;
+        co_await c.recv(p, data);
+        echoes->push_back(data);
+    }
+    co_await c.close(p);
+}
+
+Task
+tlsEchoServer(Process &p, TcpListener *l, int bursts)
+{
+    TcpConn c;
+    co_await l->accept(p, c);
+    for (int i = 0; i < bursts; ++i) {
+        std::string data;
+        co_await c.recv(p, data);
+        if (data.empty())
+            break;
+        co_await c.send(p, data);
+    }
+    co_await c.close(p);
+}
+
+TEST_F(TlsTest, RecordCostsAccrueOnEstablishedSessions)
+{
+    auto &listener = server.tcpListen(5061);
+    serverMachine.spawn("srv", 0, [&](Process &p) {
+        return tlsEchoServer(p, &listener, 3);
+    });
+    std::vector<std::string> echoes;
+    clientMachine.spawn("cli", 0, [&](Process &p) {
+        return tlsPingClient(p, &client, server.addr(5061), 3,
+                             &echoes);
+    });
+    sim.run();
+
+    ASSERT_EQ(echoes.size(), 3u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(echoes[i], "sips" + std::to_string(i));
+    // One record per send, both directions.
+    EXPECT_EQ(net.stats().tlsRecords, 6u);
+    // The accepting side's handshake surfaced as a one-off pending
+    // charge, consumed on its first read.
+    EXPECT_EQ(net.stats().tlsHandshakesFull, 1u);
+}
+
+} // namespace

@@ -8,19 +8,46 @@
  * intended message exactly, as it did with the old copying parser.
  * A torn-framing sweep splits a two-message TCP stream at every byte
  * offset, and copy-on-write tests pin the arena-sharing semantics.
+ * The SST per-stream framer is held to the same bar: any chunking must
+ * reassemble byte-identically, and its whole-message fast path must
+ * allocate no more than the TCP byte-stream framer.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "net/sst.hh"
 #include "sim/rng.hh"
 #include "sip/message.hh"
 #include "sip/parser.hh"
+
+// --- counting allocator (same interposition as bench/perf_harness) --
+
+static std::atomic<std::uint64_t> g_allocs{0};
+
+void *
+operator new(std::size_t n)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(n ? n : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *operator new[](std::size_t n) { return operator new(n); }
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -267,6 +294,75 @@ TEST(RoundTripProperty, TornFramesAtEveryByteOffset)
         EXPECT_EQ(got[1], msg2) << "split at " << split;
         EXPECT_EQ(framer.buffered(), 0u);
     }
+}
+
+TEST(SstFramerProperty, AnyChunkingYieldsByteIdenticalParses)
+{
+    // The SST receive path reassembles per-stream frames; whatever the
+    // substrate's MTU or coalescing does to chunk boundaries, the
+    // parser must observe the same message the sender serialized.
+    const std::size_t chunks[] = {1, 2, 512, 1500};
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+        sim::Rng rng(seed ^ 0x55f);
+        Intended intent = inviteIntent();
+        std::string wire = renderVariant(intent, rng);
+        auto ref = parseMessage(wire);
+        ASSERT_TRUE(ref.ok) << ref.error;
+        std::string canonical = ref.message.serialize();
+        for (std::size_t chunk : chunks) {
+            net::SstFramer framer;
+            for (std::size_t off = 0; off < wire.size(); off += chunk) {
+                std::size_t len = std::min(chunk, wire.size() - off);
+                framer.feed(wire.substr(off, len),
+                            off + len == wire.size());
+            }
+            SCOPED_TRACE("seed " + std::to_string(seed) + " chunk "
+                         + std::to_string(chunk));
+            auto m = framer.next();
+            ASSERT_TRUE(m.has_value());
+            EXPECT_EQ(framer.buffered(), 0u);
+            EXPECT_EQ(*m, wire);
+            auto r = parseMessage(*m);
+            ASSERT_TRUE(r.ok) << r.error;
+            expectObservations(r.message, intent);
+            EXPECT_EQ(r.message.serialize(), canonical);
+        }
+    }
+}
+
+TEST(SstFramerProperty, WholeMessageFeedAllocsNoWorseThanStreamFramer)
+{
+    // The single-frame fast path adopts the chunk instead of copying
+    // it — per op it must allocate no more than the TCP byte-stream
+    // framer does for the same message.
+    sim::Rng rng(11);
+    std::string wire = renderVariant(inviteIntent(), rng);
+    constexpr int kIters = 64;
+    auto measure = [&](auto &&op) {
+        op(); // warm-up settles one-time container growth
+        std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+        for (int i = 0; i < kIters; ++i)
+            op();
+        return g_allocs.load(std::memory_order_relaxed) - a0;
+    };
+    StreamFramer tcp;
+    std::uint64_t tcp_allocs = measure([&] {
+        tcp.feed(std::string(wire));
+        auto m = tcp.next();
+        EXPECT_TRUE(m.has_value());
+        EXPECT_EQ(tcp.buffered(), 0u);
+    });
+    net::SstFramer sst;
+    std::uint64_t sst_allocs = measure([&] {
+        sst.feed(std::string(wire), true);
+        auto m = sst.next();
+        EXPECT_TRUE(m.has_value());
+        EXPECT_EQ(sst.buffered(), 0u);
+    });
+    EXPECT_GT(tcp_allocs, 0u);
+    EXPECT_LE(sst_allocs, tcp_allocs)
+        << "sst " << sst_allocs << " vs tcp " << tcp_allocs << " over "
+        << kIters << " ops";
 }
 
 TEST(CopyOnWrite, MutatingACopyLeavesTheOriginalIntact)

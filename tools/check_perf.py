@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Gate CI on hot-path perf regressions.
+
+Usage: check_perf.py CHECKED_IN.json FRESH.json
+
+Compares the micro-benchmarks of a fresh perf_harness run (its
+"current" section) against the checked-in BENCH_hotpath.json. The
+reference for each metric is max(baseline, current) from the
+checked-in file: "baseline" pins the pre-rework numbers, "current"
+the last recorded state, and a micro is allowed to sit wherever the
+slower of the two puts it, plus headroom.
+
+Fails (exit 1) when a micro regresses by more than REGRESSION_SLACK
+(10%) over its reference:
+  - ns_per_op: wall-clock per operation (noisy on shared runners, so
+    the 10% rides on top of the slower of the two recorded numbers)
+  - allocs_per_op: allocation count (deterministic, counted by the
+    harness's interposed operator new; an extra +0.5 absolute slack
+    absorbs amortized-growth rounding)
+
+Micros present in only one file are reported but never fail the run,
+so adding a new benchmark does not require regenerating the baseline
+in the same commit. Smoke-mode fresh runs (SIPROX_PERF_SMOKE=1) are
+skipped: their iteration counts are too small to gate on.
+"""
+
+import json
+import sys
+
+REGRESSION_SLACK = 0.10
+ALLOC_ABS_SLACK = 0.5
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_perf: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def micros(doc, section):
+    return doc.get(section, {}).get("micros", {})
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    checked = load(sys.argv[1])
+    fresh = load(sys.argv[2])
+
+    if fresh.get("smoke"):
+        print("check_perf: fresh run is smoke mode; nothing to gate")
+        return
+
+    ref_base = micros(checked, "baseline")
+    ref_cur = micros(checked, "current")
+    measured = micros(fresh, "current")
+
+    failures = []
+    for name, m in sorted(measured.items()):
+        refs = [r[name] for r in (ref_base, ref_cur) if name in r]
+        if not refs:
+            print(f"  {name:24s} new micro, no reference — skipped")
+            continue
+        for key, abs_slack in (("ns_per_op", 0.0),
+                               ("allocs_per_op", ALLOC_ABS_SLACK)):
+            got = m.get(key)
+            ref = max((r.get(key, 0.0) for r in refs), default=0.0)
+            if got is None or ref <= 0.0:
+                continue
+            allowed = ref * (1.0 + REGRESSION_SLACK) + abs_slack
+            verdict = "ok"
+            if got > allowed:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}.{key}: {got:.1f} > allowed {allowed:.1f} "
+                    f"(ref {ref:.1f} +{REGRESSION_SLACK:.0%})")
+            print(f"  {name:24s} {key:14s} {got:10.1f} "
+                  f"(allowed {allowed:10.1f})  {verdict}")
+
+    if failures:
+        print(f"\ncheck_perf: {len(failures)} regression(s) over "
+              f"{REGRESSION_SLACK:.0%} budget:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        sys.exit(1)
+    print("check_perf: all micros within budget")
+
+
+if __name__ == "__main__":
+    main()

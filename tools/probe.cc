@@ -28,9 +28,9 @@ constexpr const char *kUsage =
     "Run one paper scenario and print its headline numbers.\n"
     "\n"
     "positional arguments:\n"
-    "  transport        udp | tcp | sctp          (default udp)\n"
+    "  transport        udp | tcp | tls | sctp | sst (default udp)\n"
     "  clients          concurrent call pairs, >0 (default 100)\n"
-    "  opsPerConn       TCP reconnect period, >=0 (default 0:\n"
+    "  opsPerConn       TCP/TLS reconnect period, >=0 (default 0:\n"
     "                   persistent connections)\n"
     "  fdcache          0 | 1: supervisor fd cache (default 0)\n"
     "  prioqueue        0 | 1: priority-queue idle scan (default 0)\n"
@@ -40,8 +40,8 @@ constexpr const char *kUsage =
     "  --arch=KIND          server architecture: auto | supervisor |\n"
     "                       symmetric | event (default auto: the\n"
     "                       transport-implied OpenSER architecture).\n"
-    "                       supervisor requires tcp; symmetric\n"
-    "                       requires udp/sctp; event serves all\n"
+    "                       supervisor requires tcp/tls; symmetric\n"
+    "                       requires udp/sctp/sst; event serves all\n"
     "  --window=SECS        time-based measured phase of SECS\n"
     "                       simulated seconds (overrides the WINDOW\n"
     "                       environment variable)\n"
@@ -95,10 +95,14 @@ parseTransport(const char *s)
         return core::Transport::Udp;
     if (std::strcmp(s, "tcp") == 0)
         return core::Transport::Tcp;
+    if (std::strcmp(s, "tls") == 0)
+        return core::Transport::Tls;
     if (std::strcmp(s, "sctp") == 0)
         return core::Transport::Sctp;
+    if (std::strcmp(s, "sst") == 0)
+        return core::Transport::Sst;
     usageError(std::string("unknown transport '") + s
-               + "' (expected udp, tcp, or sctp)");
+               + "' (expected udp, tcp, tls, sctp, or sst)");
 }
 
 core::ArchKind
