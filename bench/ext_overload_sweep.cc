@@ -70,8 +70,28 @@ main()
         {"rate-throttle", core::OverloadPolicy::RateThrottle},
     };
 
-    std::vector<core::Transport> transports = {core::Transport::Udp,
-                                               core::Transport::Tcp};
+    // A wire is a transport plus its secure-channel variant: TLS is
+    // measured both with session resumption and without. Both TLS
+    // variants run the churn workload (reconnect every call) —
+    // persistent connections never re-handshake, so resumption only
+    // matters when connections cycle; without resumption every
+    // reconnect pays the full handshake, CPU that competes with SIP
+    // processing for the same cores exactly when the proxy is already
+    // saturated.
+    struct Wire
+    {
+        const char *label;
+        core::Transport transport;
+        bool tlsResumption;
+        int opsPerConn;
+    };
+    std::vector<Wire> wires = {
+        {"UDP", core::Transport::Udp, true, 0},
+        {"TCP", core::Transport::Tcp, true, 0},
+        {"TLS", core::Transport::Tls, true, 2},
+        {"TLS-nores", core::Transport::Tls, false, 2},
+        {"SST", core::Transport::Sst, true, 0},
+    };
     // TCP needs a heavier top rung than UDP to collapse: reliable
     // delivery avoids the retransmission amplification that sinks UDP,
     // so only raw queueing delay can push callers past their deadline.
@@ -79,14 +99,14 @@ main()
     double window_secs = bench::quickMode() ? 2.5 : 5;
     if (bench::smokeMode()) {
         // CI smoke: one over-saturation point, one transport.
-        transports = {core::Transport::Udp};
+        wires = {{"UDP", core::Transport::Udp, true, 0}};
         ladder = {400};
         window_secs = 1;
     }
 
     struct Row
     {
-        core::Transport transport;
+        const char *wire;
         const char *policy;
         int clients;
         workload::RunResult r;
@@ -94,13 +114,14 @@ main()
     };
     std::vector<Row> rows;
 
-    for (core::Transport t : transports) {
+    for (const Wire &w : wires) {
         for (const Series &s : series) {
             for (int clients : ladder) {
-                workload::Scenario sc =
-                    workload::paperScenario(t, clients, 0);
-                sc.name = std::string(core::transportName(t)) + "/"
-                    + s.label + "/" + std::to_string(clients) + "c";
+                workload::Scenario sc = workload::paperScenario(
+                    w.transport, clients, w.opsPerConn);
+                sc.net.tlsResumption = w.tlsResumption;
+                sc.name = std::string(w.label) + "/" + s.label + "/"
+                    + std::to_string(clients) + "c";
                 sc.measureWindow = sim::secs(window_secs);
                 sc.maxDuration = sim::secs(60);
                 slowCosts(sc.proxy.costs, 40);
@@ -158,7 +179,8 @@ main()
                     : 0;
                 bench::logPoint(sc, r);
                 rows.push_back(
-                    Row{t, s.label, clients, std::move(r), goodput});
+                    Row{w.label, s.label, clients, std::move(r),
+                        goodput});
             }
         }
     }
@@ -167,23 +189,22 @@ main()
                         "% of peak", "503s", "panic drops", "rq drops",
                         "read pauses", "accepts refused", "msgs/op",
                         "calls failed"});
-    for (core::Transport t : transports) {
+    for (const Wire &w : wires) {
         for (const Series &s : series) {
             double peak = 0;
             for (const Row &row : rows) {
-                if (row.transport == t && row.policy == s.label)
+                if (row.wire == w.label && row.policy == s.label)
                     peak = std::max(peak, row.goodput);
             }
             for (const Row &row : rows) {
-                if (row.transport != t || row.policy != s.label)
+                if (row.wire != w.label || row.policy != s.label)
                     continue;
                 double msgs_per_op = row.r.ops > 0
                     ? static_cast<double>(row.r.counters.messagesIn)
                         / static_cast<double>(row.r.ops)
                     : 0;
                 table.addRow(
-                    {core::transportName(t), s.label,
-                     std::to_string(row.clients),
+                    {row.wire, s.label, std::to_string(row.clients),
                      stats::Table::num(row.goodput),
                      peak > 0 ? stats::Table::pct(row.goodput / peak)
                               : "-",

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "core/cost_model.hh"
+#include "net/addr.hh"
 #include "sim/time.hh"
 
 namespace siprox::core {
@@ -110,6 +111,85 @@ enum class OverloadPolicy
 const char *overloadPolicyName(OverloadPolicy p);
 
 /**
+ * Hop-by-hop distributed overload control scheme (the comparative
+ * study's three feedback families). A downstream proxy piggybacks an
+ * `Overload:` header on every response it sends upstream; the upstream
+ * proxy keeps per-destination throttle state and gates new INVITEs
+ * toward that destination before spending routing/forwarding cost.
+ */
+enum class FeedbackScheme
+{
+    /** No feedback; purely local control (the collapse baseline). */
+    None,
+    /** Degenerate on/off restriction: downstream says stop/go. */
+    OnOff,
+    /** Explicit rate grant: downstream computes an admit rate from its
+     *  occupancy/latency-EWMA signals and advertises it (cps). */
+    Rate,
+    /** Window grant: upstream may have at most W pending INVITE
+     *  transactions toward the downstream; W tracks feedback. */
+    Window,
+};
+
+const char *feedbackSchemeName(FeedbackScheme s);
+
+/**
+ * Knobs for hop-by-hop distributed overload control. One struct serves
+ * both roles a chained proxy plays: the downstream advertiser (AIMD
+ * steering of the granted rate/window from the local overload signals)
+ * and the upstream gate (per-destination throttle state fed by the
+ * advertisements it receives).
+ */
+struct HopControlConfig
+{
+    FeedbackScheme scheme = FeedbackScheme::None;
+
+    bool enabled() const { return scheme != FeedbackScheme::None; }
+
+    // --- downstream advertiser -----------------------------------------
+    /** Advertisement update tick (AIMD step period). */
+    sim::SimTime adjustInterval = sim::msecs(50);
+    /** Occupancy entering/leaving the restricted state. */
+    double occHigh = 0.85;
+    double occLow = 0.50;
+    /** Serving-latency EWMA the advertiser steers toward. */
+    sim::SimTime latencyTarget = sim::msecs(60);
+    /** Rate grant: first advertisement and AIMD bounds/steps (cps). */
+    double initialRate = 1000;
+    double minRate = 50;
+    double maxRate = 1e6;
+    double decreaseFactor = 0.85;
+    double increasePerInterval = 50;
+    /** Window grant: first advertisement and bounds. Decrease is
+     *  multiplicative (decreaseFactor), increase is additive
+     *  (windowIncreasePerInterval slots per tick). */
+    int initialWindow = 32;
+    int minWindow = 1;
+    int maxWindow = 4096;
+    /** Additive window growth per adjust tick. The default +1 is the
+     *  classic conservative AIMD; a bottleneck whose operating window
+     *  is large needs a faster climb or it idles for seconds after
+     *  every multiplicative cut. */
+    int windowIncreasePerInterval = 1;
+
+    // --- upstream gate -------------------------------------------------
+    /** Token-bucket burst capacity for the rate gate. */
+    double burstTokens = 16;
+    /** Feedback older than this fails open (admit): a grant must not
+     *  outlive the response stream that carries its refreshes. */
+    sim::SimTime grantTtl = sim::secs(2);
+    /** If nonzero, a gated INVITE is parked (the `throttled` trace
+     *  wait state) up to this long for a grant before being rejected.
+     *  Forced to 0 under the event-driven architecture, whose loops
+     *  must never block. */
+    sim::SimTime holdMax = 0;
+    /** Re-check period while parked. */
+    sim::SimTime holdTick = sim::msecs(10);
+    /** Retry-After carried in hop-throttle 503 rejections. */
+    int retryAfterSecs = 1;
+};
+
+/**
  * Overload-control knobs. Admission signals are transaction-table
  * occupancy, receive/request queue depth, and a serving-latency EWMA;
  * shedding is transport-aware: datagram transports answer with a cheap
@@ -170,6 +250,9 @@ struct OverloadConfig
     double decreaseFactor = 0.85;
     /** Additive increase (per tick) when below target. */
     double increasePerInterval = 400;
+
+    /** Hop-by-hop distributed control (off by default). */
+    HopControlConfig hop;
 };
 
 /** Full proxy configuration. */
@@ -226,6 +309,26 @@ struct ProxyConfig
 
     /** Overload control (off by default: the collapse baseline). */
     OverloadConfig overload;
+
+    /**
+     * Next proxy in a multi-hop chain. When valid, every non-REGISTER
+     * request is forwarded there (no registrar consult) and new
+     * INVITEs pass the hop-by-hop throttle gate first; REGISTERs stay
+     * local (phones register at their home proxy). Invalid (default):
+     * this proxy is the chain destination and routes normally.
+     */
+    net::Addr nextHop{};
+
+    /**
+     * Base of the per-worker Via-branch salt. Chained proxies MUST use
+     * disjoint bases: branches key transaction records, and a proxy's
+     * table holds both its own client records and server records keyed
+     * by its upstream's branches — identical generator streams on two
+     * hops collide there and eat each other's INVITEs as
+     * "retransmissions". Single proxies keep the historical default
+     * (existing digest goldens pin the exact wire bytes).
+     */
+    std::uint64_t branchSaltBase = 0x5150;
 
     CostModel costs;
 };

@@ -1,5 +1,6 @@
 #include "core/engine.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "sip/timers.hh"
@@ -54,7 +55,7 @@ Engine::Engine(SharedState &shared, const ProxyConfig &cfg,
                net::Addr proxy_addr, int worker_id)
     : shared_(shared), cfg_(cfg), proxyAddr_(proxy_addr),
       viaHost_("h" + std::to_string(proxy_addr.host)),
-      branches_(0x5150 + static_cast<std::uint64_t>(worker_id)),
+      branches_(cfg.branchSaltBase + static_cast<std::uint64_t>(worker_id)),
       ccParse_(sim::CostCenters::id("ser:parse_msg")),
       ccRoute_(sim::CostCenters::id("ser:route")),
       ccBuild_(sim::CostCenters::id("ser:build_fwd")),
@@ -94,6 +95,19 @@ Engine::handleMessage(sim::Process &p, std::string raw, MsgSource src,
     if (!isStreamTransport(cfg_.transport)
         && shared_.overload.panicDrop(p.sim().now()))
         co_return;
+    // On/off hop restriction, panic variant: with the next hop stopped
+    // and our own queue past the panic watermark, new INVITEs are
+    // dropped before the parse charge — the cheapest possible shed.
+    // Datagram only, and only when the restriction is positively known
+    // (fresh feedback); a first-line peek costs nothing extra.
+    if (!isStreamTransport(cfg_.transport) && cfg_.nextHop.valid()
+        && shared_.hopGate.enabled()
+        && shared_.overload.queuePanicked()
+        && shared_.hopGate.restricted(cfg_.nextHop, p.sim().now())
+        && raw.starts_with("INVITE ")) {
+        ++shared_.counters.hopThrottleDrops;
+        co_return;
+    }
     co_await p.cpu(scaled(cfg_.costs.parse), ccParse_);
     // Zero-copy: the datagram/frame buffer becomes the message arena.
     auto parsed = sip::parseOwned(std::move(raw));
@@ -177,6 +191,7 @@ Engine::checkAuth(sim::Process &p, const sip::SipMessage &msg,
         rsp.addHeader("WWW-Authenticate",
                       std::string_view(challenge,
                                        static_cast<std::size_t>(clen)));
+        attachHopFeedback(rsp, p.sim().now());
         co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
         SendAction action;
         action.wire = rsp.serialize();
@@ -196,11 +211,65 @@ Engine::checkAuth(sim::Process &p, const sip::SipMessage &msg,
     *accepted = true;
 }
 
+void
+Engine::attachHopFeedback(sip::SipMessage &rsp, sim::SimTime now)
+{
+    if (!cfg_.overload.hop.enabled())
+        return;
+    HopFeedback fb = shared_.overload.advertiseFeedback(now);
+    // Hop-by-hop cascade: a relay must not advertise more than it can
+    // itself forward. Clamping the local grant by the one this hop
+    // holds toward its own next hop propagates a downstream
+    // bottleneck's restriction upstream one response at a time, until
+    // the edge sheds excess load before the chain has spent any
+    // parse/forward cost on it — without this, a healthy middle hop
+    // advertises its own idle capacity and the edge never throttles.
+    if (cfg_.nextHop.valid() && shared_.hopGate.enabled()) {
+        switch (fb.scheme) {
+        case FeedbackScheme::Rate:
+            fb.rate = std::min(
+                fb.rate, shared_.hopGate.grantedRate(cfg_.nextHop));
+            break;
+        case FeedbackScheme::Window:
+            fb.window = std::min(
+                fb.window,
+                shared_.hopGate.grantedWindow(cfg_.nextHop));
+            break;
+        case FeedbackScheme::OnOff:
+            if (shared_.hopGate.restricted(cfg_.nextHop, now))
+                fb.on = false;
+            break;
+        case FeedbackScheme::None:
+            break;
+        }
+    }
+    char buf[48];
+    std::size_t n = renderHopFeedback(fb, buf, sizeof(buf));
+    if (n == 0)
+        return;
+    // addHeader interns the value into the message arena, so the stack
+    // buffer never escapes and the hot path stays allocation-free.
+    rsp.addHeader("Overload", std::string_view(buf, n));
+    ++shared_.counters.hopFeedbackSent;
+}
+
+sim::Task
+Engine::throttledWait(sim::Process &p, sim::SimTime d)
+{
+    sim::SimTime deadline = p.sim().now() + d;
+    while (p.sim().now() < deadline) {
+        auto ev = p.sim().at(deadline, [&p] { p.wake(); });
+        co_await p.block("hop-throttled", sim::trace::Wait::Throttled);
+        ev.cancel();
+    }
+}
+
 sim::Task
 Engine::replyTo(sim::Process &p, const sip::SipMessage &req, int status,
                 MsgSource src, std::vector<SendAction> *out)
 {
     sip::SipMessage rsp = sip::buildResponse(req, status);
+    attachHopFeedback(rsp, p.sim().now());
     co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
     SendAction action;
     action.wire = rsp.serialize();
@@ -294,6 +363,53 @@ Engine::handleRequest(sim::Process &p, sip::SipMessage msg,
         shared_.txns.lock().release();
     }
 
+    // Hop-by-hop gate: new INVITEs toward the next hop must fit the
+    // grant the downstream advertised, checked before any routing or
+    // forwarding cost is spent. In-dialog work (ACK, BYE) and
+    // responses always pass — finishing admitted calls is the point.
+    bool hop_gated = false;
+    if (is_invite && cfg_.nextHop.valid() && shared_.hopGate.enabled()) {
+        auto gate = shared_.hopGate.tryAdmit(cfg_.nextHop, p.sim().now());
+        if (gate == HopThrottleTable::Gate::Busy
+            && cfg_.overload.hop.holdMax > 0) {
+            // Park for a grant instead of rejecting outright (never
+            // under the event-driven arch: holdMax is forced to 0).
+            ++shared_.counters.hopThrottleHolds;
+            const sim::SimTime give_up =
+                p.sim().now() + cfg_.overload.hop.holdMax;
+            while (gate == HopThrottleTable::Gate::Busy
+                   && p.sim().now() < give_up) {
+                co_await throttledWait(
+                    p, std::min(cfg_.overload.hop.holdTick,
+                                give_up - p.sim().now()));
+                gate = shared_.hopGate.tryAdmit(cfg_.nextHop,
+                                                p.sim().now());
+            }
+        }
+        if (gate == HopThrottleTable::Gate::Busy) {
+            ++shared_.counters.hopThrottleRejects;
+            sip::SipMessage rsp = sip::buildResponse(
+                msg, sip::status::kServiceUnavailable);
+            rsp.addHeader(
+                "Retry-After",
+                std::to_string(cfg_.overload.hop.retryAfterSecs));
+            attachHopFeedback(rsp, p.sim().now());
+            co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
+            SendAction action;
+            action.wire = rsp.serialize();
+            action.dstAddr = src.addr;
+            action.dstConnId = src.connId;
+            action.toUpstream = true;
+            out->push_back(std::move(action));
+            ++shared_.counters.localReplies;
+            co_return;
+        }
+        // Window admits reserve a pending slot; remember to release it
+        // exactly once (final response, Timer B, or abort below).
+        hop_gated =
+            cfg_.overload.hop.scheme == FeedbackScheme::Window;
+    }
+
     // Admission control: only genuinely new INVITEs are sheddable.
     // Retransmits were absorbed above, and in-dialog work (ACK, BYE)
     // is always admitted — finishing admitted calls is what preserves
@@ -301,12 +417,15 @@ Engine::handleRequest(sim::Process &p, sip::SipMessage msg,
     if (is_invite && shared_.overload.enabled()) {
         auto adm = shared_.overload.admitRequest(p.sim().now());
         if (adm != OverloadController::Admission::Admit) {
+            if (hop_gated)
+                shared_.hopGate.noteAborted(cfg_.nextHop);
             if (adm == OverloadController::Admission::Reject) {
                 sip::SipMessage rsp = sip::buildResponse(
                     msg, sip::status::kServiceUnavailable);
                 rsp.addHeader(
                     "Retry-After",
                     std::to_string(cfg_.overload.retryAfterSecs));
+                attachHopFeedback(rsp, p.sim().now());
                 co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
                 SendAction action;
                 action.wire = rsp.serialize();
@@ -329,31 +448,42 @@ Engine::handleRequest(sim::Process &p, sip::SipMessage msg,
 
     // --- routing ---------------------------------------------------------
     co_await p.cpu(scaled(cfg_.costs.route), ccRoute_);
-    const std::string user = msg.requestUri().user;
-
-    co_await shared_.registrar.lock().acquire(p);
-    co_await p.cpu(scaled(cfg_.costs.registrarLookup), ccUsrloc_);
-    auto binding = shared_.registrar.lookup(user);
-    shared_.registrar.lock().release();
-
     sip::SipUri target;
-    if (binding) {
-        target = binding->contact;
-    } else if (auto direct = sip::addrFromUri(msg.requestUri());
-               direct && *direct != proxyAddr_) {
+    std::optional<net::Addr> dst;
+    if (cfg_.nextHop.valid()) {
+        // Chained: every non-REGISTER request goes to the next hop
+        // with its request-URI untouched; only the chain destination
+        // consults a registrar (phones register at their home proxy).
         target = msg.requestUri();
+        dst = cfg_.nextHop;
     } else {
-        ++shared_.counters.routeFailures;
-        if (!is_ack)
-            co_await replyTo(p, msg, sip::status::kNotFound, src, out);
-        co_return;
-    }
-    auto dst = sip::addrFromUri(target);
-    if (!dst) {
-        ++shared_.counters.routeFailures;
-        if (!is_ack)
-            co_await replyTo(p, msg, sip::status::kNotFound, src, out);
-        co_return;
+        const std::string user = msg.requestUri().user;
+
+        co_await shared_.registrar.lock().acquire(p);
+        co_await p.cpu(scaled(cfg_.costs.registrarLookup), ccUsrloc_);
+        auto binding = shared_.registrar.lookup(user);
+        shared_.registrar.lock().release();
+
+        if (binding) {
+            target = binding->contact;
+        } else if (auto direct = sip::addrFromUri(msg.requestUri());
+                   direct && *direct != proxyAddr_) {
+            target = msg.requestUri();
+        } else {
+            ++shared_.counters.routeFailures;
+            if (!is_ack)
+                co_await replyTo(p, msg, sip::status::kNotFound, src,
+                                 out);
+            co_return;
+        }
+        dst = sip::addrFromUri(target);
+        if (!dst) {
+            ++shared_.counters.routeFailures;
+            if (!is_ack)
+                co_await replyTo(p, msg, sip::status::kNotFound, src,
+                                 out);
+            co_return;
+        }
     }
 
     // Redirect-server mode (paper Â§2): remove ourselves from the
@@ -362,6 +492,7 @@ Engine::handleRequest(sim::Process &p, sip::SipMessage msg,
         ++shared_.counters.redirects;
         sip::SipMessage rsp = sip::buildResponse(
             msg, sip::status::kMovedTemporarily, "", target);
+        attachHopFeedback(rsp, p.sim().now());
         co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
         SendAction action;
         action.wire = rsp.serialize();
@@ -377,6 +508,8 @@ Engine::handleRequest(sim::Process &p, sip::SipMessage msg,
     int mf = msg.maxForwards().value_or(70);
     if (mf <= 0) {
         ++shared_.counters.routeFailures;
+        if (hop_gated)
+            shared_.hopGate.noteAborted(cfg_.nextHop);
         co_return; // loop guard: drop
     }
     sip::SipMessage fwd = msg;
@@ -403,6 +536,8 @@ Engine::handleRequest(sim::Process &p, sip::SipMessage msg,
         record.upstreamAddr = src.addr;
         record.upstreamConnId = src.connId;
         record.createdAt = p.sim().now();
+        record.hopGated = hop_gated;
+        hop_gated = false; // the record now owns the window slot
         // The TRYING absorbs caller-side INVITE retransmissions until
         // a downstream response replaces it.
         record.lastResponse = trying_wire;
@@ -435,6 +570,11 @@ Engine::handleRequest(sim::Process &p, sip::SipMessage msg,
     co_await resolveConn(p, *dst, &action.dstConnId);
     out->push_back(std::move(action));
     ++shared_.counters.forwards;
+    // Window slots need a transaction record to be released against;
+    // without one (stateless, or a keyless request) release now so a
+    // misconfiguration degrades to rate-less accounting, not deadlock.
+    if (hop_gated)
+        shared_.hopGate.noteAborted(cfg_.nextHop);
 }
 
 sim::Task
@@ -459,6 +599,7 @@ Engine::handleTimeout(sim::Process &p, const RetransList::TimedOut &to,
     // The top Via is the proxy's own branch; pop it as if the 408 had
     // arrived from downstream (§16.7).
     rsp.removeFirstHeader(sip::HeaderId::Via);
+    attachHopFeedback(rsp, p.sim().now());
     co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
     std::string wire = rsp.serialize();
 
@@ -477,7 +618,11 @@ Engine::handleTimeout(sim::Process &p, const RetransList::TimedOut &to,
     net::Addr dst = rec->upstreamAddr;
     std::uint64_t dst_conn = rec->upstreamConnId;
     sim::SimTime created = rec->createdAt;
+    bool hop_gated = rec->hopGated;
+    rec->hopGated = false;
     shared_.txns.lock().release();
+    if (hop_gated)
+        shared_.hopGate.noteCompleted(cfg_.nextHop);
 
     // A Timer B expiry is the strongest overload signal there is: the
     // transaction took the full deadline.
@@ -498,7 +643,19 @@ sim::Task
 Engine::handleResponse(sim::Process &p, sip::SipMessage msg,
                        MsgSource src, std::vector<SendAction> *out)
 {
-    (void)src;
+    // Feedback rides the response stream: consume the next hop's
+    // advertisement and strip it — each hop advertises its *own*
+    // state upstream, never relays a downstream's.
+    if (cfg_.nextHop.valid() && src.addr == cfg_.nextHop
+        && shared_.hopGate.enabled()) {
+        if (auto fb_text = msg.header(sip::HeaderId::Overload)) {
+            HopFeedback fb;
+            if (parseHopFeedback(*fb_text, &fb))
+                shared_.hopGate.applyFeedback(src.addr, fb,
+                                              p.sim().now());
+            msg.removeFirstHeader(sip::HeaderId::Overload);
+        }
+    }
     // The top Via must be ours; pop it (§16.7).
     const auto &top = msg.topVia();
     if (!top || top->host != viaHost_) {
@@ -507,6 +664,13 @@ Engine::handleResponse(sim::Process &p, sip::SipMessage msg,
     }
     auto key = sip::transactionKey(msg); // keyed by our branch
     msg.removeFirstHeader(sip::HeaderId::Via);
+
+    // A chained stateful proxy absorbs the next hop's 100 Trying: it
+    // already took transaction responsibility with its own TRYING, and
+    // 100s are hop-by-hop (their job here was carrying the feedback).
+    if (cfg_.stateful && cfg_.nextHop.valid()
+        && msg.statusCode() == sip::status::kTrying)
+        co_return;
 
     net::Addr dst{};
     std::uint64_t dst_conn = 0;
@@ -523,14 +687,19 @@ Engine::handleResponse(sim::Process &p, sip::SipMessage msg,
             routed = true;
             sim::SimTime created = rec->createdAt;
             bool just_completed = false;
+            bool hop_gated = false;
             if (msg.isFinal()
                 && rec->state == TxnRecord::State::Proceeding) {
                 rec->state = TxnRecord::State::Completed;
                 just_completed = true;
+                hop_gated = rec->hopGated;
+                rec->hopGated = false;
                 shared_.txns.scheduleExpiry(
                     rec, p.sim().now() + cfg_.txnLinger);
             }
             shared_.txns.lock().release();
+            if (hop_gated)
+                shared_.hopGate.noteCompleted(cfg_.nextHop);
             if (just_completed && unreliable()) {
                 co_await shared_.retrans.lock().acquire(p);
                 co_await p.cpu(cfg_.costs.timerCancel, ccTimer_);
@@ -538,6 +707,7 @@ Engine::handleResponse(sim::Process &p, sip::SipMessage msg,
                 shared_.retrans.lock().release();
             }
             // Store the forwarded response for retransmission replay.
+            attachHopFeedback(msg, p.sim().now());
             co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
             std::string wire = msg.serialize();
             co_await shared_.txns.lock().acquire(p);
@@ -573,6 +743,7 @@ Engine::handleResponse(sim::Process &p, sip::SipMessage msg,
     co_await resolveConn(p, dst, &dst_conn);
     routed = true;
     (void)routed;
+    attachHopFeedback(msg, p.sim().now());
     co_await p.cpu(scaled(cfg_.costs.serialize), ccBuild_);
     SendAction action;
     action.wire = msg.serialize();

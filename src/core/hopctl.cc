@@ -1,0 +1,258 @@
+#include "core/hopctl.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+#include "core/shared.hh"
+
+namespace siprox::core {
+
+const char *
+feedbackSchemeName(FeedbackScheme s)
+{
+    switch (s) {
+      case FeedbackScheme::None:
+        return "none";
+      case FeedbackScheme::OnOff:
+        return "onoff";
+      case FeedbackScheme::Rate:
+        return "rate";
+      case FeedbackScheme::Window:
+        return "window";
+    }
+    return "?";
+}
+
+std::size_t
+renderHopFeedback(const HopFeedback &fb, char *buf, std::size_t cap)
+{
+    int n = 0;
+    switch (fb.scheme) {
+      case FeedbackScheme::None:
+        return 0;
+      case FeedbackScheme::OnOff:
+        n = std::snprintf(buf, cap, "onoff;on=%d", fb.on ? 1 : 0);
+        break;
+      case FeedbackScheme::Rate:
+        n = std::snprintf(buf, cap, "rate;r=%.2f", fb.rate);
+        break;
+      case FeedbackScheme::Window:
+        n = std::snprintf(buf, cap, "win;w=%d", fb.window);
+        break;
+    }
+    if (n <= 0 || static_cast<std::size_t>(n) >= cap)
+        return 0;
+    return static_cast<std::size_t>(n);
+}
+
+bool
+parseHopFeedback(std::string_view text, HopFeedback *out)
+{
+    auto semi = text.find(';');
+    if (semi == std::string_view::npos)
+        return false;
+    std::string_view kind = text.substr(0, semi);
+    std::string_view param = text.substr(semi + 1);
+    auto eq = param.find('=');
+    if (eq == std::string_view::npos)
+        return false;
+    std::string_view key = param.substr(0, eq);
+    std::string_view value = param.substr(eq + 1);
+    if (kind == "onoff" && key == "on") {
+        out->scheme = FeedbackScheme::OnOff;
+        out->on = value != "0";
+        return value == "0" || value == "1";
+    }
+    if (kind == "rate" && key == "r") {
+        out->scheme = FeedbackScheme::Rate;
+        // Header values render with %.2f; parse integer and fraction
+        // parts separately so only integral from_chars is needed.
+        std::uint64_t whole = 0;
+        auto dot = value.find('.');
+        std::string_view ip = value.substr(0, dot);
+        auto [p1, e1] = std::from_chars(ip.data(), ip.data() + ip.size(),
+                                        whole);
+        if (e1 != std::errc() || p1 != ip.data() + ip.size())
+            return false;
+        double frac = 0;
+        if (dot != std::string_view::npos) {
+            std::string_view fp = value.substr(dot + 1);
+            std::uint32_t digits = 0;
+            auto [p2, e2] = std::from_chars(fp.data(),
+                                            fp.data() + fp.size(), digits);
+            if (e2 != std::errc() || p2 != fp.data() + fp.size())
+                return false;
+            double scale = 1;
+            for (std::size_t i = 0; i < fp.size(); ++i)
+                scale *= 10;
+            frac = static_cast<double>(digits) / scale;
+        }
+        out->rate = static_cast<double>(whole) + frac;
+        return true;
+    }
+    if (kind == "win" && key == "w") {
+        out->scheme = FeedbackScheme::Window;
+        int w = 0;
+        auto [p, e] = std::from_chars(value.data(),
+                                      value.data() + value.size(), w);
+        if (e != std::errc() || p != value.data() + value.size()
+            || w < 0)
+            return false;
+        out->window = w;
+        return true;
+    }
+    return false;
+}
+
+void
+HopThrottleTable::configure(const HopControlConfig &cfg,
+                            ProxyCounters *counters)
+{
+    cfg_ = cfg;
+    counters_ = counters;
+    dests_.clear();
+}
+
+HopThrottleTable::PerDest *
+HopThrottleTable::find(net::Addr dst)
+{
+    for (auto &d : dests_) {
+        if (d.dst == dst)
+            return &d;
+    }
+    PerDest d;
+    d.dst = dst;
+    // Until the first advertisement arrives, the configured initial
+    // grant applies — a cold chain must be able to carry the very
+    // first INVITE (whose response brings the first real feedback).
+    d.fb.scheme = cfg_.scheme;
+    d.fb.rate = cfg_.initialRate;
+    d.fb.window = cfg_.initialWindow;
+    d.fb.on = true;
+    d.tokens = cfg_.burstTokens;
+    dests_.push_back(d);
+    return &dests_.back();
+}
+
+const HopThrottleTable::PerDest *
+HopThrottleTable::findExisting(net::Addr dst) const
+{
+    for (const auto &d : dests_) {
+        if (d.dst == dst)
+            return &d;
+    }
+    return nullptr;
+}
+
+void
+HopThrottleTable::applyFeedback(net::Addr from, const HopFeedback &fb,
+                                sim::SimTime now)
+{
+    if (!enabled())
+        return;
+    PerDest *d = find(from);
+    d->fb = fb;
+    d->fbAt = now;
+    d->sawFeedback = true;
+    ++counters_->hopFeedbackApplied;
+}
+
+HopThrottleTable::Gate
+HopThrottleTable::tryAdmit(net::Addr dst, sim::SimTime now)
+{
+    if (!enabled())
+        return Gate::Admit;
+    PerDest *d = find(dst);
+    if (d->sawFeedback && cfg_.grantTtl > 0
+        && now - d->fbAt > cfg_.grantTtl) {
+        // Stale grant: the response stream that refreshes it has dried
+        // up. Fail open rather than throttle on dead information.
+        ++counters_->hopGrantExpired;
+        d->sawFeedback = false;
+        d->fb.rate = cfg_.initialRate;
+        d->fb.window = cfg_.initialWindow;
+        d->fb.on = true;
+    }
+    switch (cfg_.scheme) {
+      case FeedbackScheme::None:
+        return Gate::Admit;
+      case FeedbackScheme::OnOff:
+        return d->fb.on ? Gate::Admit : Gate::Busy;
+      case FeedbackScheme::Rate: {
+        if (d->lastRefill == 0) {
+            d->lastRefill = now;
+        } else {
+            d->tokens = std::min(
+                cfg_.burstTokens,
+                d->tokens
+                    + d->fb.rate * sim::toSecs(now - d->lastRefill));
+            d->lastRefill = now;
+        }
+        if (d->tokens >= 1.0) {
+            d->tokens -= 1.0;
+            return Gate::Admit;
+        }
+        return Gate::Busy;
+      }
+      case FeedbackScheme::Window:
+        if (d->pending < d->fb.window) {
+            ++d->pending;
+            return Gate::Admit;
+        }
+        return Gate::Busy;
+    }
+    return Gate::Admit;
+}
+
+void
+HopThrottleTable::noteCompleted(net::Addr dst)
+{
+    if (cfg_.scheme != FeedbackScheme::Window)
+        return;
+    PerDest *d = find(dst);
+    if (d->pending > 0)
+        --d->pending;
+}
+
+void
+HopThrottleTable::noteAborted(net::Addr dst)
+{
+    noteCompleted(dst);
+}
+
+bool
+HopThrottleTable::restricted(net::Addr dst, sim::SimTime now) const
+{
+    if (cfg_.scheme != FeedbackScheme::OnOff)
+        return false;
+    const PerDest *d = findExisting(dst);
+    if (!d || !d->sawFeedback)
+        return false;
+    if (cfg_.grantTtl > 0 && now - d->fbAt > cfg_.grantTtl)
+        return false; // stale: fail open
+    return !d->fb.on;
+}
+
+double
+HopThrottleTable::grantedRate(net::Addr dst) const
+{
+    const PerDest *d = findExisting(dst);
+    return d ? d->fb.rate : cfg_.initialRate;
+}
+
+int
+HopThrottleTable::grantedWindow(net::Addr dst) const
+{
+    const PerDest *d = findExisting(dst);
+    return d ? d->fb.window : cfg_.initialWindow;
+}
+
+int
+HopThrottleTable::pendingToward(net::Addr dst) const
+{
+    const PerDest *d = findExisting(dst);
+    return d ? d->pending : 0;
+}
+
+} // namespace siprox::core

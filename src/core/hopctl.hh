@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Hop-by-hop distributed overload control: the feedback advertisement
+ * a downstream proxy piggybacks on responses (the simulated
+ * `Overload:` header) and the per-destination throttle state an
+ * upstream proxy keeps to gate forwarding (Hong/Huang/Yan's
+ * comparative-study schemes; Shen & Schulzrinne for the TCP case).
+ *
+ * Three schemes, selectable per scenario:
+ *  - OnOff: the degenerate restriction baseline — downstream says
+ *    stop/go, upstream forwards nothing while stopped.
+ *  - Rate: downstream computes an explicit admit rate from its
+ *    occupancy/latency-EWMA signals; upstream meters INVITEs toward
+ *    it through a token bucket at the granted rate.
+ *  - Window: upstream may have at most W pending INVITE transactions
+ *    toward the downstream; W tracks the advertised grant.
+ *
+ * The gate itself is plain arithmetic on shared state with no awaits,
+ * so it costs nothing before a rejected INVITE would have paid the
+ * routing/forwarding path, and it is atomic under the cooperative
+ * scheduler without taking a lock.
+ */
+
+#ifndef SIPROX_CORE_HOPCTL_HH
+#define SIPROX_CORE_HOPCTL_HH
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hh"
+#include "net/addr.hh"
+#include "sim/time.hh"
+
+namespace siprox::core {
+
+struct ProxyCounters;
+
+/** One feedback advertisement, as carried by the Overload: header. */
+struct HopFeedback
+{
+    FeedbackScheme scheme = FeedbackScheme::None;
+    /** Rate grant (INVITEs per second); Rate scheme. */
+    double rate = 0;
+    /** Window grant (max pending INVITEs); Window scheme. */
+    int window = 0;
+    /** Go/stop; OnOff scheme. */
+    bool on = true;
+};
+
+/**
+ * Render @p fb into @p buf ("rate;r=...", "win;w=...", "onoff;on=...").
+ * Returns the rendered length, 0 for FeedbackScheme::None or a buffer
+ * too small. Writes no terminator; pair with string_view(buf, n) so
+ * the value can be interned into a message arena without a heap
+ * allocation.
+ */
+std::size_t renderHopFeedback(const HopFeedback &fb, char *buf,
+                              std::size_t cap);
+
+/** Parse an Overload: header value; false if malformed. */
+bool parseHopFeedback(std::string_view text, HopFeedback *out);
+
+/**
+ * Upstream throttle state, one slot per downstream destination (a
+ * chain hop has exactly one, but the table is general). Lives in the
+ * proxy's shared memory next to the OverloadController.
+ */
+class HopThrottleTable
+{
+  public:
+    enum class Gate
+    {
+        Admit,
+        /** The grant is exhausted right now; the caller may park the
+         *  request and retry, or reject it with 503. */
+        Busy,
+    };
+
+    void configure(const HopControlConfig &cfg, ProxyCounters *counters);
+
+    bool enabled() const { return cfg_.enabled(); }
+
+    /** Consume a received advertisement from @p from. */
+    void applyFeedback(net::Addr from, const HopFeedback &fb,
+                       sim::SimTime now);
+
+    /**
+     * Gate one new INVITE toward @p dst. Window scheme: an Admit
+     * reserves a pending slot that noteCompleted()/noteAborted() must
+     * release exactly once. A grant older than cfg.grantTtl fails
+     * open (counted): feedback rides the response stream, so a silent
+     * downstream must not throttle us forever.
+     */
+    Gate tryAdmit(net::Addr dst, sim::SimTime now);
+
+    /** Release a pending slot: the forwarded INVITE drew its final
+     *  response (or timed out at Timer B). */
+    void noteCompleted(net::Addr dst);
+
+    /** Release a pending slot whose INVITE was never forwarded. */
+    void noteAborted(net::Addr dst);
+
+    /** OnOff scheme only: is the destination currently stopped? Used
+     *  for the pre-parse drop peek; fresh grants required. */
+    bool restricted(net::Addr dst, sim::SimTime now) const;
+
+    // --- introspection (tests, digests) --------------------------------
+    double grantedRate(net::Addr dst) const;
+    int grantedWindow(net::Addr dst) const;
+    int pendingToward(net::Addr dst) const;
+
+  private:
+    struct PerDest
+    {
+        net::Addr dst;
+        HopFeedback fb;
+        sim::SimTime fbAt = 0;
+        bool sawFeedback = false;
+        /** Rate gate: token bucket refilled at the granted rate. */
+        double tokens = 0;
+        sim::SimTime lastRefill = 0;
+        /** Window gate: INVITEs forwarded, not yet answered. */
+        int pending = 0;
+    };
+
+    PerDest *find(net::Addr dst);
+    const PerDest *findExisting(net::Addr dst) const;
+
+    HopControlConfig cfg_;
+    ProxyCounters *counters_ = nullptr;
+    std::vector<PerDest> dests_;
+};
+
+} // namespace siprox::core
+
+#endif // SIPROX_CORE_HOPCTL_HH

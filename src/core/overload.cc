@@ -31,6 +31,10 @@ OverloadController::configure(const OverloadConfig &cfg,
     counters_ = counters;
     rate_ = cfg_.initialRate;
     tokens_ = cfg_.burstTokens;
+    hopRate_ = cfg_.hop.initialRate;
+    hopWindow_ = cfg_.hop.initialWindow;
+    hopOn_ = true;
+    hopNextAdjust_ = 0;
 }
 
 double
@@ -121,6 +125,15 @@ OverloadController::refill(sim::SimTime now)
 }
 
 bool
+OverloadController::queuePanicked() const
+{
+    return cfg_.recvQueueCapacity > 0
+        && static_cast<double>(queueDepth_)
+                / static_cast<double>(cfg_.recvQueueCapacity)
+            >= cfg_.panicWatermark;
+}
+
+bool
 OverloadController::panicDrop(sim::SimTime now)
 {
     (void)now;
@@ -130,10 +143,7 @@ OverloadController::panicDrop(sim::SimTime now)
     // afford the parse", which is input-queue pressure. A full txn
     // table is no reason to drop ACKs, BYEs, or responses — those
     // *shrink* the table.
-    if (cfg_.recvQueueCapacity == 0
-        || static_cast<double>(queueDepth_)
-                / static_cast<double>(cfg_.recvQueueCapacity)
-            < cfg_.panicWatermark)
+    if (!queuePanicked())
         return false;
     ++counters_->overloadPanicDrops;
     return true;
@@ -210,6 +220,61 @@ OverloadController::acceptsPaused(sim::SimTime now)
         acceptPaused_ = false;
     }
     return shedding_;
+}
+
+HopFeedback
+OverloadController::advertiseFeedback(sim::SimTime now)
+{
+    HopFeedback fb;
+    fb.scheme = cfg_.hop.scheme;
+    if (!cfg_.hop.enabled())
+        return fb;
+    idleDecay(now);
+    if (hopNextAdjust_ == 0)
+        hopNextAdjust_ = now + cfg_.hop.adjustInterval;
+    while (hopNextAdjust_ <= now) {
+        const bool pressure = occupancy() >= cfg_.hop.occHigh
+            || ewma_ > cfg_.hop.latencyTarget;
+        switch (cfg_.hop.scheme) {
+          case FeedbackScheme::None:
+            break;
+          case FeedbackScheme::Rate:
+            // AIMD, like the local RateThrottle loop, but steered by
+            // the hop knobs and advertised instead of enforced here.
+            hopRate_ = pressure
+                ? std::max(cfg_.hop.minRate,
+                           hopRate_ * cfg_.hop.decreaseFactor)
+                : std::min(cfg_.hop.maxRate,
+                           hopRate_ + cfg_.hop.increasePerInterval);
+            break;
+          case FeedbackScheme::Window:
+            hopWindow_ = pressure
+                ? std::max(cfg_.hop.minWindow,
+                           static_cast<int>(
+                               static_cast<double>(hopWindow_)
+                               * cfg_.hop.decreaseFactor))
+                : std::min(cfg_.hop.maxWindow,
+                           hopWindow_
+                               + cfg_.hop.windowIncreasePerInterval);
+            break;
+          case FeedbackScheme::OnOff:
+            // Hysteresis mirrors ThresholdReject: stop on pressure,
+            // go again only once both signals are clearly low.
+            if (hopOn_) {
+                if (pressure)
+                    hopOn_ = false;
+            } else if (occupancy() <= cfg_.hop.occLow
+                       && ewma_ <= cfg_.hop.latencyTarget) {
+                hopOn_ = true;
+            }
+            break;
+        }
+        hopNextAdjust_ += cfg_.hop.adjustInterval;
+    }
+    fb.rate = hopRate_;
+    fb.window = hopWindow_;
+    fb.on = hopOn_;
+    return fb;
 }
 
 } // namespace siprox::core

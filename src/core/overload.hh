@@ -32,6 +32,7 @@
 #include <cstddef>
 
 #include "core/config.hh"
+#include "core/hopctl.hh"
 #include "sim/time.hh"
 
 namespace siprox::core {
@@ -101,6 +102,21 @@ class OverloadController
     /** TCP: should the supervisor stop draining the accept queue? */
     bool acceptsPaused(sim::SimTime now);
 
+    /**
+     * Downstream side of hop-by-hop control: the advertisement to
+     * piggyback on an outgoing response right now. AIMD-steers the
+     * granted rate/window (or the on/off hysteresis) from the same
+     * occupancy and latency-EWMA signals the local policies use, on
+     * cfg.hop.adjustInterval ticks. Scheme None returns a None
+     * feedback (callers attach nothing).
+     */
+    HopFeedback advertiseFeedback(sim::SimTime now);
+
+    /** Receive-queue occupancy at/past the panic watermark? Unlike
+     *  panicDrop() this neither requires a local policy nor counts:
+     *  hop-by-hop pre-parse drops consult it with local policy None. */
+    bool queuePanicked() const;
+
     /** Currently shedding (ThresholdReject hysteresis state)? */
     bool shedding() const { return shedding_; }
 
@@ -144,6 +160,12 @@ class OverloadController
     bool paused_ = false;
     sim::SimTime pauseUntil_ = 0;
     bool acceptPaused_ = false;
+
+    // Hop-feedback advertisement state (downstream role).
+    double hopRate_ = 0;
+    int hopWindow_ = 0;
+    bool hopOn_ = true;
+    sim::SimTime hopNextAdjust_ = 0;
 };
 
 } // namespace siprox::core

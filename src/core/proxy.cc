@@ -12,8 +12,15 @@ Proxy::~Proxy() = default;
 void
 Proxy::start()
 {
+    // A parked hop-gated INVITE would stall an event loop's single
+    // coroutine — and every message behind it. Event-driven proxies
+    // therefore always reject immediately instead of holding.
+    if (resolveArchKind(cfg_.arch, cfg_.transport)
+        == ArchKind::EventDriven)
+        cfg_.overload.hop.holdMax = 0;
     shared_.overload.configure(cfg_.overload, &shared_.txns,
                                &shared_.counters);
+    shared_.hopGate.configure(cfg_.overload.hop, &shared_.counters);
     arch_ = makeServerArch(machine_, host_, shared_, cfg_);
     arch_->start();
 }

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "core/conn_table.hh"
+#include "core/hopctl.hh"
 #include "core/overload.hh"
 #include "core/registrar.hh"
 #include "core/txn_table.hh"
@@ -56,6 +57,59 @@ struct ProxyCounters
     std::uint64_t tcpReadPauses = 0;  ///< read-pause slices started
     std::uint64_t tcpReadResumes = 0; ///< read-pause slices expired
     std::uint64_t tcpAcceptPauses = 0; ///< accept-drain pauses started
+    // --- hop-by-hop distributed control --------------------------------
+    std::uint64_t hopFeedbackSent = 0; ///< responses carrying Overload:
+    std::uint64_t hopFeedbackApplied = 0; ///< advertisements consumed
+    std::uint64_t hopThrottleHolds = 0; ///< INVITEs parked for a grant
+    std::uint64_t hopThrottleRejects = 0; ///< 503s from the hop gate
+    std::uint64_t hopThrottleDrops = 0; ///< pre-parse drops (on/off)
+    std::uint64_t hopGrantExpired = 0; ///< stale grants failed open
+
+    /** Field-wise accumulate (chain runs sum counters across hops). */
+    void
+    add(const ProxyCounters &o)
+    {
+        messagesIn += o.messagesIn;
+        requestsIn += o.requestsIn;
+        responsesIn += o.responsesIn;
+        forwards += o.forwards;
+        localReplies += o.localReplies;
+        parseErrors += o.parseErrors;
+        routeFailures += o.routeFailures;
+        retransAbsorbed += o.retransAbsorbed;
+        retransSent += o.retransSent;
+        retransTimeouts += o.retransTimeouts;
+        timerB408s += o.timerB408s;
+        registrations += o.registrations;
+        authChallenges += o.authChallenges;
+        authAccepted += o.authAccepted;
+        redirects += o.redirects;
+        connsAccepted += o.connsAccepted;
+        connsDestroyed += o.connsDestroyed;
+        fdRequests += o.fdRequests;
+        fdCacheHits += o.fdCacheHits;
+        fdCacheInvalidations += o.fdCacheInvalidations;
+        outboundConnects += o.outboundConnects;
+        sendsToDeadConns += o.sendsToDeadConns;
+        idleScans += o.idleScans;
+        idleScanVisited += o.idleScanVisited;
+        connsReturnedByWorkers += o.connsReturnedByWorkers;
+        connsStolen += o.connsStolen;
+        overloadRejected += o.overloadRejected;
+        overloadThrottled += o.overloadThrottled;
+        overloadPanicDrops += o.overloadPanicDrops;
+        overloadShedEnters += o.overloadShedEnters;
+        overloadShedExits += o.overloadShedExits;
+        tcpReadPauses += o.tcpReadPauses;
+        tcpReadResumes += o.tcpReadResumes;
+        tcpAcceptPauses += o.tcpAcceptPauses;
+        hopFeedbackSent += o.hopFeedbackSent;
+        hopFeedbackApplied += o.hopFeedbackApplied;
+        hopThrottleHolds += o.hopThrottleHolds;
+        hopThrottleRejects += o.hopThrottleRejects;
+        hopThrottleDrops += o.hopThrottleDrops;
+        hopGrantExpired += o.hopGrantExpired;
+    }
 };
 
 /** Everything in the proxy's shared memory. */
@@ -68,6 +122,8 @@ struct SharedState
     IdlePq supervisorPq;
     ProxyCounters counters;
     OverloadController overload;
+    /** Upstream side of hop-by-hop control (per-destination gate). */
+    HopThrottleTable hopGate;
 };
 
 } // namespace siprox::core

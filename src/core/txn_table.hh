@@ -51,6 +51,11 @@ struct TxnRecord
     /** When the proxy created this record (serving-latency signal). */
     SimTime createdAt = 0;
 
+    /** True when this INVITE holds a hop-gate window slot toward the
+     *  next hop; the slot is released exactly once, at the final
+     *  response or at Timer B. */
+    bool hopGated = false;
+
     /** Last response forwarded upstream; replayed to absorb request
      *  retransmissions (stateful behaviour). */
     std::string lastResponse;

@@ -632,16 +632,10 @@ Phone::callerMain(sim::Process &p, int calls, std::string callee_user,
                 ++stats_.callsFailed;
             }
             if (pendingBackoff_ > 0) {
-                // Honor 503 Retry-After with capped exponential
-                // backoff: each consecutive rejection doubles the wait.
-                sim::SimTime wait = pendingBackoff_
-                    << std::min(consecutive503_, 20);
-                wait = std::min(wait, cfg_.retryBackoffCap);
-                // Jitter to +/-50% so simultaneously rejected callers
-                // do not return as a synchronized thundering herd.
-                wait = static_cast<sim::SimTime>(
-                    static_cast<double>(wait)
-                    * (0.5 + p.sim().rng().uniform()));
+                sim::SimTime wait =
+                    backoffWait(pendingBackoff_, consecutive503_,
+                                cfg_.retryBackoffCap,
+                                p.sim().rng().uniform());
                 pendingBackoff_ = 0;
                 ++consecutive503_;
                 ++stats_.backoffs;

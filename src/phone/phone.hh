@@ -12,6 +12,7 @@
 #ifndef SIPROX_PHONE_PHONE_HH
 #define SIPROX_PHONE_PHONE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -52,6 +53,26 @@ struct PhoneConfig
     /** Cap on the exponential backoff honoring 503 Retry-After. */
     sim::SimTime retryBackoffCap = sim::secs(8);
 };
+
+/**
+ * The wait a caller takes after a 503, honoring the advertised
+ * Retry-After as a hard floor (RFC 3261 §21.5.4 semantics: never come
+ * back sooner than asked). @p streak consecutive rejections double the
+ * wait each time; @p cap bounds the growth but never below the
+ * advertisement itself; @p u01 in [0, 1) adds up to +50% jitter — only
+ * upward, so desynchronizing simultaneously rejected callers cannot
+ * undercut the floor.
+ */
+inline sim::SimTime
+backoffWait(sim::SimTime advertised, int streak, sim::SimTime cap,
+            double u01)
+{
+    sim::SimTime wait = advertised << std::min(streak, 20);
+    wait = std::min(wait, std::max(cap, advertised));
+    return wait
+        + static_cast<sim::SimTime>(static_cast<double>(wait) * 0.5
+                                    * u01);
+}
 
 /** Outcome counters for one phone. */
 struct PhoneStats

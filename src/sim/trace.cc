@@ -75,6 +75,8 @@ waitName(Wait w)
         return "socket";
       case Wait::Sleep:
         return "sleep";
+      case Wait::Throttled:
+        return "throttled";
     }
     return "?";
 }

@@ -80,9 +80,13 @@ enum class Wait : std::uint8_t
     Ipc,
     Socket,
     Sleep,
+    /** Held by hop-by-hop overload control: the downstream proxy's
+     *  advertised rate/window is exhausted and the forward is parked
+     *  until a grant frees up (or the hold deadline rejects it). */
+    Throttled,
 };
 
-inline constexpr std::size_t kWaitCount = 7;
+inline constexpr std::size_t kWaitCount = 8;
 
 /** Stable lower-case name for a wait category ("cpu", "runqueue"...). */
 std::string_view waitName(Wait w);

@@ -62,6 +62,10 @@ headerIdFor(std::string_view name)
         if (iequals(name, "Contact"))
             return HeaderId::Contact;
         break;
+      case 8:
+        if (iequals(name, "Overload"))
+            return HeaderId::Overload;
+        break;
       case 12:
         if (iequals(name, "Max-Forwards"))
             return HeaderId::MaxForwards;
@@ -106,6 +110,8 @@ headerCanonicalName(HeaderId id)
         return "Route";
       case HeaderId::RecordRoute:
         return "Record-Route";
+      case HeaderId::Overload:
+        return "Overload";
       case HeaderId::Other:
         break;
     }

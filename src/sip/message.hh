@@ -78,6 +78,8 @@ enum class HeaderId : std::uint8_t
     ContentType,
     Route,
     RecordRoute,
+    /** Simulated hop-by-hop overload-feedback advertisement. */
+    Overload,
     Other,
 };
 

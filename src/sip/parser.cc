@@ -269,35 +269,52 @@ std::optional<std::string>
 StreamFramer::next()
 {
     // Skip keep-alive CRLFs between messages.
-    std::size_t skip = 0;
-    while (skip < buf_.size()
-           && (buf_[skip] == '\r' || buf_[skip] == '\n')) {
-        ++skip;
+    while (pos_ < buf_.size()
+           && (buf_[pos_] == '\r' || buf_[pos_] == '\n')) {
+        ++pos_;
     }
-    if (skip)
-        buf_.erase(0, skip);
-    if (buf_.empty())
+    if (scanned_ < pos_)
+        scanned_ = pos_;
+    if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = scanned_ = 0;
         return std::nullopt;
+    }
 
-    std::size_t header_end = findHeaderEnd(buf_);
+    const std::string_view view(buf_);
+    // Resume the header scan where the last attempt stopped, backed up
+    // three bytes so a terminator straddling the chunk boundary is
+    // still seen whole.
+    const std::size_t from =
+        scanned_ > pos_ + 3 ? scanned_ - 3 : pos_;
+    std::size_t header_end = findHeaderEnd(view.substr(from));
     if (header_end == std::string_view::npos) {
-        if (buf_.size() > kMaxHeaderBytes)
+        scanned_ = buf_.size();
+        if (buf_.size() - pos_ > kMaxHeaderBytes)
             poisoned_ = true;
         return std::nullopt;
     }
+    header_end += from;
     std::size_t content_length =
-        scanContentLength(std::string_view(buf_).substr(0, header_end));
+        scanContentLength(view.substr(pos_, header_end - pos_));
     std::size_t total = header_end + content_length;
-    if (buf_.size() < total)
+    if (buf_.size() < total) {
+        scanned_ = header_end;
         return std::nullopt;
-    if (total == buf_.size()) {
+    }
+    if (pos_ == 0 && total == buf_.size()) {
         // The buffer is exactly one message: hand it over whole.
         std::string raw = std::move(buf_);
         buf_.clear();
+        pos_ = scanned_ = 0;
         return raw;
     }
-    std::string raw = buf_.substr(0, total);
-    buf_.erase(0, total);
+    std::string raw = buf_.substr(pos_, total - pos_);
+    pos_ = scanned_ = total;
+    if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = scanned_ = 0;
+    }
     return raw;
 }
 

@@ -54,21 +54,33 @@ class StreamFramer
 {
   public:
     /** Append received bytes. */
-    void feed(std::string_view bytes) { buf_.append(bytes); }
+    void
+    feed(std::string_view bytes)
+    {
+        if (pos_ && (pos_ == buf_.size() || pos_ >= kCompactAt))
+            compact();
+        buf_.append(bytes);
+    }
 
     /** Disambiguates string literals (otherwise ambiguous between the
      *  view and rvalue overloads). */
-    void feed(const char *bytes) { buf_.append(bytes); }
+    void feed(const char *bytes) { feed(std::string_view(bytes)); }
 
-    /** Append received bytes, adopting the buffer when ours is empty
-     *  (the steady-state case: the previous chunk framed completely). */
+    /** Append received bytes, adopting the buffer when ours is fully
+     *  consumed (the steady-state case: the previous chunk framed
+     *  completely). */
     void
     feed(std::string &&bytes)
     {
-        if (buf_.empty())
+        if (pos_ == buf_.size()) {
             buf_ = std::move(bytes);
-        else
-            buf_.append(bytes);
+            pos_ = 0;
+            scanned_ = 0;
+            return;
+        }
+        if (pos_ >= kCompactAt)
+            compact();
+        buf_.append(bytes);
     }
 
     /**
@@ -78,7 +90,7 @@ class StreamFramer
     std::optional<std::string> next();
 
     /** Bytes buffered but not yet framed. */
-    std::size_t buffered() const { return buf_.size(); }
+    std::size_t buffered() const { return buf_.size() - pos_; }
 
     /**
      * True if the buffer starts with data that can never frame (no
@@ -90,8 +102,29 @@ class StreamFramer
     /** Cap on header-section size before declaring the stream broken. */
     static constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
 
+    /** Consumed-prefix length past which feed() compacts the buffer.
+     *  Messages are sliced off by advancing pos_ instead of erasing
+     *  from the front (which memmoves the whole tail per message); the
+     *  dead prefix is reclaimed in one move once it is worth it. */
+    static constexpr std::size_t kCompactAt = 4096;
+
   private:
+    void
+    compact()
+    {
+        buf_.erase(0, pos_);
+        scanned_ -= pos_;
+        pos_ = 0;
+    }
+
     std::string buf_;
+    /** Consumed prefix: bytes before this offset were handed out. */
+    std::size_t pos_ = 0;
+    /** Header-scan high-water mark: no header terminator *ends* before
+     *  this offset, so an incomplete message is rescanned only over
+     *  bytes that arrived since the last attempt (minus the 3-byte
+     *  terminator overlap), not from the start every time. */
+    std::size_t scanned_ = 0;
     bool poisoned_ = false;
 };
 

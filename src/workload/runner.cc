@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <climits>
 #include <memory>
+#include <stdexcept>
 
 #include "core/proxy.hh"
 #include "net/network.hh"
@@ -23,7 +24,7 @@ struct Phases
     sim::Latch done;
     sim::SimTime measureStart = 0;
     sim::SimTime measureEnd = 0;
-    sim::SimTime serverBusyAtStart = 0;
+    std::vector<sim::SimTime> serverBusyAtStart;
     std::vector<sim::SimTime> clientBusyAtStart;
     bool finished = false;
     /** Time-based mode: set after the measurement window elapses. */
@@ -41,14 +42,17 @@ struct Phases
  * starts the measured phase, and records its end.
  */
 sim::Task
-managerMain(sim::Process &p, Phases *phases, sim::Machine *server,
+managerMain(sim::Process &p, Phases *phases,
+            std::vector<sim::Machine *> servers,
             std::vector<sim::Machine *> client_machines)
 {
     co_await phases->registered.wait(p);
     phases->measureStart = p.sim().now();
     // Profile and utilization cover only the measured phase.
-    server->profiler().reset();
-    phases->serverBusyAtStart = server->scheduler().busyTime();
+    for (auto *m : servers) {
+        m->profiler().reset();
+        phases->serverBusyAtStart.push_back(m->scheduler().busyTime());
+    }
     for (auto *m : client_machines)
         phases->clientBusyAtStart.push_back(m->scheduler().busyTime());
     if (sim::trace::recording()) {
@@ -89,16 +93,91 @@ samplerMain(sim::Process &p, Phases *phases, core::Proxy *proxy,
 
 } // namespace
 
+const char *
+chainSupportError(const Scenario &sc)
+{
+    if (sc.chain.empty())
+        return nullptr;
+    if (sc.chain.size() < 2)
+        return "a proxy chain needs at least 2 hops (an edge and a "
+               "destination); leave `chain` empty for a single proxy";
+    if (sc.chain.size() > 4)
+        return "proxy chains support at most 4 hops (edge, up to two "
+               "cores, destination)";
+    for (const auto &hop : sc.chain) {
+        core::Transport t = hop.transport.value_or(sc.proxy.transport);
+        if (t != sc.proxy.transport)
+            return "mixed-transport chains are not supported: every "
+                   "hop must speak the scenario transport (per-hop "
+                   "architectures are free to vary)";
+        if (const char *err = core::archSupportError(hop.arch, t))
+            return err;
+    }
+    if (sc.proxy.redirect)
+        return "redirect mode short-circuits the chain (the 302 hands "
+               "the caller the contact directly); run it single-proxy";
+    if (sc.proxy.overload.hop.scheme == core::FeedbackScheme::Window
+        && !sc.proxy.stateful)
+        return "the window scheme needs stateful proxies: pending "
+               "slots are released when the transaction record sees "
+               "its final response";
+    return nullptr;
+}
+
 RunResult
 runScenario(const Scenario &sc)
 {
-    sim::Simulation simu(sc.seed);
-    auto &server_machine = simu.addMachine("server", sc.serverCores);
-    net::Network network(simu, sc.net);
-    auto &server_host = network.attach(server_machine);
+    if (const char *err = chainSupportError(sc))
+        throw std::invalid_argument(std::string("chain topology: ")
+                                    + err);
+    const std::size_t hops = sc.chain.empty() ? 1 : sc.chain.size();
 
-    core::Proxy proxy(server_machine, server_host, sc.proxy);
-    proxy.start();
+    sim::Simulation simu(sc.seed);
+    net::Network network(simu, sc.net);
+    // Machine naming keeps the single-proxy case byte-identical to
+    // the pre-chain runner ("server"); chain hops are numbered.
+    std::vector<sim::Machine *> server_machines;
+    std::vector<net::Host *> server_hosts;
+    for (std::size_t i = 0; i < hops; ++i) {
+        auto &m = simu.addMachine(
+            hops == 1 ? std::string("server")
+                      : "server" + std::to_string(i),
+            sc.serverCores);
+        server_machines.push_back(&m);
+        server_hosts.push_back(&network.attach(m));
+    }
+    net::Host &server_host = *server_hosts.front(); // edge (faults)
+
+    // Hosts exist before any proxy starts, so each hop can point at
+    // the next one's address; the last hop is the chain destination
+    // and keeps an invalid nextHop (routes via its registrar).
+    std::vector<std::unique_ptr<core::Proxy>> proxies;
+    for (std::size_t i = 0; i < hops; ++i) {
+        core::ProxyConfig cfg = sc.proxy;
+        if (!sc.chain.empty()) {
+            const ChainHop &hop = sc.chain[i];
+            cfg.arch = hop.arch;
+            if (hop.transport)
+                cfg.transport = *hop.transport;
+            if (hop.workers > 0)
+                cfg.workers = hop.workers;
+            if (hop.overloadPolicy)
+                cfg.overload.policy = *hop.overloadPolicy;
+            if (i + 1 < hops)
+                cfg.nextHop = server_hosts[i + 1]->addr(sc.proxy.port);
+            // Disjoint per-hop branch salts: a proxy's transaction
+            // table keys on both its own and its upstream's branches,
+            // so identical generator streams on two hops collide
+            // (the second INVITE is eaten as a "retransmission").
+            cfg.branchSaltBase = sc.proxy.branchSaltBase
+                + (i << 20);
+        }
+        proxies.push_back(std::make_unique<core::Proxy>(
+            *server_machines[i], *server_hosts[i], cfg));
+        proxies.back()->start();
+    }
+    core::Proxy &proxy = *proxies.front();       // edge: callers
+    core::Proxy &dest_proxy = *proxies.back();   // destination: callees
 
     std::vector<sim::Machine *> client_machines;
     std::vector<net::Host *> client_hosts;
@@ -144,31 +223,36 @@ runScenario(const Scenario &sc)
     callees.reserve(static_cast<std::size_t>(sc.clients));
     for (int i = 0; i < sc.clients; ++i) {
         int m = i % sc.clientMachines;
-        auto mk_cfg = [&](const std::string &user,
-                          std::uint16_t port) {
+        auto mk_cfg = [&](const std::string &user, std::uint16_t port,
+                          net::Addr proxy_addr) {
             phone::PhoneConfig cfg;
             cfg.user = user;
             cfg.port = port;
             cfg.transport = sc.proxy.transport;
-            cfg.proxyAddr = proxy.addr();
+            cfg.proxyAddr = proxy_addr;
             cfg.opsPerConn = sc.opsPerConn;
             cfg.answerDelay = sc.answerDelay;
             cfg.responseTimeout = sc.phoneResponseTimeout;
             cfg.retryBackoffCap = sc.phoneRetryBackoffCap;
             return cfg;
         };
+        // Callers attach to the edge; callees live at the destination
+        // (their home proxy) so only requests traverse the chain and
+        // registrations stay local to each hop.
         callees.push_back(std::make_unique<phone::Phone>(
             *client_machines[static_cast<std::size_t>(m)],
             *client_hosts[static_cast<std::size_t>(m)],
             mk_cfg("c" + std::to_string(i),
-                   static_cast<std::uint16_t>(16000 + i))));
+                   static_cast<std::uint16_t>(16000 + i),
+                   dest_proxy.addr())));
         callees.back()->startCallee(calls_per_client,
                                     &phases.registered, nullptr);
         callers.push_back(std::make_unique<phone::Phone>(
             *client_machines[static_cast<std::size_t>(m)],
             *client_hosts[static_cast<std::size_t>(m)],
             mk_cfg("a" + std::to_string(i),
-                   static_cast<std::uint16_t>(6000 + i))));
+                   static_cast<std::uint16_t>(6000 + i),
+                   proxy.addr())));
         callers.back()->startCaller(calls_per_client,
                                     "c" + std::to_string(i),
                                     &phases.registered, &phases.start,
@@ -177,15 +261,18 @@ runScenario(const Scenario &sc)
 
     client_machines[0]->spawn(
         "manager", 0, [&](sim::Process &p) {
-            return managerMain(p, &phases, &server_machine,
+            return managerMain(p, &phases, server_machines,
                                client_machines);
         });
 
+    // The sampler watches the destination: in a chain it is the
+    // bottleneck whose signals drive the feedback (single proxy: the
+    // only one).
     std::vector<OccupancySample> occupancy;
     if (sc.sampleInterval > 0) {
         client_machines[0]->spawn(
             "sampler", 0, [&](sim::Process &p) {
-                return samplerMain(p, &phases, &proxy,
+                return samplerMain(p, &phases, &dest_proxy,
                                    sc.sampleInterval, &occupancy);
             });
     }
@@ -252,29 +339,46 @@ runScenario(const Scenario &sc)
     result.inviteP50 = invite.percentile(0.5);
     result.inviteP99 = invite.percentile(0.99);
 
-    result.counters = proxy.shared().counters;
+    for (const auto &px : proxies) {
+        result.counters.add(px->shared().counters);
+        result.txnEntriesAtEnd += px->shared().txns.size();
+        result.retransEntriesAtEnd += px->shared().retrans.size();
+        result.connEntriesAtEnd += px->shared().conns.size();
+        result.proxyRecvQueueDrops += px->recvQueueDrops();
+        result.proxyAcceptRefused += px->acceptRefused();
+    }
+    if (hops > 1) {
+        for (const auto &px : proxies)
+            result.hopCounters.push_back(px->shared().counters);
+    }
     result.net = network.stats();
     result.faults = network.faults().stats();
-    result.txnEntriesAtEnd = proxy.shared().txns.size();
-    result.retransEntriesAtEnd = proxy.shared().retrans.size();
-    result.connEntriesAtEnd = proxy.shared().conns.size();
-    result.proxyRecvQueueDrops = proxy.recvQueueDrops();
-    result.proxyAcceptRefused = proxy.acceptRefused();
     if (const core::ServerArch *arch = proxy.arch()) {
         result.archKind = arch->kind();
         result.archLoops = arch->loopCount();
     }
     result.occupancy = std::move(occupancy);
-    result.serverProfile = server_machine.profiler();
+    // Profile the destination machine: it is the saturating hop the
+    // distributed schemes protect (single proxy: the only machine).
+    result.serverProfile = server_machines.back()->profiler();
     if (result.duration > 0) {
-        double capacity = sim::toSecs(result.duration)
-            * server_machine.scheduler().cores();
-        // Bursts spanning the phase boundary are charged when they
-        // end, so clamp the tiny resulting over-count.
-        result.serverUtilization = std::min(
-            1.0, sim::toSecs(server_machine.scheduler().busyTime()
-                             - phases.serverBusyAtStart)
-                / capacity);
+        // Server utilization reports the busiest hop.
+        for (std::size_t i = 0; i < server_machines.size(); ++i) {
+            double capacity = sim::toSecs(result.duration)
+                * server_machines[i]->scheduler().cores();
+            // Bursts spanning the phase boundary are charged when
+            // they end, so clamp the tiny resulting over-count.
+            result.serverUtilization = std::max(
+                result.serverUtilization,
+                std::min(
+                    1.0,
+                    sim::toSecs(
+                        server_machines[i]->scheduler().busyTime()
+                        - (i < phases.serverBusyAtStart.size()
+                               ? phases.serverBusyAtStart[i]
+                               : 0))
+                        / capacity));
+        }
         for (std::size_t i = 0; i < client_machines.size(); ++i) {
             double busy = sim::toSecs(
                 client_machines[i]->scheduler().busyTime()
@@ -289,7 +393,8 @@ runScenario(const Scenario &sc)
     }
 
     result.simEvents = simu.eventsRun();
-    proxy.requestStop();
+    for (auto &px : proxies)
+        px->requestStop();
     return result;
 }
 
@@ -381,6 +486,48 @@ RunResult::digest() const
         add("sstDropped", net.sstDropped);
         add("sstLost", net.sstLost);
     }
+    // Hop-by-hop control and chain groups follow the same convention:
+    // appended only when the feature was in play, so every pre-chain
+    // golden digest stays byte-identical.
+    if (counters.hopFeedbackSent || counters.hopFeedbackApplied
+        || counters.hopThrottleHolds || counters.hopThrottleRejects
+        || counters.hopThrottleDrops || counters.hopGrantExpired) {
+        add("hopFeedbackSent", counters.hopFeedbackSent);
+        add("hopFeedbackApplied", counters.hopFeedbackApplied);
+        add("hopThrottleHolds", counters.hopThrottleHolds);
+        add("hopThrottleRejects", counters.hopThrottleRejects);
+        add("hopThrottleDrops", counters.hopThrottleDrops);
+        add("hopGrantExpired", counters.hopGrantExpired);
+    }
+    if (!hopCounters.empty()) {
+        add("chainHops", hopCounters.size());
+        for (std::size_t i = 0; i < hopCounters.size(); ++i) {
+            const core::ProxyCounters &h = hopCounters[i];
+            std::string prefix = "hop" + std::to_string(i) + ".";
+            auto addh = [&out, &prefix](const char *name,
+                                        std::uint64_t v) {
+                out += prefix;
+                out += name;
+                out += '=';
+                out += std::to_string(v);
+                out += '\n';
+            };
+            addh("messagesIn", h.messagesIn);
+            addh("forwards", h.forwards);
+            addh("localReplies", h.localReplies);
+            addh("retransAbsorbed", h.retransAbsorbed);
+            addh("timerB408s", h.timerB408s);
+            addh("overloadRejected", h.overloadRejected);
+            addh("overloadThrottled", h.overloadThrottled);
+            addh("overloadPanicDrops", h.overloadPanicDrops);
+            addh("hopFeedbackSent", h.hopFeedbackSent);
+            addh("hopFeedbackApplied", h.hopFeedbackApplied);
+            addh("hopThrottleHolds", h.hopThrottleHolds);
+            addh("hopThrottleRejects", h.hopThrottleRejects);
+            addh("hopThrottleDrops", h.hopThrottleDrops);
+            addh("hopGrantExpired", h.hopGrantExpired);
+        }
+    }
     out += faults.digest();
     return out;
 }
@@ -449,6 +596,12 @@ collectMetrics(const RunResult &r)
     reg.setCounter("proxy.tcpReadPauses", c.tcpReadPauses);
     reg.setCounter("proxy.tcpReadResumes", c.tcpReadResumes);
     reg.setCounter("proxy.tcpAcceptPauses", c.tcpAcceptPauses);
+    reg.setCounter("proxy.hopFeedbackSent", c.hopFeedbackSent);
+    reg.setCounter("proxy.hopFeedbackApplied", c.hopFeedbackApplied);
+    reg.setCounter("proxy.hopThrottleHolds", c.hopThrottleHolds);
+    reg.setCounter("proxy.hopThrottleRejects", c.hopThrottleRejects);
+    reg.setCounter("proxy.hopThrottleDrops", c.hopThrottleDrops);
+    reg.setCounter("proxy.hopGrantExpired", c.hopGrantExpired);
     reg.setCounter("proxy.recvQueueDrops", r.proxyRecvQueueDrops);
     reg.setCounter("proxy.acceptRefused", r.proxyAcceptRefused);
     reg.setCounter("proxy.txnEntriesAtEnd", r.txnEntriesAtEnd);
@@ -466,6 +619,30 @@ collectMetrics(const RunResult &r)
                        ? static_cast<std::uint64_t>(r.archLoops)
                        : 0);
     reg.setCounter("proxy.arch.connsStolen", c.connsStolen);
+
+    // Chain topology: per-hop counters under proxy.hop<i>.* (edge
+    // first). Single-proxy runs emit none of these.
+    reg.setCounter("proxy.chainHops", r.hopCounters.size());
+    for (std::size_t i = 0; i < r.hopCounters.size(); ++i) {
+        const core::ProxyCounters &h = r.hopCounters[i];
+        std::string prefix = "proxy.hop" + std::to_string(i) + ".";
+        reg.setCounter(prefix + "messagesIn", h.messagesIn);
+        reg.setCounter(prefix + "forwards", h.forwards);
+        reg.setCounter(prefix + "localReplies", h.localReplies);
+        reg.setCounter(prefix + "overloadRejected", h.overloadRejected);
+        reg.setCounter(prefix + "overloadThrottled",
+                       h.overloadThrottled);
+        reg.setCounter(prefix + "overloadPanicDrops",
+                       h.overloadPanicDrops);
+        reg.setCounter(prefix + "hopFeedbackSent", h.hopFeedbackSent);
+        reg.setCounter(prefix + "hopFeedbackApplied",
+                       h.hopFeedbackApplied);
+        reg.setCounter(prefix + "hopThrottleHolds", h.hopThrottleHolds);
+        reg.setCounter(prefix + "hopThrottleRejects",
+                       h.hopThrottleRejects);
+        reg.setCounter(prefix + "hopThrottleDrops", h.hopThrottleDrops);
+        reg.setCounter(prefix + "hopGrantExpired", h.hopGrantExpired);
+    }
 
     // Network counters.
     reg.setCounter("net.udpSent", r.net.udpSent);

@@ -11,6 +11,7 @@
 #define SIPROX_WORKLOAD_SCENARIO_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,30 @@ struct Partition
     int clientMachine = -1;
     sim::SimTime start = 0;
     sim::SimTime stop = sim::kTimeNever;
+};
+
+/**
+ * One hop of a multi-hop proxy chain. The chain is edge -> ... ->
+ * destination; callers attach to the edge, callees register at the
+ * destination (their home proxy), and every non-REGISTER request
+ * traverses the full chain.
+ */
+struct ChainHop
+{
+    /** Transport this hop speaks (unset: the scenario transport).
+     *  Mixed-transport chains are rejected by chainSupportError() —
+     *  the knob exists so the rejection is a named decision, not a
+     *  silent impossibility. */
+    std::optional<core::Transport> transport;
+    /** Server architecture of this hop (free to vary per hop). */
+    core::ArchKind arch = core::ArchKind::Auto;
+    /** Worker override for this hop (0: the scenario's worker count). */
+    int workers = 0;
+    /** Local overload-policy override for this hop (unset: the shared
+     *  proxy config's policy). Lets a chain model the literature's
+     *  baseline where only the overloaded server defends itself and
+     *  upstream hops blindly forward. */
+    std::optional<core::OverloadPolicy> overloadPolicy;
 };
 
 /** One benchmark configuration. */
@@ -89,7 +114,19 @@ struct Scenario
     /** Scheduled client <-> proxy partitions (e.g. "partition client
      *  machine 2 from the proxy between t=10s and t=15s"). */
     std::vector<Partition> partitions;
+    /**
+     * Multi-hop proxy chain. Empty (default): the classic single-proxy
+     * topology, byte-identical to pre-chain behaviour. Non-empty: one
+     * entry per hop (2-4, edge first); `proxy` above provides the
+     * shared base config every hop inherits. Fault injection applies
+     * between the client machines and the edge.
+     */
+    std::vector<ChainHop> chain;
 };
+
+/** nullptr if the scenario's chain topology is runnable, else a static
+ *  reason string (mirrors core::archSupportError's contract). */
+const char *chainSupportError(const Scenario &scenario);
 
 /** One proxy-occupancy sample (overload-onset time series). */
 struct OccupancySample
@@ -121,7 +158,10 @@ struct RunResult
     double maxClientUtilization = 0;
     sim::SimTime inviteP50 = 0;
     sim::SimTime inviteP99 = 0;
+    /** Aggregate proxy counters (summed across hops when chained). */
     core::ProxyCounters counters;
+    /** Per-hop proxy counters, edge first. Empty for a single proxy. */
+    std::vector<core::ProxyCounters> hopCounters;
     /** Network-level traffic counters. */
     net::NetStats net;
     /** Per-link injected-fault counters. */

@@ -11,6 +11,7 @@
 
 #include "core/overload.hh"
 #include "core/shared.hh"
+#include "phone/phone.hh"
 #include "workload/scenario.hh"
 
 namespace {
@@ -371,6 +372,155 @@ TEST(OverloadScenarioTest, SameSeedDigestsIdenticalWithOverload)
         EXPECT_NE(workload::runScenario(sc).digest(), a)
             << core::overloadPolicyName(policy);
     }
+}
+
+// --- overload control under the event-driven architecture -------------------
+
+TEST(OverloadEventArchTest, Udp503RejectionUnderEventDriven)
+{
+    workload::Scenario sc = smallScenario(core::Transport::Udp);
+    sc.proxy.arch = core::ArchKind::EventDriven;
+    sc.proxy.overload.policy = OverloadPolicy::ThresholdReject;
+    sc.proxy.overload.highWatermark = 0.0;
+    sc.proxy.overload.lowWatermark = -1.0;
+    sc.phoneRetryBackoffCap = sim::msecs(200);
+
+    workload::RunResult r = workload::runScenario(sc);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.archKind, core::ArchKind::EventDriven);
+    EXPECT_EQ(r.callsCompleted, 0u);
+    EXPECT_GT(r.counters.overloadRejected, 0u);
+    EXPECT_GT(r.phoneBackoffs, 0u);
+    EXPECT_EQ(r.counters.registrations, 8u);
+}
+
+TEST(OverloadEventArchTest, RateThrottleUnderEventDriven)
+{
+    for (core::Transport t :
+         {core::Transport::Udp, core::Transport::Tcp}) {
+        workload::Scenario sc = smallScenario(t);
+        sc.proxy.arch = core::ArchKind::EventDriven;
+        sc.proxy.overload.policy = OverloadPolicy::RateThrottle;
+        sc.proxy.overload.initialRate = 2;
+        sc.proxy.overload.maxRate = 2;
+        sc.proxy.overload.minRate = 2;
+        sc.proxy.overload.burstTokens = 1;
+        sc.phoneRetryBackoffCap = sim::msecs(500);
+
+        workload::RunResult r = workload::runScenario(sc);
+        EXPECT_FALSE(r.timedOut) << core::transportName(t);
+        EXPECT_EQ(r.archKind, core::ArchKind::EventDriven);
+        EXPECT_GT(r.counters.overloadThrottled, 0u)
+            << core::transportName(t);
+        // The event loops throttle without ever blocking: the run
+        // drains and the admitted slice completes.
+        EXPECT_GT(r.callsCompleted, 0u) << core::transportName(t);
+        EXPECT_EQ(r.callsCompleted + r.callsFailed, 4u * 3u)
+            << core::transportName(t);
+    }
+}
+
+TEST(OverloadEventArchTest, SameSeedDigestsIdenticalEventDriven)
+{
+    workload::Scenario sc = smallScenario(core::Transport::Udp);
+    sc.proxy.arch = core::ArchKind::EventDriven;
+    sc.proxy.overload.policy = OverloadPolicy::RateThrottle;
+    sc.proxy.overload.initialRate = 50;
+    sc.proxy.overload.burstTokens = 1;
+    sc.proxy.overload.latencyHigh = sim::usecs(1);
+    sc.phoneRetryBackoffCap = sim::msecs(200);
+    sc.seed = 42;
+
+    std::string a = workload::runScenario(sc).digest();
+    std::string b = workload::runScenario(sc).digest();
+    EXPECT_EQ(a, b);
+}
+
+TEST(OverloadEventArchTest, HopHoldsForcedOffUnderEventDriven)
+{
+    // A chained event-driven edge with a Window grant of 1 and a hold
+    // budget configured: the event arch must force holds off (its
+    // loops never block), fall back to immediate 503s, and still
+    // drain every call.
+    workload::Scenario sc = smallScenario(core::Transport::Udp);
+    sc.chain = {workload::ChainHop{}, workload::ChainHop{}};
+    sc.chain[0].arch = core::ArchKind::EventDriven;
+    sc.proxy.overload.hop.scheme = core::FeedbackScheme::Window;
+    sc.proxy.overload.hop.initialWindow = 1;
+    sc.proxy.overload.hop.holdMax = sim::msecs(50);
+    sc.phoneRetryBackoffCap = sim::msecs(200);
+
+    workload::RunResult r = workload::runScenario(sc);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.callsCompleted + r.callsFailed, 4u * 3u);
+    // No INVITE was ever parked: holds require a blocking wait.
+    EXPECT_EQ(r.counters.hopThrottleHolds, 0u);
+}
+
+// --- phone backoff ----------------------------------------------------------
+
+TEST(PhoneBackoffTest, NeverWaitsLessThanAdvertisedRetryAfter)
+{
+    const sim::SimTime advertised = sim::secs(4);
+    const sim::SimTime cap = sim::secs(1); // cap below the advertisement
+    for (int streak = 0; streak < 4; ++streak) {
+        for (double u : {0.0, 0.25, 0.5, 0.999}) {
+            sim::SimTime wait =
+                phone::backoffWait(advertised, streak, cap, u);
+            // The historical bugs: the cap cut the wait to 1 s, and
+            // the +/-50% jitter could halve it again. Both undercut
+            // the downstream's explicit request.
+            EXPECT_GE(wait, advertised)
+                << "streak=" << streak << " u=" << u;
+        }
+    }
+}
+
+TEST(PhoneBackoffTest, ConsecutiveRejectionsDoubleUpToCap)
+{
+    const sim::SimTime advertised = sim::secs(1);
+    const sim::SimTime cap = sim::secs(8);
+    // No jitter (u=0): the deterministic schedule is 1, 2, 4, 8, 8...
+    EXPECT_EQ(phone::backoffWait(advertised, 0, cap, 0.0), sim::secs(1));
+    EXPECT_EQ(phone::backoffWait(advertised, 1, cap, 0.0), sim::secs(2));
+    EXPECT_EQ(phone::backoffWait(advertised, 2, cap, 0.0), sim::secs(4));
+    EXPECT_EQ(phone::backoffWait(advertised, 3, cap, 0.0), sim::secs(8));
+    EXPECT_EQ(phone::backoffWait(advertised, 9, cap, 0.0), sim::secs(8));
+    // A pathological streak must not overflow the shift.
+    EXPECT_EQ(phone::backoffWait(advertised, 1000, cap, 0.0),
+              sim::secs(8));
+}
+
+TEST(PhoneBackoffTest, JitterOnlyStretchesUpToHalf)
+{
+    const sim::SimTime advertised = sim::secs(2);
+    const sim::SimTime cap = sim::secs(8);
+    sim::SimTime lo = phone::backoffWait(advertised, 0, cap, 0.0);
+    sim::SimTime hi = phone::backoffWait(advertised, 0, cap, 0.999);
+    EXPECT_EQ(lo, advertised);
+    EXPECT_GT(hi, lo);
+    EXPECT_LE(hi, advertised + advertised / 2);
+}
+
+TEST(PhoneBackoffTest, ScenarioHonorsAdvertisedFloor)
+{
+    // Overloaded proxy advertising Retry-After=1 with a phone cap far
+    // below it: callers must still be away >= 1 s per backoff, which
+    // bounds how many backoffs fit in the run.
+    workload::Scenario sc = smallScenario(core::Transport::Udp);
+    sc.proxy.overload.policy = OverloadPolicy::RateThrottle;
+    sc.proxy.overload.latencyHigh = sim::usecs(1);
+    sc.proxy.overload.initialRate = 50;
+    sc.proxy.overload.burstTokens = 1;
+    sc.proxy.overload.retryAfterSecs = 1;
+    sc.phoneRetryBackoffCap = sim::msecs(10); // far below Retry-After
+    sc.maxDuration = sim::secs(30);
+
+    workload::RunResult r = workload::runScenario(sc);
+    ASSERT_GT(r.phoneBackoffs, 0u);
+    // Each backoff sleeps at least the advertised 1 s, so the run must
+    // have lasted at least one full floor-length sleep.
+    EXPECT_GE(r.duration, sim::secs(1));
 }
 
 } // namespace

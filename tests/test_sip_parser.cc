@@ -307,4 +307,66 @@ INSTANTIATE_TEST_SUITE_P(ChunkSizes, FramerChunkTest,
                          ::testing::Values(1, 2, 3, 5, 7, 16, 64, 128,
                                            333, 1024, 4096));
 
+TEST(FramerTest, LongStreamCrossesCompactionThreshold)
+{
+    // Enough traffic that the consumed prefix passes kCompactAt many
+    // times over: framing must stay correct across compactions and the
+    // buffer must not grow with the total stream length.
+    const std::string wire(kCanonicalInvite);
+    const std::size_t count =
+        (StreamFramer::kCompactAt / wire.size() + 2) * 8;
+    std::string stream;
+    for (std::size_t i = 0; i < count; ++i)
+        stream += wire + "\r\n"; // keep-alives interleaved
+
+    StreamFramer framer;
+    std::size_t got = 0;
+    for (std::size_t off = 0; off < stream.size(); off += 100) {
+        framer.feed(std::string_view(stream).substr(off, 100));
+        while (auto m = framer.next()) {
+            EXPECT_EQ(*m, wire);
+            ++got;
+        }
+        EXPECT_LE(framer.buffered(), wire.size() + 2);
+    }
+    EXPECT_EQ(got, count);
+    EXPECT_EQ(framer.buffered(), 0u);
+    EXPECT_FALSE(framer.poisoned());
+}
+
+TEST(FramerTest, MoveFeedAdoptsAfterFullConsumption)
+{
+    const std::string wire(kCanonicalInvite);
+    StreamFramer framer;
+    // First message consumed fully: the next move-feed may adopt.
+    framer.feed(std::string(wire));
+    ASSERT_EQ(frameAll(framer).size(), 1u);
+    EXPECT_EQ(framer.buffered(), 0u);
+    // Partial tail, then the rest by move: append path.
+    framer.feed(std::string(wire.substr(0, 40)));
+    EXPECT_FALSE(framer.next());
+    EXPECT_EQ(framer.buffered(), 40u);
+    framer.feed(std::string(wire.substr(40)));
+    auto msgs = frameAll(framer);
+    ASSERT_EQ(msgs.size(), 1u);
+    EXPECT_EQ(msgs[0], wire);
+}
+
+TEST(FramerTest, RepeatedNextOnIncompleteHeadersStaysLinear)
+{
+    // The header scan resumes where it stopped; calling next() after
+    // every tiny feed must still find a terminator split across feeds.
+    const std::string wire(kCanonicalInvite);
+    StreamFramer framer;
+    for (char c : wire) {
+        framer.feed(std::string_view(&c, 1));
+        if (auto m = framer.next()) {
+            EXPECT_EQ(*m, wire);
+            EXPECT_EQ(framer.buffered(), 0u);
+            return;
+        }
+    }
+    FAIL() << "message never framed";
+}
+
 } // namespace

@@ -79,6 +79,7 @@ TEST(WaitTest, NamesCoverEveryCategory)
     EXPECT_EQ(tr::waitName(tr::Wait::Ipc), "ipc");
     EXPECT_EQ(tr::waitName(tr::Wait::Socket), "socket");
     EXPECT_EQ(tr::waitName(tr::Wait::Sleep), "sleep");
+    EXPECT_EQ(tr::waitName(tr::Wait::Throttled), "throttled");
 }
 
 TEST(SpanCtxTest, WaitAccounting)
