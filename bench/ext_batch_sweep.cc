@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Extension: batched datagram I/O (recvmmsg/sendmmsg model) sweep —
+ * batchMax x transport x architecture, with a memory-footprint rung at
+ * 100k phones.
+ *
+ * What batching buys: one batched kernel charge replaces up to
+ * batchMax per-message charges, so a drained burst costs one p.cpu()
+ * event (plus the cheaper marginal per packet) instead of a
+ * charge/block/wake cycle per datagram, and wake suppression retires
+ * the sibling receivers that would otherwise bounce off an emptied
+ * queue. Simulated results shift too (a batch of n is cheaper than n
+ * singles by (n-1) x fixed share — the recvmmsg story the knob
+ * models); digests stay deterministic per (seed, batchMax).
+ *
+ * Acceptance is pinned to the *deterministic* simulator metrics, not
+ * raw wall-clock: on shared CI boxes wall time swings +-20% run to
+ * run, while sim events per call attempt and calls completed per
+ * fixed measurement window are exactly reproducible. The denominator
+ * is attempts (completed + failed), not completions: the 100k-phone
+ * rung runs beyond saturation, where a batched proxy admits and
+ * attempts more calls — dividing by completions alone would charge
+ * all the work spent on shed/failed attempts to the few completions
+ * and hide the syscall cut. At the non-saturated rungs (zero or few
+ * failures) the two denominators coincide. On udp_100c, batchMax=8
+ * removes ~5% of the sim events behind each call (the whole
+ * kernel-syscall share of the event budget — Amdahl caps the wall
+ * speedup there too, ~1.05x measured) and lifts simulated throughput
+ * ~5%. Wall-clock events/wall-sec is still printed per rung for
+ * eyeballing.
+ *
+ * Rungs:
+ *  - udp_100c A/B: the perf-harness sweep scenario at batchMax 1 vs 8.
+ *  - transport x arch grid at 10k phones (5k clients): every datagram
+ *    transport under both the symmetric-worker and event-driven
+ *    architectures, batched vs not.
+ *  - 100k phones (50k clients, event-driven UDP): the memory rung; the
+ *    table records peak RSS so CI can watch the footprint.
+ *
+ * Self-checking: exits nonzero if at any rung batching fails to reduce
+ * sim events per call, loses simulated throughput (calls per window),
+ * or records no batches.
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sweep_common.hh"
+
+namespace {
+
+using namespace siprox;
+using Clock = std::chrono::steady_clock;
+
+long
+peakRssKb()
+{
+    struct rusage ru;
+    getrusage(RUSAGE_SELF, &ru);
+    return ru.ru_maxrss;
+}
+
+struct Rung
+{
+    std::string name;
+    core::Transport transport;
+    core::ArchKind arch;
+    int clients;
+    double window_secs;
+    /** Floor on batched/unbatched simulated calls per window (1.0 =
+     *  "no worse"; the headline rung demands a real gain). */
+    double min_call_ratio;
+};
+
+struct Row
+{
+    std::string rung;
+    int batch;
+    double wall_secs = 0;
+    std::uint64_t sim_events = 0;
+    double events_per_wall_sec = 0;
+    double avg_batch_depth = 0;
+    std::uint64_t calls_completed = 0;
+    /** Completed + failed: the events/attempt denominator (see file
+     *  header — completions alone mislead past saturation). */
+    std::uint64_t calls_attempted = 0;
+    long rss_kb = 0;
+};
+
+Row
+runRung(const Rung &rung, int batch_max)
+{
+    workload::Scenario sc =
+        bench::sweepScenario(rung.transport, rung.clients, 0);
+    sc.name = rung.name + "/b" + std::to_string(batch_max);
+    sc.measureWindow = sim::secs(rung.window_secs);
+    sc.maxDuration = sim::secs(600);
+    sc.proxy.arch = rung.arch;
+    sc.net.batchMax = batch_max;
+
+    auto t0 = Clock::now();
+    workload::RunResult r = workload::runScenario(sc);
+    double wall = std::chrono::duration<double>(Clock::now() - t0)
+                      .count();
+    bench::logPoint(sc, r);
+
+    Row row;
+    row.rung = rung.name;
+    row.batch = batch_max;
+    row.wall_secs = wall;
+    row.sim_events = r.simEvents;
+    row.events_per_wall_sec = wall > 0
+        ? static_cast<double>(r.simEvents) / wall
+        : 0;
+    row.avg_batch_depth = r.net.batchRecv.calls > 0
+        ? static_cast<double>(r.net.batchRecv.messages)
+            / static_cast<double>(r.net.batchRecv.calls)
+        : 0;
+    row.calls_completed = r.callsCompleted;
+    row.calls_attempted = r.callsCompleted + r.callsFailed;
+    // ru_maxrss is a process-lifetime high-water mark: rungs only
+    // ratchet it up, so order big rungs last and read the final row.
+    row.rss_kb = peakRssKb();
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace siprox;
+
+    const bool smoke = bench::smokeMode();
+    const int kBatch = 8;
+
+    std::vector<Rung> rungs;
+    // The perf-harness headline scenario: symmetric UDP workers, 100
+    // closed-loop clients. The full-mode window is long enough that
+    // the deterministic ~5% simulated-throughput gain must show.
+    rungs.push_back({"udp_100c", core::Transport::Udp,
+                     core::ArchKind::SymmetricWorker, 100,
+                     smoke ? 2.0 : 40.0, smoke ? 1.0 : 1.03});
+    if (smoke) {
+        // CI smoke: prove the grid runs end to end on both arches and
+        // one scaled-down big rung fits the wall/RSS budget.
+        rungs.push_back({"event_udp_100c", core::Transport::Udp,
+                         core::ArchKind::EventDriven, 100, 2, 1.0});
+        rungs.push_back({"event_udp_10kphone", core::Transport::Udp,
+                         core::ArchKind::EventDriven, 5000, 1, 1.0});
+    } else {
+        // Transport x arch grid at 10k phones (5k clients).
+        struct G
+        {
+            const char *name;
+            core::Transport t;
+        };
+        for (const auto &g :
+             {G{"udp", core::Transport::Udp},
+              G{"sctp", core::Transport::Sctp},
+              G{"sst", core::Transport::Sst}}) {
+            rungs.push_back({std::string("worker_") + g.name
+                                 + "_10kphone",
+                             g.t, core::ArchKind::SymmetricWorker,
+                             5000, 2, 1.0});
+            rungs.push_back({std::string("event_") + g.name
+                                 + "_10kphone",
+                             g.t, core::ArchKind::EventDriven, 5000, 2,
+                             1.0});
+        }
+        // The memory rung: 100k phones through the event-driven UDP
+        // proxy. Short window — the point is footprint and that the
+        // batched path holds up at scale, not steady-state shape.
+        rungs.push_back({"event_udp_100kphone", core::Transport::Udp,
+                         core::ArchKind::EventDriven, 50000, 1, 1.0});
+    }
+
+    // Development escape hatch: SIPROX_BATCH_ONLY=<substring> keeps
+    // only matching rungs (e.g. SIPROX_BATCH_ONLY=udp_100c).
+    if (const char *only = std::getenv("SIPROX_BATCH_ONLY")) {
+        std::vector<Rung> kept;
+        for (const Rung &rung : rungs)
+            if (rung.name.find(only) != std::string::npos)
+                kept.push_back(rung);
+        if (!kept.empty())
+            rungs = std::move(kept);
+    }
+
+    std::vector<Row> rows;
+    for (const Rung &rung : rungs) {
+        rows.push_back(runRung(rung, 1));
+        rows.push_back(runRung(rung, kBatch));
+    }
+
+    stats::Table table({"rung", "batchMax", "wall s", "sim events",
+                        "events/wall-s", "avg batch", "calls",
+                        "peak RSS kB"});
+    for (const Row &row : rows) {
+        table.addRow({row.rung, std::to_string(row.batch),
+                      stats::Table::num(row.wall_secs),
+                      std::to_string(row.sim_events),
+                      stats::Table::num(row.events_per_wall_sec),
+                      stats::Table::num(row.avg_batch_depth),
+                      std::to_string(row.calls_completed),
+                      std::to_string(row.rss_kb)});
+    }
+    std::printf("batched datagram I/O sweep (batchMax %d vs 1):\n\n%s\n",
+                kBatch, table.render().c_str());
+
+    // Acceptance on the deterministic sim metrics (see file header):
+    // batching must cut sim events per call attempt (it merges the
+    // syscall events) and must not lose simulated throughput.
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+        const Row &base = rows[i];
+        const Row &batched = rows[i + 1];
+        double call_floor = 1.0;
+        for (const Rung &rung : rungs) {
+            if (rung.name == base.rung && rung.min_call_ratio > 0)
+                call_floor = rung.min_call_ratio;
+        }
+        double ev_per_call_base = base.calls_attempted > 0
+            ? static_cast<double>(base.sim_events)
+                / static_cast<double>(base.calls_attempted)
+            : 0;
+        double ev_per_call_batched = batched.calls_attempted > 0
+            ? static_cast<double>(batched.sim_events)
+                / static_cast<double>(batched.calls_attempted)
+            : 0;
+        double ev_ratio = ev_per_call_base > 0
+            ? ev_per_call_batched / ev_per_call_base
+            : 0;
+        double call_ratio = base.calls_completed > 0
+            ? static_cast<double>(batched.calls_completed)
+                / static_cast<double>(base.calls_completed)
+            : 0;
+        double wall_ratio = base.events_per_wall_sec > 0
+            ? batched.events_per_wall_sec / base.events_per_wall_sec
+            : 0;
+        std::printf("%-22s events/attempt %.1f -> %.1f (%.3fx, ceiling "
+                    "0.995x)  calls %.3fx (floor %.2fx)  "
+                    "events/wall-s %.2fx\n",
+                    base.rung.c_str(), ev_per_call_base,
+                    ev_per_call_batched, ev_ratio, call_ratio,
+                    call_floor, wall_ratio);
+        if (ev_ratio <= 0 || ev_ratio > 0.995) {
+            std::printf("FAIL %s: batching did not reduce sim "
+                        "events per call attempt (%.3fx)\n",
+                        base.rung.c_str(), ev_ratio);
+            ok = false;
+        }
+        if (call_ratio < call_floor) {
+            std::printf("FAIL %s: simulated throughput %.3fx < "
+                        "%.2fx\n",
+                        base.rung.c_str(), call_ratio, call_floor);
+            ok = false;
+        }
+        if (batched.avg_batch_depth < 1.0) {
+            std::printf("FAIL %s: batched run recorded no batches\n",
+                        base.rung.c_str());
+            ok = false;
+        }
+    }
+    std::printf("final peak RSS %ld kB\n", peakRssKb());
+    std::printf("%s\n", ok ? "ACCEPTANCE PASS" : "ACCEPTANCE FAIL");
+    return ok ? 0 : 1;
+}

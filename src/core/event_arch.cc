@@ -501,6 +501,17 @@ EventArch::loopSteal(sim::Process &p, Loop &l, bool *stole)
 sim::Task
 EventArch::loopMainDatagram(sim::Process &p, int id)
 {
+    // Not a coroutine: picks the loop body once at startup. batchMax
+    // <= 1 keeps the legacy one-message readiness drain verbatim
+    // (digest-pinned); above that, the drain becomes a true batch.
+    if (host_.net().config().batchMax > 1)
+        return loopMainDatagramBatched(p, id);
+    return loopMainDatagramLegacy(p, id);
+}
+
+sim::Task
+EventArch::loopMainDatagramLegacy(sim::Process &p, int id)
+{
     Loop &l = *loops_[static_cast<std::size_t>(id)];
     std::vector<sim::Pollable *> items{sock_};
     std::vector<int> ready;
@@ -526,6 +537,44 @@ EventArch::loopMainDatagram(sim::Process &p, int id)
                 });
             if (stop_)
                 co_return;
+        }
+    }
+}
+
+sim::Task
+EventArch::loopMainDatagramBatched(sim::Process &p, int id)
+{
+    Loop &l = *loops_[static_cast<std::size_t>(id)];
+    std::vector<sim::Pollable *> items{sock_};
+    std::vector<int> ready;
+    const int bmax = host_.net().config().batchMax;
+    std::vector<net::Datagram> batch;
+    std::vector<net::OutDatagram> outbox;
+    while (!stop_) {
+        co_await sim::pollAll(p, items, sim::kTimeNever, ready);
+        if (stop_)
+            break;
+        co_await p.cpu(cfg_.costs.pollOverhead, ccPoll_);
+        std::size_t bytes = 0;
+        // The per-loop readiness drain as a true batch: one batched
+        // kernel charge per recvmmsg-sized gulp instead of one
+        // syscall-scale charge per datagram.
+        while (sock_->tryRecvBatch(batch, bmax, bytes)) {
+            co_await sock_->chargeRecvBatch(p, batch.size(), bytes);
+            std::size_t in_hand = batch.size();
+            for (auto &dgram : batch) {
+                WorkerLoop::traceRxDatagram(p, dgram.src,
+                                            dgram.payload.size());
+                --in_hand;
+                shared_.overload.noteDrainedBatch(sock_->queueDepth(),
+                                                  in_hand);
+                co_await l.wloop->dispatchCollect(
+                    p, std::move(dgram.payload),
+                    MsgSource{dgram.src, 0}, outbox, batch.size());
+                if (stop_)
+                    co_return;
+            }
+            co_await sock_->sendBatch(p, outbox);
         }
     }
 }

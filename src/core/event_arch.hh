@@ -114,6 +114,8 @@ class EventArch final : public ServerArch
 
     sim::Task loopMain(sim::Process &p, int id);
     sim::Task loopMainDatagram(sim::Process &p, int id);
+    sim::Task loopMainDatagramLegacy(sim::Process &p, int id);
+    sim::Task loopMainDatagramBatched(sim::Process &p, int id);
 
     /** Accept-drain: install accepted connections as loop-owned. */
     sim::Task loopAccept(sim::Process &p, Loop &l, sim::SimTime until);

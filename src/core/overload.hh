@@ -69,6 +69,19 @@ class OverloadController
     void noteQueueDepth(std::size_t depth) { queueDepth_ = depth; }
 
     /**
+     * Queue-depth signal for a batched dequeue: @p behind messages
+     * still queued in the kernel plus @p in_hand messages drained into
+     * the worker's batch but not yet processed. Counting the batch as
+     * its packet count (not one event) keeps the occupancy signal — and
+     * the panic/shed thresholds riding on it — batching-invariant.
+     */
+    void
+    noteDrainedBatch(std::size_t behind, std::size_t in_hand)
+    {
+        queueDepth_ = behind + in_hand;
+    }
+
+    /**
      * Record one served transaction: @p latency spans INVITE parse to
      * final-response forward, so it includes the backlog wait of the
      * response leg on either transport. Feeds the EWMA and, for

@@ -82,24 +82,68 @@ class WorkerLoop
         shared_.overload.noteQueueDepth(depth);
     }
 
+    /** Batched-dequeue variant: messages still queued behind plus
+     *  messages drained but not yet processed (see
+     *  OverloadController::noteDrainedBatch). */
+    void
+    noteDrainedBatch(std::size_t behind, std::size_t in_hand)
+    {
+        shared_.overload.noteDrainedBatch(behind, in_hand);
+    }
+
     /**
      * Process one raw message: open a causal span covering the engine
      * work and every transmission it triggers, run the Engine, then
      * hand each SendAction to @p send (a callable returning a
      * sim::Task, e.g. a lambda that merely calls a named coroutine —
      * see the lifetime rule in sim/task.hh).
+     *
+     * @param batch_depth When the message was drained as part of a
+     *        batched dequeue, the batch's size; the span is attributed
+     *        `batched` in the trace export. 0 (or 1) for the legacy
+     *        one-message path.
      */
     template <typename SendFn>
     sim::Task
     dispatch(sim::Process &p, std::string raw, MsgSource src,
-             SendFn send)
+             SendFn send, std::size_t batch_depth = 0)
     {
         sim::SpanScope span(p);
+        if (batch_depth > 1) {
+            if (auto *ctx = span.ctx())
+                ctx->batchDepth =
+                    static_cast<std::uint32_t>(batch_depth);
+        }
         actions_.clear();
         co_await engine_.handleMessage(p, std::move(raw), src,
                                        actions_);
         for (auto &action : actions_)
             co_await send(p, std::move(action));
+    }
+
+    /**
+     * Batched-path variant of dispatch(): instead of transmitting each
+     * SendAction through a per-action coroutine, push them onto
+     * @p outbox for one deferred sendBatch() flush. Saves a coroutine
+     * frame and an awaiter round trip per action on the hot path.
+     */
+    sim::Task
+    dispatchCollect(sim::Process &p, std::string raw, MsgSource src,
+                    std::vector<net::OutDatagram> &outbox,
+                    std::size_t batch_depth)
+    {
+        sim::SpanScope span(p);
+        if (batch_depth > 1) {
+            if (auto *ctx = span.ctx())
+                ctx->batchDepth =
+                    static_cast<std::uint32_t>(batch_depth);
+        }
+        actions_.clear();
+        co_await engine_.handleMessage(p, std::move(raw), src,
+                                       actions_);
+        for (auto &action : actions_)
+            outbox.push_back(net::OutDatagram{
+                action.dstAddr, std::move(action.wire)});
     }
 
     /**

@@ -44,6 +44,24 @@ struct NetConfig
     /** Kernel-side SCTP association setup (charged to first sender). */
     SimTime sctpAssocCost = sim::usecs(14);
 
+    // --- batched datagram I/O (recvmmsg/sendmmsg) -----------------------
+    /**
+     * Messages moved per simulated datagram syscall. 1 (default)
+     * models the classic one-packet recvfrom/sendto path and keeps
+     * every existing scenario digest byte-identical; >1 lets the
+     * batch-aware receive/send paths amortize the fixed part of the
+     * syscall cost over a burst, the way recvmmsg/sendmmsg do.
+     */
+    int batchMax = 1;
+    /**
+     * Fraction of each per-message kernel send/recv cost that is the
+     * fixed syscall crossing (mode switch, fd lookup, cache refill)
+     * rather than per-packet work. A batch of n messages costs
+     * fixed + n * (cost - fixed) + bytes * perByteCpu, which
+     * degenerates to exactly the unbatched charge at n = 1.
+     */
+    double batchFixedShare = 0.6;
+
     // --- TLS over TCP (RFC 3261 sips) -----------------------------------
     /** Asymmetric-crypto CPU for a full handshake, charged once per
      *  side (client at connect, server on its first read). */

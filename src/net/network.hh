@@ -8,6 +8,7 @@
 #ifndef SIPROX_NET_NETWORK_HH
 #define SIPROX_NET_NETWORK_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -32,6 +33,36 @@ class TcpConn;
 class SctpSocket;
 class SstSocket;
 struct TlsHostState;
+
+/**
+ * Batched datagram I/O accounting: one record per recvBatch/sendBatch
+ * syscall. The depth histogram's invariant — sum over d of
+ * d * depth[d-1] equals messages — holds exactly while
+ * NetConfig::batchMax <= kDepthBuckets (the last bucket clamps deeper
+ * batches).
+ */
+struct BatchIoStats
+{
+    static constexpr std::size_t kDepthBuckets = 64;
+
+    std::uint64_t calls = 0;    ///< batched syscalls issued
+    std::uint64_t messages = 0; ///< packets moved by those calls
+    std::uint64_t maxDepth = 0; ///< deepest single batch seen
+    /** Bucket d-1 counts batches of exactly d packets. */
+    std::array<std::uint64_t, kDepthBuckets> depth{};
+
+    void
+    note(std::size_t n)
+    {
+        ++calls;
+        messages += n;
+        if (n > maxDepth)
+            maxDepth = n;
+        std::size_t b = n < kDepthBuckets ? n : kDepthBuckets;
+        if (b > 0)
+            ++depth[b - 1];
+    }
+};
 
 /** Aggregate traffic counters, for tests and benches. */
 struct NetStats
@@ -62,6 +93,9 @@ struct NetStats
     std::uint64_t sstChannels = 0; ///< channel setups paid
     std::uint64_t sstDropped = 0;  ///< receive-buffer overflow
     std::uint64_t sstLost = 0;     ///< messages lost to dead links
+    // --- batched datagram I/O (all datagram transports) ----------------
+    BatchIoStats batchRecv; ///< recvBatch/tryRecvBatch drains
+    BatchIoStats batchSend; ///< sendBatch flushes
     // --- injected faults (aggregates; per-link detail in faults()) ----
     std::uint64_t faultDropped = 0;    ///< datagrams lost/partitioned
     std::uint64_t faultDuplicated = 0; ///< duplicate datagrams injected

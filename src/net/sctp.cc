@@ -9,21 +9,36 @@
 namespace siprox::net {
 
 SctpSocket::SctpSocket(Host &host, std::uint16_t port)
-    : host_(host), port_(port)
+    : DatagramSocket(host, port, "sctp recv")
 {
 }
 
 SctpSocket::~SctpSocket() = default;
 
 sim::Task
-SctpSocket::sendTo(sim::Process &p, Addr dst, std::string payload)
+SctpSocket::chargeSendBatch(sim::Process &p, std::size_t msgs,
+                            std::size_t bytes)
+{
+    return chargeBatched(p, host_.net().config().sctpSendCost,
+                         "kernel:sctp_send", msgs, bytes);
+}
+
+sim::Task
+SctpSocket::chargeRecvBatch(sim::Process &p, std::size_t msgs,
+                            std::size_t bytes)
+{
+    return chargeBatched(p, host_.net().config().sctpRecvCost,
+                         "kernel:sctp_recv", msgs, bytes);
+}
+
+// Member coroutine: SctpSocket objects are owned by the Host map and
+// never move, so capturing `this` in the frame is safe.
+sim::Task
+SctpSocket::sendPrepared(sim::Process &p, Addr dst, std::string payload)
 {
     Network &net = host_.net();
     const NetConfig &cfg = net.config();
     const std::size_t bytes = payload.size();
-    co_await p.cpu(cfg.sctpSendCost
-                   + static_cast<SimTime>(bytes) * cfg.perByteCpu,
-                   "kernel:sctp_send");
     SimTime extra = 0;
     sim::SimTime now = p.sim().now();
     auto it = assocs_.find(dst);
@@ -77,38 +92,6 @@ SctpSocket::sendTo(sim::Process &p, Addr dst, std::string payload)
     });
 }
 
-sim::Task
-SctpSocket::recvFrom(sim::Process &p, Datagram &out)
-{
-    while (!tryRecvFrom(out)) {
-        waiters_.push_back(&p);
-        co_await p.block("sctp recv", sim::trace::Wait::Socket);
-        auto it = std::find(waiters_.begin(), waiters_.end(), &p);
-        if (it != waiters_.end())
-            waiters_.erase(it);
-    }
-    co_await chargeRecv(p, out.payload.size());
-}
-
-sim::Task
-SctpSocket::chargeRecv(sim::Process &p, std::size_t bytes)
-{
-    const NetConfig &cfg = host_.net().config();
-    co_await p.cpu(cfg.sctpRecvCost
-                       + static_cast<SimTime>(bytes) * cfg.perByteCpu,
-                   "kernel:sctp_recv");
-}
-
-bool
-SctpSocket::tryRecvFrom(Datagram &out)
-{
-    if (queue_.empty())
-        return false;
-    out = std::move(queue_.front());
-    queue_.pop_front();
-    return true;
-}
-
 void
 SctpSocket::deliver(Datagram dgram)
 {
@@ -119,19 +102,8 @@ SctpSocket::deliver(Datagram dgram)
     // the peer's rwnd instead; modeling that as a kernel-side discard
     // keeps the socket unbuffered-growth-free and makes sustained
     // overload visible, which is what matters here.
-    if (static_cast<int>(queue_.size())
-        >= host_.net().config().udpRecvQueue) {
+    if (!enqueueDelivery(std::move(dgram)))
         ++host_.net().stats().sctpDropped;
-        ++overflowDrops_;
-        return;
-    }
-    queue_.push_back(std::move(dgram));
-    if (!waiters_.empty()) {
-        sim::Process *w = waiters_.front();
-        waiters_.pop_front();
-        w->wake();
-    }
-    notifyPollWaiters();
 }
 
 void

@@ -14,14 +14,12 @@
 #ifndef SIPROX_NET_SCTP_HH
 #define SIPROX_NET_SCTP_HH
 
-#include <deque>
 #include <string>
 #include <unordered_map>
 
 #include "net/addr.hh"
 #include "net/datagram.hh"
 #include "net/network.hh"
-#include "sim/pollable.hh"
 #include "sim/process.hh"
 #include "sim/task.hh"
 
@@ -36,37 +34,23 @@ class SctpSocket : public DatagramSocket
     SctpSocket(Host &host, std::uint16_t port);
     ~SctpSocket() override;
 
-    /**
-     * Reliable, ordered, message-boundary-preserving send. The first
-     * message to a new peer pays association setup (kernel CPU + one
-     * extra round trip).
-     */
-    sim::Task sendTo(sim::Process &p, Addr dst,
-                     std::string payload) override;
-
-    /** Blocking receive of one whole message. */
-    sim::Task recvFrom(sim::Process &p, Datagram &out) override;
-
-    /** Non-blocking receive. */
-    bool tryRecvFrom(Datagram &out) override;
-
-    /** Kernel receive cost for one dequeued message. */
-    sim::Task chargeRecv(sim::Process &p, std::size_t bytes) override;
-
-    Addr localAddr() const override { return Addr{host_.id(), port_}; }
+    sim::Task chargeRecvBatch(sim::Process &p, std::size_t msgs,
+                              std::size_t bytes) override;
+    sim::Task chargeSendBatch(sim::Process &p, std::size_t msgs,
+                              std::size_t bytes) override;
 
     /** Live associations on this socket. */
     std::size_t assocCount() const { return assocs_.size(); }
 
-    std::size_t queueDepth() const override { return queue_.size(); }
-
-    /** Messages this socket discarded to receive-buffer overflow. */
-    std::uint64_t overflowDrops() const override
-    {
-        return overflowDrops_;
-    }
-
-    bool pollReady() const override { return !queue_.empty(); }
+  protected:
+    /**
+     * Reliable, ordered, message-boundary-preserving send body. The
+     * first message to a new peer pays association setup (kernel CPU +
+     * one extra round trip); the per-message syscall cost is already
+     * charged by the base.
+     */
+    sim::Task sendPrepared(sim::Process &p, Addr dst,
+                           std::string payload) override;
 
   private:
     friend class Host;
@@ -82,13 +66,8 @@ class SctpSocket : public DatagramSocket
     void scheduleSweep();
     void sweepIdle();
 
-    Host &host_;
-    std::uint16_t port_;
-    std::deque<Datagram> queue_;
-    std::deque<sim::Process *> waiters_;
     std::unordered_map<Addr, Assoc, AddrHash> assocs_;
     bool sweepScheduled_ = false;
-    std::uint64_t overflowDrops_ = 0;
 };
 
 } // namespace siprox::net

@@ -25,11 +25,27 @@ sstStreamStateName(SstStreamState s)
 }
 
 SstSocket::SstSocket(Host &host, std::uint16_t port)
-    : host_(host), port_(port)
+    : DatagramSocket(host, port, "sst recv")
 {
 }
 
 SstSocket::~SstSocket() = default;
+
+sim::Task
+SstSocket::chargeSendBatch(sim::Process &p, std::size_t msgs,
+                           std::size_t bytes)
+{
+    return chargeBatched(p, host_.net().config().sstSendCost,
+                         "kernel:sst_send", msgs, bytes);
+}
+
+sim::Task
+SstSocket::chargeRecvBatch(sim::Process &p, std::size_t msgs,
+                           std::size_t bytes)
+{
+    return chargeBatched(p, host_.net().config().sstRecvCost,
+                         "kernel:sst_recv", msgs, bytes);
+}
 
 sim::Task
 SstSocket::ensureChannel(sim::Process &p, Addr dst, SimTime &extra)
@@ -51,15 +67,13 @@ SstSocket::ensureChannel(sim::Process &p, Addr dst, SimTime &extra)
     it->second.lastUse = now;
 }
 
+// Member coroutine: SstSocket objects are owned by the Host map and
+// never move, so capturing `this` in the frame is safe.
 sim::Task
-SstSocket::sendTo(sim::Process &p, Addr dst, std::string payload)
+SstSocket::sendPrepared(sim::Process &p, Addr dst, std::string payload)
 {
     Network &net = host_.net();
     const NetConfig &cfg = net.config();
-    co_await p.cpu(cfg.sstSendCost
-                       + static_cast<SimTime>(payload.size())
-                           * cfg.perByteCpu,
-                   "kernel:sst_send");
     SimTime extra = 0;
     co_await ensureChannel(p, dst, extra);
     // One ephemeral stream per message: setup and teardown folded into
@@ -149,38 +163,6 @@ SstSocket::scheduleFrames(Addr dst, std::uint32_t sid,
     }
 }
 
-sim::Task
-SstSocket::recvFrom(sim::Process &p, Datagram &out)
-{
-    while (!tryRecvFrom(out)) {
-        waiters_.push_back(&p);
-        co_await p.block("sst recv", sim::trace::Wait::Socket);
-        auto it = std::find(waiters_.begin(), waiters_.end(), &p);
-        if (it != waiters_.end())
-            waiters_.erase(it);
-    }
-    co_await chargeRecv(p, out.payload.size());
-}
-
-sim::Task
-SstSocket::chargeRecv(sim::Process &p, std::size_t bytes)
-{
-    const NetConfig &cfg = host_.net().config();
-    co_await p.cpu(cfg.sstRecvCost
-                       + static_cast<SimTime>(bytes) * cfg.perByteCpu,
-                   "kernel:sst_recv");
-}
-
-bool
-SstSocket::tryRecvFrom(Datagram &out)
-{
-    if (queue_.empty())
-        return false;
-    out = std::move(queue_.front());
-    queue_.pop_front();
-    return true;
-}
-
 // --- explicit stream API ----------------------------------------------------
 
 sim::Task
@@ -205,11 +187,7 @@ SstSocket::streamSend(sim::Process &p, std::uint32_t id,
                            + " is not open for sending");
     Addr peer = it->second.peer;
     Network &net = host_.net();
-    const NetConfig &cfg = net.config();
-    co_await p.cpu(cfg.sstSendCost
-                       + static_cast<SimTime>(payload.size())
-                           * cfg.perByteCpu,
-                   "kernel:sst_send");
+    co_await chargeSendBatch(p, 1, payload.size());
     SimTime extra = 0;
     co_await ensureChannel(p, peer, extra);
     // Re-find: the map may have rehashed (or the stream been torn
@@ -285,8 +263,12 @@ SstSocket::deliverFrame(Addr src, std::uint32_t sid, std::string chunk,
     RemoteStream &rs = per_peer[sid];
     rs.lastUse = now;
     rs.framer.feed(std::move(chunk), eom);
-    while (auto msg = rs.framer.next())
-        enqueue(Datagram{src, localAddr(), std::move(*msg)});
+    while (auto msg = rs.framer.next()) {
+        // Bounded like UDP's receive buffer: sustained overload shows
+        // up as kernel-side discards, not unbounded memory.
+        if (!enqueueDelivery(Datagram{src, localAddr(), std::move(*msg)}))
+            ++host_.net().stats().sstDropped;
+    }
     if (fin) {
         if (ephemeral) {
             // One-shot stream: teardown is immediate and free.
@@ -297,26 +279,6 @@ SstSocket::deliverFrame(Addr src, std::uint32_t sid, std::string chunk,
             rs.state = SstStreamState::HalfClosedRemote;
         }
     }
-}
-
-void
-SstSocket::enqueue(Datagram dgram)
-{
-    // Bounded like UDP's receive buffer: sustained overload shows up
-    // as kernel-side discards, not unbounded memory.
-    if (static_cast<int>(queue_.size())
-        >= host_.net().config().udpRecvQueue) {
-        ++host_.net().stats().sstDropped;
-        ++overflowDrops_;
-        return;
-    }
-    queue_.push_back(std::move(dgram));
-    if (!waiters_.empty()) {
-        sim::Process *w = waiters_.front();
-        waiters_.pop_front();
-        w->wake();
-    }
-    notifyPollWaiters();
 }
 
 void

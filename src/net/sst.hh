@@ -23,7 +23,6 @@
 #define SIPROX_NET_SST_HH
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -32,7 +31,6 @@
 #include "net/addr.hh"
 #include "net/datagram.hh"
 #include "net/network.hh"
-#include "sim/pollable.hh"
 #include "sim/process.hh"
 #include "sim/task.hh"
 
@@ -91,6 +89,16 @@ class SstFramer
             // steady-state feed/next cycle is allocation-free.
             ready_.clear();
             head_ = 0;
+        } else if (head_ >= kCompactAt
+                   && head_ >= ready_.size() - head_) {
+            // Under sustained load the ring never fully drains, so the
+            // consumed prefix (moved-from strings) would grow without
+            // bound. Compact once the dead prefix dominates the live
+            // tail, keeping the vector at most ~2x the live count.
+            ready_.erase(ready_.begin(),
+                         ready_.begin()
+                             + static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
         }
         return m;
     }
@@ -102,6 +110,8 @@ class SstFramer
     std::size_t readyCount() const { return ready_.size() - head_; }
 
   private:
+    static constexpr std::size_t kCompactAt = 32;
+
     std::string buf_;
     std::vector<std::string> ready_;
     std::size_t head_ = 0;
@@ -116,25 +126,10 @@ class SstSocket : public DatagramSocket
     SstSocket(Host &host, std::uint16_t port);
     ~SstSocket() override;
 
-    /**
-     * Send one message on an ephemeral stream: open, send, tear down
-     * in one shot. The first message to a new peer pays channel setup
-     * (kernel CPU + one extra round trip); every message pays the
-     * (cheap) stream setup.
-     */
-    sim::Task sendTo(sim::Process &p, Addr dst,
-                     std::string payload) override;
-
-    /** Blocking receive of one whole message. */
-    sim::Task recvFrom(sim::Process &p, Datagram &out) override;
-
-    /** Non-blocking receive. */
-    bool tryRecvFrom(Datagram &out) override;
-
-    /** Kernel receive cost for one dequeued message. */
-    sim::Task chargeRecv(sim::Process &p, std::size_t bytes) override;
-
-    Addr localAddr() const override { return Addr{host_.id(), port_}; }
+    sim::Task chargeRecvBatch(sim::Process &p, std::size_t msgs,
+                              std::size_t bytes) override;
+    sim::Task chargeSendBatch(sim::Process &p, std::size_t msgs,
+                              std::size_t bytes) override;
 
     // --- explicit stream API (long-lived streams; used by tests) ----
 
@@ -159,15 +154,16 @@ class SstSocket : public DatagramSocket
     /** Live channels (peers with connection state). */
     std::size_t channelCount() const { return channels_.size(); }
 
-    std::size_t queueDepth() const override { return queue_.size(); }
-
-    /** Messages this socket discarded to receive-buffer overflow. */
-    std::uint64_t overflowDrops() const override
-    {
-        return overflowDrops_;
-    }
-
-    bool pollReady() const override { return !queue_.empty(); }
+  protected:
+    /**
+     * Send one message on an ephemeral stream: open, send, tear down
+     * in one shot. The first message to a new peer pays channel setup
+     * (kernel CPU + one extra round trip); every message pays the
+     * (cheap) stream setup. The per-message syscall cost is already
+     * charged by the base.
+     */
+    sim::Task sendPrepared(sim::Process &p, Addr dst,
+                           std::string payload) override;
 
   private:
     friend class Host;
@@ -207,14 +203,9 @@ class SstSocket : public DatagramSocket
 
     void deliverFrame(Addr src, std::uint32_t sid, std::string chunk,
                       bool eom, bool fin, bool ephemeral);
-    void enqueue(Datagram dgram);
     void scheduleSweep();
     void sweepIdle();
 
-    Host &host_;
-    std::uint16_t port_;
-    std::deque<Datagram> queue_;
-    std::deque<sim::Process *> waiters_;
     std::unordered_map<Addr, Channel, AddrHash> channels_;
     std::unordered_map<std::uint32_t, LocalStream> local_;
     std::unordered_map<Addr,
@@ -223,7 +214,6 @@ class SstSocket : public DatagramSocket
         remote_;
     std::uint32_t nextStreamId_ = 0;
     bool sweepScheduled_ = false;
-    std::uint64_t overflowDrops_ = 0;
 };
 
 } // namespace siprox::net

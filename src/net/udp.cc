@@ -1,6 +1,5 @@
 #include "net/udp.hh"
 
-#include <algorithm>
 #include <utility>
 
 #include "sim/simulation.hh"
@@ -8,23 +7,36 @@
 namespace siprox::net {
 
 UdpSocket::UdpSocket(Host &host, std::uint16_t port)
-    : host_(host), port_(port)
+    : DatagramSocket(host, port, "udp recv")
 {
 }
 
 UdpSocket::~UdpSocket() = default;
 
+sim::Task
+UdpSocket::chargeSendBatch(sim::Process &p, std::size_t msgs,
+                           std::size_t bytes)
+{
+    return chargeBatched(p, host_.net().config().udpSendCost,
+                         "kernel:udp_send", msgs, bytes);
+}
+
+sim::Task
+UdpSocket::chargeRecvBatch(sim::Process &p, std::size_t msgs,
+                           std::size_t bytes)
+{
+    return chargeBatched(p, host_.net().config().udpRecvCost,
+                         "kernel:udp_recv", msgs, bytes);
+}
+
 // Member coroutine: UdpSocket objects are owned by the Host map and
 // never move, so capturing `this` in the frame is safe.
 sim::Task
-UdpSocket::sendTo(sim::Process &p, Addr dst, std::string payload)
+UdpSocket::sendPrepared(sim::Process &p, Addr dst, std::string payload)
 {
     Network &net = host_.net();
     const NetConfig &cfg = net.config();
     const std::size_t bytes = payload.size();
-    co_await p.cpu(cfg.udpSendCost
-                   + static_cast<SimTime>(bytes) * cfg.perByteCpu,
-                   "kernel:udp_send");
     ++net.stats().udpSent;
     if (cfg.udpLossProb > 0.0 && p.sim().rng().chance(cfg.udpLossProb)) {
         ++net.stats().udpLost;
@@ -67,55 +79,15 @@ UdpSocket::sendTo(sim::Process &p, Addr dst, std::string payload)
     }
 }
 
-sim::Task
-UdpSocket::recvFrom(sim::Process &p, Datagram &out)
-{
-    while (!tryRecvFrom(out)) {
-        waiters_.push_back(&p);
-        co_await p.block("udp recv", sim::trace::Wait::Socket);
-        auto it = std::find(waiters_.begin(), waiters_.end(), &p);
-        if (it != waiters_.end())
-            waiters_.erase(it);
-    }
-    co_await chargeRecv(p, out.payload.size());
-}
-
-sim::Task
-UdpSocket::chargeRecv(sim::Process &p, std::size_t bytes)
-{
-    const NetConfig &cfg = host_.net().config();
-    co_await p.cpu(cfg.udpRecvCost
-                       + static_cast<SimTime>(bytes) * cfg.perByteCpu,
-                   "kernel:udp_recv");
-}
-
-bool
-UdpSocket::tryRecvFrom(Datagram &out)
-{
-    if (queue_.empty())
-        return false;
-    out = std::move(queue_.front());
-    queue_.pop_front();
-    return true;
-}
-
 void
 UdpSocket::deliver(Datagram dgram)
 {
     Network &net = host_.net();
-    if (static_cast<int>(queue_.size()) >= net.config().udpRecvQueue) {
+    if (!enqueueDelivery(std::move(dgram))) {
         ++net.stats().udpDropped;
-        ++overflowDrops_;
         return;
     }
     ++net.stats().udpDelivered;
-    queue_.push_back(std::move(dgram));
-    if (!waiters_.empty()) {
-        sim::Process *w = waiters_.front();
-        waiters_.pop_front();
-        w->wake();
-    }
-    notifyPollWaiters();
 }
 
 } // namespace siprox::net

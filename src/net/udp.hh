@@ -8,13 +8,11 @@
 #ifndef SIPROX_NET_UDP_HH
 #define SIPROX_NET_UDP_HH
 
-#include <deque>
 #include <string>
 
 #include "net/addr.hh"
 #include "net/datagram.hh"
 #include "net/network.hh"
-#include "sim/pollable.hh"
 #include "sim/process.hh"
 #include "sim/task.hh"
 
@@ -29,34 +27,16 @@ class UdpSocket : public DatagramSocket
     UdpSocket(Host &host, std::uint16_t port);
     ~UdpSocket() override;
 
-    /**
-     * Send @p payload to @p dst. Charges kernel send cost; the datagram
-     * arrives after the wire delay unless lost or the receiver's queue
-     * overflows.
-     */
-    sim::Task sendTo(sim::Process &p, Addr dst,
-                     std::string payload) override;
+    sim::Task chargeRecvBatch(sim::Process &p, std::size_t msgs,
+                              std::size_t bytes) override;
+    sim::Task chargeSendBatch(sim::Process &p, std::size_t msgs,
+                              std::size_t bytes) override;
 
-    /** Blocking receive; charges kernel receive cost on delivery. */
-    sim::Task recvFrom(sim::Process &p, Datagram &out) override;
-
-    /** Non-blocking receive (no kernel cost charged). */
-    bool tryRecvFrom(Datagram &out) override;
-
-    /** Kernel receive cost for one dequeued datagram. */
-    sim::Task chargeRecv(sim::Process &p, std::size_t bytes) override;
-
-    Addr localAddr() const override { return Addr{host_.id(), port_}; }
-
-    std::size_t queueDepth() const override { return queue_.size(); }
-
-    /** Datagrams this socket dropped to receive-queue overflow. */
-    std::uint64_t overflowDrops() const override
-    {
-        return overflowDrops_;
-    }
-
-    bool pollReady() const override { return !queue_.empty(); }
+  protected:
+    /** Loss/fault rolls and wire-delivery scheduling (kernel send cost
+     *  already charged by the base). */
+    sim::Task sendPrepared(sim::Process &p, Addr dst,
+                           std::string payload) override;
 
   private:
     friend class Network;
@@ -64,12 +44,6 @@ class UdpSocket : public DatagramSocket
 
     /** Called by the fabric when a datagram arrives. */
     void deliver(Datagram dgram);
-
-    Host &host_;
-    std::uint16_t port_;
-    std::deque<Datagram> queue_;
-    std::deque<sim::Process *> waiters_;
-    std::uint64_t overflowDrops_ = 0;
 };
 
 } // namespace siprox::net

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/mem_stats.hh"
 #include "sim/time.hh"
 
 namespace siprox::sim {
@@ -87,6 +88,8 @@ class EventQueue
                     s.destroy(s);
             }
         }
+        mem::ledgers().eventSlab.sub(slabs_.size() * kSlabSize
+                                     * sizeof(Slot));
     }
 
     /** Schedule @p fn at absolute simulated time @p at. */
@@ -239,6 +242,7 @@ class EventQueue
             auto base =
                 static_cast<std::uint32_t>(slabs_.size() * kSlabSize);
             slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+            mem::ledgers().eventSlab.add(kSlabSize * sizeof(Slot));
             for (std::uint32_t i = 0; i < kSlabSize; ++i)
                 free_.push_back(base + kSlabSize - 1 - i);
         }

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Retained-bytes accounting for the simulator's long-lived allocation
+ * pools.
+ *
+ * The 100k-phone sweeps are footprint-bound, and the heavy retainers
+ * are not transient strings but the recycling pools: SIP message
+ * arenas (wire buffer + intern chunks, held for the message lifetime),
+ * the event-queue slot slabs (never shrink), and the coroutine frame
+ * pool (blocks recycle forever within a thread). Each gets a ledger of
+ * currently-retained bytes plus a high-water mark, cheap enough to
+ * leave on always (two adds on the allocation slow path only — pool
+ * hits and bump-pointer allocations don't touch the ledger).
+ *
+ * Ledgers are thread_local like the pools they mirror; the simulator
+ * is single-threaded per scenario, so runner code reads its own
+ * thread's ledgers. Peaks are reset at scenario start (resetPeaks())
+ * and reported as metrics gauges — NOT digest material, since byte
+ * counts depend on allocator/layout details that may shift across
+ * hosts and toolchains.
+ */
+
+#ifndef SIPROX_SIM_MEM_STATS_HH
+#define SIPROX_SIM_MEM_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace siprox::sim::mem {
+
+/** Retained bytes + high-water mark for one subsystem. */
+struct Ledger
+{
+    std::uint64_t current = 0;
+    std::uint64_t peak = 0;
+
+    void
+    add(std::size_t n)
+    {
+        current += n;
+        if (current > peak)
+            peak = current;
+    }
+
+    /** Clamped: a subsystem that can't observe its teardown (e.g. a
+     *  thread_local pool torn down after this ledger) must simply not
+     *  call sub — the clamp keeps a stray mismatch from wrapping. */
+    void
+    sub(std::size_t n)
+    {
+        current -= n <= current ? n : current;
+    }
+
+    void resetPeak() { peak = current; }
+};
+
+/** One ledger per retaining subsystem. */
+struct Ledgers
+{
+    /** SIP message arenas: adopted wire buffers + intern chunks. */
+    Ledger arena;
+    /** Event-queue slot slabs (grow-only per simulation). */
+    Ledger eventSlab;
+    /** Coroutine frame pool blocks drawn from the heap. */
+    Ledger framePool;
+
+    void
+    resetPeaks()
+    {
+        arena.resetPeak();
+        eventSlab.resetPeak();
+        framePool.resetPeak();
+    }
+};
+
+inline Ledgers &
+ledgers()
+{
+    thread_local Ledgers ls;
+    return ls;
+}
+
+} // namespace siprox::sim::mem
+
+#endif // SIPROX_SIM_MEM_STATS_HH

@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/mem_stats.hh"
+
 namespace siprox::sim {
 
 namespace detail {
@@ -43,14 +45,17 @@ class FramePool
     alloc(std::size_t n)
     {
         std::size_t b = bucket(n);
-        if (b >= kBuckets)
+        if (b >= kBuckets) {
+            mem::ledgers().framePool.add(n);
             return ::operator new(n);
+        }
         auto &fl = lists().buckets[b];
         if (!fl.empty()) {
             void *p = fl.back();
             fl.pop_back();
             return p;
         }
+        mem::ledgers().framePool.add((b + 1) * kGranule);
         return ::operator new((b + 1) * kGranule);
     }
 
@@ -59,9 +64,13 @@ class FramePool
     {
         std::size_t b = bucket(n);
         if (b >= kBuckets) {
+            mem::ledgers().framePool.sub(n);
             ::operator delete(p);
             return;
         }
+        // Recycled blocks stay retained by the pool (no sub); heap
+        // return happens only at thread exit, in ~Lists, which may run
+        // after this thread's ledgers — so the pool never subs there.
         lists().buckets[b].push_back(p);
     }
 

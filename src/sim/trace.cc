@@ -321,6 +321,10 @@ Recorder::spanDone(const Process &p, const SpanCtx &span, SimTime end)
         args += "_us\":";
         appendMicros(args, span.wait[i]);
     }
+    if (span.batchDepth > 0) {
+        args += ",\"batched\":";
+        args += std::to_string(span.batchDepth);
+    }
     args += "}";
     push({span.begin, dur, span.traceId, intern(label), intern(args),
           pid, tid, 'X', kCatSpan});

@@ -107,6 +107,11 @@ struct SpanCtx
     /** Short description ("INVITE", "rsp 200", "timeout 408"...). */
     std::string label;
     std::string callId;
+    /** When the message was drained as part of a batched dequeue
+     *  (recvmmsg model), the batch's size; 0 for unbatched spans. The
+     *  export attributes it as a "batched" arg, not a Wait bucket, so
+     *  the exact-sum invariant is untouched. */
+    std::uint32_t batchDepth = 0;
 
     void
     add(Wait w, SimTime d)

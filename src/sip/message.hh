@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/mem_stats.hh"
 #include "sip/uri.hh"
 
 namespace siprox::sip {
@@ -102,7 +103,23 @@ class MsgArena
 {
   public:
     MsgArena() = default;
-    explicit MsgArena(std::string wire) : wire_(std::move(wire)) {}
+
+    explicit MsgArena(std::string wire) : wire_(std::move(wire))
+    {
+        // Adopted buffers arrive with producer-sized capacity (framer
+        // rings, socket payload strings grown by doubling); the arena
+        // retains that capacity for the whole message lifetime, so trim
+        // gross overshoot now, before any view points into the bytes.
+        if (wire_.capacity() > wire_.size() + kChunkSize)
+            wire_.shrink_to_fit();
+        tracked_ = wire_.capacity();
+        sim::mem::ledgers().arena.add(tracked_);
+    }
+
+    MsgArena(const MsgArena &) = delete;
+    MsgArena &operator=(const MsgArena &) = delete;
+
+    ~MsgArena() { sim::mem::ledgers().arena.sub(tracked_); }
 
     /** The adopted wire bytes (empty for built messages). */
     std::string_view wire() const { return wire_; }
@@ -128,6 +145,8 @@ class MsgArena
             c.cap = n > kChunkSize ? n : kChunkSize;
             c.data = std::make_unique<char[]>(c.cap);
             chunks_.push_back(std::move(c));
+            tracked_ += c.cap;
+            sim::mem::ledgers().arena.add(c.cap);
         }
         Chunk &c = chunks_.back();
         char *p = c.data.get() + c.used;
@@ -147,6 +166,8 @@ class MsgArena
 
     std::string wire_;
     std::vector<Chunk> chunks_;
+    /** Bytes this arena reported to the retained-bytes ledger. */
+    std::size_t tracked_ = 0;
 };
 
 } // namespace detail

@@ -57,7 +57,9 @@ class StreamFramer
     void
     feed(std::string_view bytes)
     {
-        if (pos_ && (pos_ == buf_.size() || pos_ >= kCompactAt))
+        if (pos_
+            && (pos_ == buf_.size() || pos_ >= kCompactAt
+                || pos_ >= buf_.size() - pos_))
             compact();
         buf_.append(bytes);
     }
@@ -78,7 +80,7 @@ class StreamFramer
             scanned_ = 0;
             return;
         }
-        if (pos_ >= kCompactAt)
+        if (pos_ && (pos_ >= kCompactAt || pos_ >= buf_.size() - pos_))
             compact();
         buf_.append(bytes);
     }
@@ -105,7 +107,12 @@ class StreamFramer
     /** Consumed-prefix length past which feed() compacts the buffer.
      *  Messages are sliced off by advancing pos_ instead of erasing
      *  from the front (which memmoves the whole tail per message); the
-     *  dead prefix is reclaimed in one move once it is worth it. */
+     *  dead prefix is reclaimed in one move once it is worth it. feed()
+     *  also compacts whenever the dead prefix has grown at least as
+     *  large as the live remainder (amortized O(1) per byte), which
+     *  caps the ring near the working-set size instead of letting the
+     *  consumed prefix balloon capacity toward kCompactAt on streams
+     *  of small messages. */
     static constexpr std::size_t kCompactAt = 4096;
 
   private:

@@ -8,6 +8,7 @@
 #include "core/proxy.hh"
 #include "net/network.hh"
 #include "phone/phone.hh"
+#include "sim/mem_stats.hh"
 #include "sim/simulation.hh"
 #include "sim/sync.hh"
 #include "sim/trace.hh"
@@ -131,6 +132,10 @@ runScenario(const Scenario &sc)
         throw std::invalid_argument(std::string("chain topology: ")
                                     + err);
     const std::size_t hops = sc.chain.empty() ? 1 : sc.chain.size();
+
+    // Per-run retained-bytes high-water marks (pools persist across
+    // runs in one process; the peaks should describe this scenario).
+    sim::mem::ledgers().resetPeaks();
 
     sim::Simulation simu(sc.seed);
     net::Network network(simu, sc.net);
@@ -393,6 +398,10 @@ runScenario(const Scenario &sc)
     }
 
     result.simEvents = simu.eventsRun();
+    const sim::mem::Ledgers &mem = sim::mem::ledgers();
+    result.memArenaPeak = mem.arena.peak;
+    result.memEventSlabPeak = mem.eventSlab.peak;
+    result.memFramePoolPeak = mem.framePool.peak;
     for (auto &px : proxies)
         px->requestStop();
     return result;
@@ -485,6 +494,18 @@ RunResult::digest() const
         add("sstChannels", net.sstChannels);
         add("sstDropped", net.sstDropped);
         add("sstLost", net.sstLost);
+    }
+    // Batched-I/O group: only the recvBatch/sendBatch paths record
+    // batch syscalls, and the architectures take those paths only at
+    // batchMax > 1, so every batchMax=1 digest stays byte-identical
+    // to its pre-batching golden.
+    if (net.batchRecv.calls || net.batchSend.calls) {
+        add("batchRecvCalls", net.batchRecv.calls);
+        add("batchRecvMsgs", net.batchRecv.messages);
+        add("batchRecvMaxDepth", net.batchRecv.maxDepth);
+        add("batchSendCalls", net.batchSend.calls);
+        add("batchSendMsgs", net.batchSend.messages);
+        add("batchSendMaxDepth", net.batchSend.maxDepth);
     }
     // Hop-by-hop control and chain groups follow the same convention:
     // appended only when the feature was in play, so every pre-chain
@@ -678,6 +699,34 @@ collectMetrics(const RunResult &r)
     reg.setCounter("net.tcpRstInjected", r.net.tcpRstInjected);
     reg.setCounter("net.tcpBlackholed", r.net.tcpBlackholed);
     reg.setCounter("net.tcpRecoveries", r.net.tcpRecoveries);
+
+    // Batched datagram I/O: syscall/message totals plus the batch-depth
+    // histogram (bucket n counts batches of exactly n messages; only
+    // occupied buckets are emitted).
+    reg.setCounter("net.batch.recvCalls", r.net.batchRecv.calls);
+    reg.setCounter("net.batch.recvMessages", r.net.batchRecv.messages);
+    reg.setCounter("net.batch.recvMaxDepth", r.net.batchRecv.maxDepth);
+    reg.setCounter("net.batch.sendCalls", r.net.batchSend.calls);
+    reg.setCounter("net.batch.sendMessages", r.net.batchSend.messages);
+    reg.setCounter("net.batch.sendMaxDepth", r.net.batchSend.maxDepth);
+    for (std::size_t i = 0; i < net::BatchIoStats::kDepthBuckets; ++i) {
+        if (r.net.batchRecv.depth[i])
+            reg.setCounter("net.batch.recvDepth."
+                               + std::to_string(i + 1),
+                           r.net.batchRecv.depth[i]);
+        if (r.net.batchSend.depth[i])
+            reg.setCounter("net.batch.sendDepth."
+                               + std::to_string(i + 1),
+                           r.net.batchSend.depth[i]);
+    }
+
+    // Retained-bytes high-water marks (sim/mem_stats.hh).
+    reg.setGauge("mem.arenaPeakBytes",
+                 static_cast<double>(r.memArenaPeak));
+    reg.setGauge("mem.eventSlabPeakBytes",
+                 static_cast<double>(r.memEventSlabPeak));
+    reg.setGauge("mem.framePoolPeakBytes",
+                 static_cast<double>(r.memFramePoolPeak));
 
     // Injected-fault totals over every impaired link.
     stats::LinkFaultCounters f = r.faults.total();

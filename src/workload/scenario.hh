@@ -186,6 +186,13 @@ struct RunResult
     /** Simulation events executed over the whole run (wall-clock perf
      *  accounting; not part of the digest). */
     std::uint64_t simEvents = 0;
+    /** Retained-bytes high-water marks over the run, per subsystem
+     *  (sim/mem_stats.hh ledgers). Footprint accounting only — byte
+     *  counts depend on allocator/layout details, so these are not
+     *  part of the digest. */
+    std::uint64_t memArenaPeak = 0;
+    std::uint64_t memEventSlabPeak = 0;
+    std::uint64_t memFramePoolPeak = 0;
     /** True if the safety cap cut the run short. */
     bool timedOut = false;
 

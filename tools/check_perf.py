@@ -18,6 +18,13 @@ Fails (exit 1) when a micro regresses by more than REGRESSION_SLACK
     harness's interposed operator new; an extra +0.5 absolute slack
     absorbs amortized-growth rounding)
 
+Also gates peak RSS: the harness records getrusage peak_rss_kb per
+section, and the fresh run's footprint may not exceed the slower of
+the checked-in baseline/current values by more than RSS_SLACK (10%).
+Memory regressions rarely show in ns_per_op — a leaked or oversized
+retained pool costs wall time only at the 100k-phone scale, so the
+footprint needs its own gate.
+
 Micros present in only one file are reported but never fail the run,
 so adding a new benchmark does not require regenerating the baseline
 in the same commit. Smoke-mode fresh runs (SIPROX_PERF_SMOKE=1) are
@@ -29,6 +36,7 @@ import sys
 
 REGRESSION_SLACK = 0.10
 ALLOC_ABS_SLACK = 0.5
+RSS_SLACK = 0.10
 
 
 def load(path):
@@ -80,6 +88,22 @@ def main():
                     f"(ref {ref:.1f} +{REGRESSION_SLACK:.0%})")
             print(f"  {name:24s} {key:14s} {got:10.1f} "
                   f"(allowed {allowed:10.1f})  {verdict}")
+
+    got_rss = fresh.get("current", {}).get("peak_rss_kb")
+    ref_rss = max(
+        (checked.get(s, {}).get("peak_rss_kb", 0)
+         for s in ("baseline", "current")),
+        default=0)
+    if got_rss is not None and ref_rss > 0:
+        allowed = ref_rss * (1.0 + RSS_SLACK)
+        verdict = "ok"
+        if got_rss > allowed:
+            verdict = "REGRESSION"
+            failures.append(
+                f"peak_rss_kb: {got_rss:.0f} > allowed {allowed:.0f} "
+                f"(ref {ref_rss:.0f} +{RSS_SLACK:.0%})")
+        print(f"  {'peak_rss_kb':24s} {'kB':14s} {got_rss:10.1f} "
+              f"(allowed {allowed:10.1f})  {verdict}")
 
     if failures:
         print(f"\ncheck_perf: {len(failures)} regression(s) over "
