@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/config.hh"
 #include "core/shared.hh"
@@ -27,6 +28,17 @@
 #include "sim/machine.hh"
 
 namespace siprox::core {
+
+/**
+ * One architecture-specific telemetry gauge: a stable metric name (no
+ * machine/hop prefix — the sampler adds those) and its current value.
+ * Kept a plain pair-of-POD so core need not depend on stats.
+ */
+struct ArchGauge
+{
+    const char *name;
+    double value;
+};
 
 /**
  * One server architecture bound to a host. start() binds sockets and
@@ -70,6 +82,18 @@ class ServerArch
 
     /** TCP connects refused because the accept queue was full. */
     virtual std::uint64_t acceptRefused() const = 0;
+
+    /**
+     * Append architecture-specific telemetry gauges (windowed
+     * sampler). Default: none. Implementations expose what the common
+     * hooks above cannot: e.g. open connections, idle-scan length,
+     * supervisor channel occupancy.
+     */
+    virtual void
+    appendTelemetryGauges(std::vector<ArchGauge> &out) const
+    {
+        (void)out;
+    }
 
   protected:
     ServerArch() = default;

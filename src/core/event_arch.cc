@@ -80,6 +80,24 @@ EventArch::acceptRefused() const
     return listener_ ? listener_->backlogRefused() : 0;
 }
 
+void
+EventArch::appendTelemetryGauges(std::vector<ArchGauge> &out) const
+{
+    std::size_t owned = 0, peer_fds = 0, busy = 0;
+    for (const auto &l : loops_) {
+        owned += l->owned.size();
+        peer_fds += l->peerFds.size();
+        busy += l->busy.size();
+    }
+    out.push_back({"arch.ownedConns", static_cast<double>(owned)});
+    out.push_back({"arch.peerFds", static_cast<double>(peer_fds)});
+    out.push_back({"arch.busyConns", static_cast<double>(busy)});
+    if (sock_) {
+        out.push_back({"arch.recvQueuePeak",
+                       static_cast<double>(sock_->queuePeak())});
+    }
+}
+
 // ---------------------------------------------------------------------------
 // TCP readiness loop
 // ---------------------------------------------------------------------------

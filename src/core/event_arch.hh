@@ -83,6 +83,11 @@ class EventArch final : public ServerArch
     std::uint64_t recvQueueDrops() const override;
     std::uint64_t acceptRefused() const override;
 
+    /** Gauges: owned connections, peer-fd duplicates, connections
+     *  stolen (datagram mode: receive-queue high-water mark). */
+    void appendTelemetryGauges(std::vector<ArchGauge> &out)
+        const override;
+
   private:
     struct Loop
     {

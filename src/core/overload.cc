@@ -61,6 +61,8 @@ OverloadController::recordServed(sim::SimTime now, sim::SimTime latency)
         cfg_.ewmaAlpha * static_cast<double>(latency)
         + (1.0 - cfg_.ewmaAlpha) * static_cast<double>(ewma_));
     lastServed_ = now;
+    if (servedSink_)
+        servedSink_(latency);
     if (cfg_.policy == OverloadPolicy::RateThrottle)
         refill(now);
 }

@@ -30,6 +30,8 @@
 #define SIPROX_CORE_OVERLOAD_HH
 
 #include <cstddef>
+#include <functional>
+#include <utility>
 
 #include "core/config.hh"
 #include "core/hopctl.hh"
@@ -139,6 +141,27 @@ class OverloadController
     /** Current admitted rate (RateThrottle; diagnostics and tests). */
     double currentRate() const { return rate_; }
 
+    /** Largest of the occupancy signals, in [0, 1+] (telemetry). */
+    double occupancySignal() const { return occupancy(); }
+
+    /** Last receive/request queue depth the arch reported. */
+    std::size_t queueDepthSignal() const { return queueDepth_; }
+
+    /** Hop-feedback advertisement state (telemetry; downstream role). */
+    double hopGrantedRate() const { return hopRate_; }
+    int hopGrantedWindow() const { return hopWindow_; }
+    bool hopOn() const { return hopOn_; }
+
+    /**
+     * Install a per-served-transaction latency observer (windowed
+     * telemetry). Called from recordServed with the serve latency;
+     * empty (default) costs one branch per serve.
+     */
+    void setServedSink(std::function<void(sim::SimTime)> sink)
+    {
+        servedSink_ = std::move(sink);
+    }
+
     const OverloadConfig &config() const { return cfg_; }
 
   private:
@@ -159,6 +182,7 @@ class OverloadController
     ProxyCounters *counters_ = nullptr;
 
     std::size_t queueDepth_ = 0;
+    std::function<void(sim::SimTime)> servedSink_;
     sim::SimTime ewma_ = 0;
     sim::SimTime lastServed_ = 0;
     bool shedding_ = false;

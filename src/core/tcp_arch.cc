@@ -78,6 +78,23 @@ TcpArch::acceptRefused() const
     return listener_ ? listener_->backlogRefused() : 0;
 }
 
+void
+TcpArch::appendTelemetryGauges(std::vector<ArchGauge> &out) const
+{
+    std::size_t owned = 0, cached = 0;
+    for (const auto &w : workers_) {
+        owned += w->owned.size();
+        cached += w->fdCache.size();
+    }
+    std::size_t pending = 0;
+    for (const auto &q : pendingDispatch_)
+        pending += q.size();
+    out.push_back({"arch.ownedConns", static_cast<double>(owned)});
+    out.push_back({"arch.fdCacheEntries", static_cast<double>(cached)});
+    out.push_back(
+        {"arch.pendingDispatch", static_cast<double>(pending)});
+}
+
 // ---------------------------------------------------------------------------
 // Worker side
 // ---------------------------------------------------------------------------

@@ -128,6 +128,11 @@ class TcpArch final : public ServerArch
     /** SYNs the kernel refused because the accept queue was full. */
     std::uint64_t acceptRefused() const override;
 
+    /** Gauges: owned connections, fd-cache entries, pending
+     *  dispatches (event-driven IPC backlog). */
+    void appendTelemetryGauges(std::vector<ArchGauge> &out)
+        const override;
+
   private:
     struct Worker
     {

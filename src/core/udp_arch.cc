@@ -54,6 +54,13 @@ UdpArch::recvQueueDrops() const
     return sock_ ? sock_->overflowDrops() : 0;
 }
 
+void
+UdpArch::appendTelemetryGauges(std::vector<ArchGauge> &out) const
+{
+    out.push_back({"arch.recvQueuePeak",
+                   static_cast<double>(sock_ ? sock_->queuePeak() : 0)});
+}
+
 sim::Task
 UdpArch::sendOne(sim::Process &p, net::Addr dst, std::string wire)
 {

@@ -58,6 +58,10 @@ class UdpArch final : public ServerArch
 
     std::uint64_t acceptRefused() const override { return 0; }
 
+    /** Gauges: receive-queue high-water mark. */
+    void appendTelemetryGauges(std::vector<ArchGauge> &out)
+        const override;
+
   private:
     sim::Task workerMain(sim::Process &p, int id);
     sim::Task workerLegacy(sim::Process &p, int id);

@@ -156,6 +156,8 @@ DatagramSocket::enqueueDelivery(Datagram dgram)
         return false;
     }
     queue_.push_back(std::move(dgram));
+    if (queue_.size() > queuePeak_)
+        queuePeak_ = queue_.size();
     // Wake suppression under batching: every wake already in flight
     // will drain up to batchMax messages, so waking one receiver per
     // delivery just bounces the extra receivers off an already-empty

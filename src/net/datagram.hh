@@ -139,6 +139,9 @@ class DatagramSocket : public sim::Pollable
     /** Messages discarded to receive-queue overflow. */
     std::uint64_t overflowDrops() const { return overflowDrops_; }
 
+    /** Deepest the receive queue has ever been (telemetry gauge). */
+    std::size_t queuePeak() const { return queuePeak_; }
+
     bool pollReady() const override { return !queue_.empty(); }
 
   protected:
@@ -172,6 +175,7 @@ class DatagramSocket : public sim::Pollable
     std::deque<Datagram> queue_;
     std::deque<sim::Process *> waiters_;
     std::uint64_t overflowDrops_ = 0;
+    std::size_t queuePeak_ = 0;
 
   private:
     /** Retire one in-flight wake's drain share (batching only). */

@@ -64,6 +64,21 @@ struct BatchIoStats
     }
 };
 
+/**
+ * Per-host wire traffic, split by direction. Counted at the transport
+ * send/deliver sites (every datagram, segment, or frame that actually
+ * leaves or reaches a host — losses are charged to the sender only), so
+ * windowed telemetry can attribute bytes/packets to individual machines
+ * rather than the fabric-wide NetStats totals.
+ */
+struct HostIoStats
+{
+    std::uint64_t pktsOut = 0;
+    std::uint64_t bytesOut = 0;
+    std::uint64_t pktsIn = 0;
+    std::uint64_t bytesIn = 0;
+};
+
 /** Aggregate traffic counters, for tests and benches. */
 struct NetStats
 {
@@ -165,6 +180,25 @@ class Host
     /** Currently open socket structures (endpoints + bound sockets). */
     int openSockets() const { return openSockets_; }
 
+    /** Cumulative wire traffic through this host, by direction. */
+    const HostIoStats &io() const { return io_; }
+
+    /** One packet/segment/frame of @p bytes put on the wire. */
+    void
+    noteSent(std::size_t bytes)
+    {
+        ++io_.pktsOut;
+        io_.bytesOut += bytes;
+    }
+
+    /** One packet/segment/frame of @p bytes arrived from the wire. */
+    void
+    noteReceived(std::size_t bytes)
+    {
+        ++io_.pktsIn;
+        io_.bytesIn += bytes;
+    }
+
   private:
     friend class Network;
     friend class TcpEndpoint;
@@ -205,6 +239,7 @@ class Host
     std::unordered_map<std::uint16_t, std::unique_ptr<SstSocket>> sst_;
     std::vector<std::weak_ptr<TcpEndpoint>> tcpEndpoints_;
     std::unique_ptr<TlsHostState> tls_;
+    HostIoStats io_;
 };
 
 /**

@@ -54,6 +54,7 @@ SctpSocket::sendPrepared(sim::Process &p, Addr dst, std::string payload)
     }
     it->second.lastUse = now;
     ++net.stats().sctpMessages;
+    host_.noteSent(bytes);
     if (net.faults().enabled()) {
         auto verdict =
             net.faults().onSegment(now, host_.id(), dst.host);
@@ -95,6 +96,7 @@ SctpSocket::sendPrepared(sim::Process &p, Addr dst, std::string payload)
 void
 SctpSocket::deliver(Datagram dgram)
 {
+    host_.noteReceived(dgram.payload.size());
     // Track the reverse-direction association (set up by the peer).
     assocs_[dgram.src].lastUse = host_.net().sim().now();
     scheduleSweep();

@@ -114,6 +114,7 @@ SstSocket::scheduleFrames(Addr dst, std::uint32_t sid,
         offset += n;
         cum += n;
         ++net.stats().sstFrames;
+        host_.noteSent(n);
 
         SimTime fault_delay = 0;
         if (net.faults().enabled()) {
@@ -256,6 +257,7 @@ SstSocket::deliverFrame(Addr src, std::uint32_t sid, std::string chunk,
                         bool eom, bool fin, bool ephemeral)
 {
     sim::SimTime now = host_.net().sim().now();
+    host_.noteReceived(chunk.size());
     // Track the reverse-direction channel (set up by the peer).
     channels_[src].lastUse = now;
     scheduleSweep();

@@ -49,6 +49,7 @@ struct TcpOps
         }
         ++net.stats().tcpSegments;
         net.stats().tcpBytes += bytes;
+        ep->host_.noteSent(bytes);
         if (ep->closed_ || ep->state_ != TcpState::Established
             || !ep->peer_) {
             if (sim::trace::enabled()) {
@@ -112,6 +113,7 @@ struct TcpOps
         net.sim().at(arrival, [peer, d = std::move(data)]() mutable {
             if (peer->closed_)
                 return;
+            peer->host_.noteReceived(d.size());
             peer->rxBuf_ += d;
             peer->wakeOneWaiter();
             peer->notifyPollWaiters();

@@ -38,6 +38,7 @@ UdpSocket::sendPrepared(sim::Process &p, Addr dst, std::string payload)
     const NetConfig &cfg = net.config();
     const std::size_t bytes = payload.size();
     ++net.stats().udpSent;
+    host_.noteSent(bytes);
     if (cfg.udpLossProb > 0.0 && p.sim().rng().chance(cfg.udpLossProb)) {
         ++net.stats().udpLost;
         co_return;
@@ -83,6 +84,7 @@ void
 UdpSocket::deliver(Datagram dgram)
 {
     Network &net = host_.net();
+    host_.noteReceived(dgram.payload.size());
     if (!enqueueDelivery(std::move(dgram))) {
         ++net.stats().udpDropped;
         return;

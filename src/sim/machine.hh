@@ -7,6 +7,7 @@
 #ifndef SIPROX_SIM_MACHINE_HH
 #define SIPROX_SIM_MACHINE_HH
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -70,6 +71,25 @@ class Machine
         return procs_;
     }
 
+    /**
+     * Record one contended lock acquisition that waited @p waited
+     * before succeeding (SpinLock spins, SimMutex blocks). Always-on
+     * machine counters so windowed telemetry can diff them without a
+     * trace recorder attached.
+     */
+    void
+    noteLockContention(SimTime waited)
+    {
+        lockContendTime_ += waited;
+        ++lockContentions_;
+    }
+
+    /** Cumulative time processes spent waiting on contended locks. */
+    SimTime lockContendTime() const { return lockContendTime_; }
+
+    /** Number of contended lock acquisitions. */
+    std::uint64_t lockContentions() const { return lockContentions_; }
+
     /** Fraction of total core time busy over [0, elapsed]. */
     double
     utilization(SimTime elapsed) const
@@ -92,6 +112,8 @@ class Machine
     CpuScheduler sched_;
     std::vector<std::unique_ptr<Process>> procs_;
     int nextPid_ = 1;
+    SimTime lockContendTime_ = 0;
+    std::uint64_t lockContentions_ = 0;
 };
 
 } // namespace siprox::sim

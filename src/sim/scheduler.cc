@@ -13,6 +13,7 @@ namespace siprox::sim {
 
 CpuScheduler::CpuScheduler(Machine &machine, int cores, SchedConfig cfg)
     : machine_(machine), cfg_(cfg), cores_(cores),
+      coreBusy_(cores, 0),
       schedCenter_(CostCenters::id("kernel:schedule")),
       spinCenter_(CostCenters::id("user:spinlock"))
 {
@@ -236,6 +237,7 @@ CpuScheduler::accountRun(Core &c, SimTime ran)
     // Running drains the interactivity credit (Linux sleep_avg).
     p->sleepAvg_ = ran >= p->sleepAvg_ ? 0 : p->sleepAvg_ - ran;
     busyTime_ += ran;
+    coreBusy_[static_cast<std::size_t>(&c - cores_.data())] += ran;
 }
 
 void

@@ -72,6 +72,13 @@ class CpuScheduler
     /** Total core-busy simulated time, for utilization accounting. */
     SimTime busyTime() const { return busyTime_; }
 
+    /** Busy time accumulated by one core (telemetry per-core series). */
+    SimTime
+    coreBusyTime(int core) const
+    {
+        return coreBusy_[static_cast<std::size_t>(core)];
+    }
+
     const SchedConfig &config() const { return cfg_; }
 
   private:
@@ -110,6 +117,8 @@ class CpuScheduler
     std::uint64_t runqMask_ = 0;
     int runnable_ = 0;
     SimTime busyTime_ = 0;
+    /** Per-core slice of busyTime_, indexed like cores_. */
+    std::vector<SimTime> coreBusy_;
     CostCenterId schedCenter_;
     /** "user:spinlock" — bursts charged here are lock spin, not work;
      *  span attribution files them under Wait::LockSpin. */

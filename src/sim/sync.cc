@@ -55,6 +55,9 @@ SpinLock::acquire(Process &p)
         if (slice < max_slice)
             slice *= 2;
     }
+    if (contend_start >= 0) {
+        p.machine().noteLockContention(p.sim().now() - contend_start);
+    }
     if (trace::recording()) {
         SimTime now = p.sim().now();
         if (contend_start >= 0) {
@@ -83,10 +86,16 @@ SpinLock::release()
 Task
 SimMutex::acquire(Process &p)
 {
+    SimTime contend_start = -1;
     while (held_) {
+        if (contend_start < 0)
+            contend_start = p.sim().now();
         waiters_.push_back(&p);
         co_await p.block("mutex", trace::Wait::LockBlock);
         removeWaiter(waiters_, &p);
+    }
+    if (contend_start >= 0) {
+        p.machine().noteLockContention(p.sim().now() - contend_start);
     }
     held_ = true;
 }

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Automatic bottleneck attribution over windowed telemetry: the
+ * "explain" report.
+ *
+ * The paper's method is to attribute a transport×architecture pairing's
+ * throughput to the resource that saturates first — blocking fd-passing
+ * IPC for TCP (§4.2), the run queue once that is fixed, CPU at the
+ * limit. This module mechanizes that attribution so benches can assert
+ * on it: given a TimeSeries (and the wait-state counters the sampler
+ * folds into it when a trace recorder is attached), it ranks
+ *
+ *  - blocking wait states per machine and phase (lockspin, lockblock,
+ *    ipc, socket, sleep, throttled — cpu and runqueue are excluded
+ *    here because on-core demand is what the resource ranking below
+ *    measures; a wait ranking dominated by "cpu" explains nothing),
+ *  - resources by peak utilization (cpu via per-window busy-time
+ *    deltas, every "occ.*" occupancy gauge as-is),
+ *  - the saturation-onset window (first window where any resource
+ *    crosses the threshold),
+ *  - the goodput peak and collapse windows (from the phone fleet's
+ *    per-window completion rate),
+ *  - a Little's-law consistency check per window (L ≈ λ·W), flagging
+ *    windows where occupancy, rate, and latency disagree — the classic
+ *    sign of a measurement (or model) bug,
+ *
+ * and renders the result as deterministic text and JSON.
+ */
+
+#ifndef SIPROX_STATS_EXPLAIN_HH
+#define SIPROX_STATS_EXPLAIN_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hh"
+#include "stats/timeseries.hh"
+
+namespace siprox::stats {
+
+/** Tunables for the attribution heuristics. */
+struct ExplainOptions
+{
+    /** A resource at/above this utilization is saturated. */
+    double saturationThreshold = 0.9;
+    /** Collapse: goodput below this fraction of the running peak. */
+    double collapseFraction = 0.5;
+    /** Little's-law windows may disagree by this relative factor. */
+    double littleTolerance = 0.5;
+    /** Windows with fewer served transactions than this are too thin
+     *  for the Little check. */
+    std::uint64_t littleMinServed = 10;
+    /** Series/counter the goodput windows come from. */
+    std::string goodputSeries = "phones";
+    std::string goodputCounter = "phone.callsCompleted";
+};
+
+/** One ranked entry: a wait state's share or a resource's peak. */
+struct Ranked
+{
+    std::string name;
+    double value = 0;
+};
+
+/** Attribution for one machine over one phase's windows. */
+struct PhaseAttribution
+{
+    std::string phase; ///< "warmup" or "measure"
+    /** Blocking-wait shares (of total blocking wait), descending.
+     *  Empty when the run had no trace recorder attached. */
+    std::vector<Ranked> waits;
+    /** "" when no blocking wait time was recorded. */
+    std::string topWait;
+    /** Peak utilization per resource, descending. */
+    std::vector<Ranked> resources;
+    std::string topResource;
+    /** First window (global index into the series) where any resource
+     *  reached the saturation threshold; -1 if none did. */
+    int saturationWindow = -1;
+    sim::SimTime saturationStartNs = -1;
+};
+
+/** All phases of one series. */
+struct MachineReport
+{
+    std::string machine;
+    int hop = -1;
+    std::string arch;
+    std::vector<PhaseAttribution> phases;
+
+    const PhaseAttribution *phase(std::string_view name) const;
+};
+
+/** Per-window L ≈ λ·W consistency over the serving series. */
+struct LittleCheck
+{
+    int checked = 0;
+    int consistent = 0;
+    /** Worst |L - λW| / max(L, λW, 1) seen; 0 when nothing checked. */
+    double worstError = 0;
+};
+
+struct ExplainReport
+{
+    std::string scenario;
+    std::uint64_t seed = 0;
+    std::string transport;
+    sim::SimTime windowNs = 0;
+
+    std::vector<MachineReport> machines;
+
+    /** Goodput knee over this run's windows (global indices into the
+     *  goodput series; -1 when the series or signal is missing). */
+    int goodputPeakWindow = -1;
+    sim::SimTime goodputPeakStartNs = -1;
+    double goodputPeakPerSec = 0;
+    int goodputCollapseWindow = -1;
+    sim::SimTime goodputCollapseStartNs = -1;
+
+    LittleCheck little;
+
+    const MachineReport *machine(std::string_view name) const;
+
+    /** Deterministic human-readable report. */
+    std::string text() const;
+
+    /** Deterministic JSON rendering of the same content. */
+    std::string toJson() const;
+};
+
+/** Build the attribution report for one run's telemetry. */
+ExplainReport explain(const TimeSeries &ts,
+                      const ExplainOptions &opts = {});
+
+/**
+ * Knee of a monotone-ish curve (e.g. goodput vs offered load across a
+ * sweep): the index of the point with the greatest vertical distance
+ * above/below the chord from first to last point (Kneedle, without the
+ * smoothing). -1 when fewer than 3 points.
+ */
+int kneeIndex(const std::vector<double> &xs,
+              const std::vector<double> &ys);
+
+} // namespace siprox::stats
+
+#endif // SIPROX_STATS_EXPLAIN_HH

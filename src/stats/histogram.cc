@@ -52,4 +52,28 @@ LatencyHistogram::percentile(double q) const
     return max_;
 }
 
+SimTime
+LatencyHistogram::percentileMid(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1))
+        + 1;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= target) {
+            SimTime hi = bucketUpperBound(i);
+            SimTime lo = i > 0 ? bucketUpperBound(i - 1) + 1 : 0;
+            return lo + (hi - lo) / 2;
+        }
+    }
+    return max_;
+}
+
 } // namespace siprox::stats

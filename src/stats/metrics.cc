@@ -49,7 +49,11 @@ MetricsSnapshot::diff(const MetricsSnapshot &baseline) const
     MetricsSnapshot out;
     for (const auto &[name, v] : counters_) {
         std::uint64_t base = baseline.counterOr(name);
-        out.counters_[name] = v >= base ? v - base : 0;
+        std::uint64_t delta = v >= base ? v - base : 0;
+        // Zero deltas are suppressed: a window diff lists only what
+        // moved, and counterOr() defaults absent keys to 0 anyway.
+        if (delta != 0)
+            out.counters_[name] = delta;
     }
     out.gauges_ = gauges_;
     return out;
@@ -134,7 +138,11 @@ MetricsRegistry::recordHistogram(std::string_view name,
     std::string base(name);
     setCounter(base + ".count", h.count());
     setGauge(base + ".p50_ms", sim::toMsecs(h.percentile(0.50)));
+    // p95/p999 are newer additions with no digest pinned to them, so
+    // they use the midpoint estimator (half the relative bias).
+    setGauge(base + ".p95_ms", sim::toMsecs(h.percentileMid(0.95)));
     setGauge(base + ".p99_ms", sim::toMsecs(h.percentile(0.99)));
+    setGauge(base + ".p999_ms", sim::toMsecs(h.percentileMid(0.999)));
     setGauge(base + ".mean_ms", sim::toMsecs(h.mean()));
     setGauge(base + ".max_ms", sim::toMsecs(h.max()));
 }

@@ -11,7 +11,8 @@
  * paths, subsystem first — "proxy.messagesIn", "phone.callsCompleted",
  * "faults.lost", "profile.share.ser:parse_msg". Counters are integral
  * and monotonic within a run; gauges are point-in-time doubles;
- * histograms register as <name>.{count,p50_ms,p99_ms,mean_ms,max_ms}.
+ * histograms register as
+ * <name>.{count,p50_ms,p95_ms,p99_ms,p999_ms,mean_ms,max_ms}.
  */
 
 #ifndef SIPROX_STATS_METRICS_HH
@@ -60,8 +61,9 @@ class MetricsSnapshot
 
     /**
      * This snapshot minus @p baseline: counters are subtracted
-     * (clamped at zero), gauges keep their current values. Use to
-     * scope monotonic counters to a measurement window.
+     * (clamped at zero) and zero deltas are dropped, so the result
+     * lists only counters that moved; gauges keep their current
+     * values. Use to scope monotonic counters to a measurement window.
      */
     MetricsSnapshot diff(const MetricsSnapshot &baseline) const;
 
@@ -97,8 +99,9 @@ class MetricsRegistry
     /** Set gauge @p name to @p v. */
     void setGauge(std::string_view name, double v);
 
-    /** Register @p h under <name>.count/.p50_ms/.p99_ms/.mean_ms/
-     *  .max_ms (count as a counter, the rest as gauges). */
+    /** Register @p h under <name>.count/.p50_ms/.p95_ms/.p99_ms/
+     *  .p999_ms/.mean_ms/.max_ms (count as a counter, the rest as
+     *  gauges). */
     void recordHistogram(std::string_view name,
                          const LatencyHistogram &h);
 

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Windowed time-series telemetry: per-machine series of fixed-width
+ * simulated-time windows, each holding counter *deltas* (from
+ * cumulative samples) and point-in-time gauge samples.
+ *
+ * The paper's contribution is the explanation of the throughput
+ * numbers, not the numbers — which resource saturates first and when.
+ * Whole-run aggregates cannot show saturation onset, overload-control
+ * convergence, or the goodput knee; windows can. The sampler that
+ * feeds this lives in workload/runner.cc and runs only when
+ * Scenario::telemetry.windowMs > 0, so default runs stay byte-identical
+ * to their pinned digests.
+ *
+ * Determinism: windows are cut at multiples of the window width in
+ * simulated time, series and metric names are ordered, and the JSON
+ * and CSV renderings use fixed formats — two runs of the same scenario
+ * with the same seed must produce byte-identical artifacts.
+ *
+ * Invariant (checked by tools/check_trace.py --timeseries and
+ * tests/test_timeseries.cc): for every counter, the sum of per-window
+ * deltas equals the series' end-of-run total exactly.
+ */
+
+#ifndef SIPROX_STATS_TIMESERIES_HH
+#define SIPROX_STATS_TIMESERIES_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace siprox::stats {
+
+/**
+ * Telemetry knobs, embedded in workload::Scenario. Off by default:
+ * enabling telemetry spawns a sampler process per run, which perturbs
+ * the event interleaving, so digests are only comparable among runs
+ * with the same setting.
+ */
+struct TelemetryConfig
+{
+    /** Window width in simulated milliseconds; 0 disables sampling. */
+    int windowMs = 0;
+
+    bool enabled() const { return windowMs > 0; }
+
+    sim::SimTime window() const { return sim::msecs(windowMs); }
+};
+
+/**
+ * One closed (or still-open) sampling window: counter deltas over
+ * [startNs, endNs) plus gauges sampled at its close.
+ */
+struct Window
+{
+    sim::SimTime startNs = 0;
+    sim::SimTime endNs = 0;
+    std::map<std::string, std::uint64_t, std::less<>> counters;
+    std::map<std::string, double, std::less<>> gauges;
+
+    sim::SimTime duration() const { return endNs - startNs; }
+
+    std::uint64_t counterOr(std::string_view name,
+                            std::uint64_t dflt = 0) const;
+    double gaugeOr(std::string_view name, double dflt = 0.0) const;
+};
+
+/**
+ * One labeled series: all windows of one sampled entity (a machine, a
+ * proxy hop, or a pseudo-entity like the phone fleet or the network
+ * fabric).
+ *
+ * Counters are fed as *cumulative* values; the series differences
+ * consecutive samples itself, so the producer just reads whatever
+ * monotonic counter the subsystem already keeps. Gauges are stored as
+ * sampled.
+ */
+class Series
+{
+  public:
+    Series(std::string machine, int hop, std::string arch,
+           std::string transport)
+        : machine_(std::move(machine)), hop_(hop),
+          arch_(std::move(arch)), transport_(std::move(transport))
+    {
+    }
+
+    const std::string &machine() const { return machine_; }
+    /** Proxy-chain hop index (edge = 0), or -1 for non-hop series. */
+    int hop() const { return hop_; }
+    const std::string &arch() const { return arch_; }
+    const std::string &transport() const { return transport_; }
+
+    /**
+     * Close the current window (if any) at @p start and open the next
+     * one. Window starts must be strictly increasing.
+     */
+    void beginWindow(sim::SimTime start);
+
+    /** Close the final window at @p end. */
+    void finish(sim::SimTime end);
+
+    /**
+     * Sample counter @p name at cumulative value @p cumulative: the
+     * delta against the previous sample lands in the current window
+     * (clamped at zero — counters are monotone; a clamp only fires on
+     * producer bugs, which check_trace.py then flags via the sum
+     * invariant).
+     */
+    void counter(std::string_view name, std::uint64_t cumulative);
+
+    /** Sample gauge @p name at @p value into the current window. */
+    void gauge(std::string_view name, double value);
+
+    const std::vector<Window> &windows() const { return windows_; }
+
+    /** Last cumulative value seen per counter (end-of-run totals once
+     *  the run is finished). Σ window deltas == this, exactly. */
+    const std::map<std::string, std::uint64_t, std::less<>> &
+    totals() const
+    {
+        return prev_;
+    }
+
+  private:
+    std::string machine_;
+    int hop_;
+    std::string arch_;
+    std::string transport_;
+    std::vector<Window> windows_;
+    std::map<std::string, std::uint64_t, std::less<>> prev_;
+};
+
+/**
+ * A whole run's telemetry: the series plus run-identifying metadata.
+ * Owned by RunResult (shared_ptr: RunResult must stay copyable).
+ */
+class TimeSeries
+{
+  public:
+    TimeSeries(std::string scenario, std::uint64_t seed,
+               sim::SimTime window_ns, std::string transport)
+        : scenario_(std::move(scenario)), seed_(seed),
+          windowNs_(window_ns), transport_(std::move(transport))
+    {
+    }
+
+    /** Create (and own) a new series; returns a stable reference. */
+    Series &add(std::string machine, int hop, std::string arch,
+                std::string transport);
+
+    /** Measured-phase bounds (explain's phase split). */
+    void
+    setMeasurePhase(sim::SimTime start, sim::SimTime end)
+    {
+        measureStartNs_ = start;
+        measureEndNs_ = end;
+    }
+
+    const std::string &scenario() const { return scenario_; }
+    std::uint64_t seed() const { return seed_; }
+    sim::SimTime windowNs() const { return windowNs_; }
+    const std::string &transport() const { return transport_; }
+    sim::SimTime measureStartNs() const { return measureStartNs_; }
+    sim::SimTime measureEndNs() const { return measureEndNs_; }
+
+    const std::vector<std::unique_ptr<Series>> &
+    series() const
+    {
+        return series_;
+    }
+
+    /** First series whose machine label is @p machine, or nullptr. */
+    const Series *find(std::string_view machine) const;
+
+    /** Deterministic JSON document (meta + every series). */
+    std::string toJson() const;
+
+    /**
+     * Deterministic long-format CSV:
+     * machine,hop,arch,transport,window_start_ns,window_end_ns,
+     * metric,kind,value — one row per metric per window.
+     */
+    std::string toCsv() const;
+
+  private:
+    std::string scenario_;
+    std::uint64_t seed_;
+    sim::SimTime windowNs_;
+    std::string transport_;
+    sim::SimTime measureStartNs_ = 0;
+    sim::SimTime measureEndNs_ = 0;
+    std::vector<std::unique_ptr<Series>> series_;
+};
+
+} // namespace siprox::stats
+
+#endif // SIPROX_STATS_TIMESERIES_HH

@@ -5,6 +5,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include <functional>
+
 #include "core/proxy.hh"
 #include "net/network.hh"
 #include "phone/phone.hh"
@@ -12,6 +14,8 @@
 #include "sim/simulation.hh"
 #include "sim/sync.hh"
 #include "sim/trace.hh"
+#include "stats/histogram.hh"
+#include "stats/timeseries.hh"
 
 namespace siprox::workload {
 
@@ -89,6 +93,84 @@ samplerMain(sim::Process &p, Phases *phases, core::Proxy *proxy,
                         proxy->requestQueueDepth(),
                         proxy->recvQueueDepth()});
         co_await p.sleepFor(interval);
+    }
+}
+
+/**
+ * Windowed-telemetry sampler: cuts a window at every multiple of the
+ * window width from t=0 (registration included — the warmup phase is
+ * part of the story). The final, partial window is flushed
+ * synchronously by runScenario at the exact point it reads the run's
+ * end-of-run counters, so per-window deltas sum to the RunResult
+ * totals.
+ */
+sim::Task
+telemetryMain(sim::Process &p, Phases *phases, sim::SimTime window,
+              const std::function<void(sim::SimTime)> *boundary)
+{
+    sim::SimTime next = window;
+    for (;;) {
+        sim::SimTime now = p.sim().now();
+        if (now < next)
+            co_await p.sleepFor(next - now);
+        // Once the measured phase is over, everything after this
+        // boundary (the settle tail) belongs to the final window that
+        // runScenario flushes synchronously — stop ticking so the run
+        // loop's coast to its next check produces no empty windows.
+        if (phases->finished)
+            co_return;
+        (*boundary)(p.sim().now());
+        next += window;
+    }
+}
+
+/** Per-hop serve-latency accumulator fed by the overload controller's
+ *  served sink: a histogram over the current window (reset at each
+ *  boundary) plus the run-cumulative served count. */
+struct ServedWindow
+{
+    stats::LatencyHistogram hist;
+    std::uint64_t servedTotal = 0;
+};
+
+/**
+ * Machine-level telemetry shared by server and client series: CPU busy
+ * time (total and per core), lock contention, socket I/O, run-queue
+ * depth, and — when a trace recorder is attached — the per-wait-state
+ * span totals the explain report ranks.
+ */
+void
+sampleMachine(stats::Series &s, sim::Machine &m, const net::Host &h)
+{
+    sim::CpuScheduler &sched = m.scheduler();
+    s.counter("cpu.busyNs",
+              static_cast<std::uint64_t>(sched.busyTime()));
+    for (int c = 0; c < sched.cores(); ++c) {
+        s.counter("cpu.core" + std::to_string(c) + ".busyNs",
+                  static_cast<std::uint64_t>(sched.coreBusyTime(c)));
+    }
+    s.counter("lock.contendNs",
+              static_cast<std::uint64_t>(m.lockContendTime()));
+    s.counter("lock.contentions", m.lockContentions());
+    const net::HostIoStats &io = h.io();
+    s.counter("io.pktsOut", io.pktsOut);
+    s.counter("io.bytesOut", io.bytesOut);
+    s.counter("io.pktsIn", io.pktsIn);
+    s.counter("io.bytesIn", io.bytesIn);
+    s.gauge("cpu.cores", sched.cores());
+    s.gauge("sched.queued", sched.queued());
+    if (sim::trace::recording()) {
+        const auto &totals = sim::trace::recorder()->machineTotals();
+        auto it = totals.find(m.name());
+        if (it != totals.end()) {
+            for (std::size_t w = 0; w < sim::trace::kWaitCount; ++w) {
+                s.counter("wait."
+                              + std::string(sim::trace::waitName(
+                                  static_cast<sim::trace::Wait>(w))),
+                          static_cast<std::uint64_t>(
+                              it->second.wait[w]));
+            }
+        }
     }
 }
 
@@ -282,6 +364,233 @@ runScenario(const Scenario &sc)
             });
     }
 
+    // Windowed telemetry (Scenario::telemetry): one series per proxy
+    // hop and per client machine, plus phone-fleet and network-fabric
+    // pseudo-series. Everything below — including the sampler process
+    // itself — exists only when enabled, so default runs keep their
+    // pinned digests byte-identical.
+    std::shared_ptr<stats::TimeSeries> telemetry;
+    std::vector<stats::Series *> hop_series, client_series;
+    stats::Series *phone_series = nullptr;
+    stats::Series *net_series = nullptr;
+    std::vector<stats::Series *> all_series;
+    std::vector<ServedWindow> served(hops);
+    std::function<void(sim::SimTime)> telemetry_sample;
+    std::function<void(sim::SimTime)> telemetry_boundary;
+    if (sc.telemetry.enabled()) {
+        const char *transport =
+            core::transportName(sc.proxy.transport);
+        telemetry = std::make_shared<stats::TimeSeries>(
+            sc.name, sc.seed, sc.telemetry.window(), transport);
+        for (std::size_t i = 0; i < hops; ++i) {
+            hop_series.push_back(&telemetry->add(
+                server_machines[i]->name(), static_cast<int>(i),
+                core::archKindName(proxies[i]->arch()->kind()),
+                core::transportName(
+                    proxies[i]->config().transport)));
+            // The overload controller times every served request on
+            // every policy (including None); the sink gives telemetry
+            // a per-window latency histogram without a second timer.
+            proxies[i]->shared().overload.setServedSink(
+                [sw = &served[i]](sim::SimTime latency) {
+                    sw->hist.record(latency);
+                    ++sw->servedTotal;
+                });
+        }
+        for (std::size_t i = 0; i < client_machines.size(); ++i) {
+            client_series.push_back(&telemetry->add(
+                client_machines[i]->name(), -1, "", transport));
+        }
+        phone_series = &telemetry->add("phones", -1, "", transport);
+        net_series = &telemetry->add("net", -1, "", transport);
+        for (stats::Series *s : hop_series)
+            all_series.push_back(s);
+        for (stats::Series *s : client_series)
+            all_series.push_back(s);
+        all_series.push_back(phone_series);
+        all_series.push_back(net_series);
+
+        telemetry_sample = [&](sim::SimTime) {
+            for (std::size_t i = 0; i < hops; ++i) {
+                stats::Series &s = *hop_series[i];
+                core::Proxy &px = *proxies[i];
+                sampleMachine(s, *server_machines[i],
+                              *server_hosts[i]);
+                const core::ProxyCounters &c =
+                    px.shared().counters;
+                s.counter("proxy.messagesIn", c.messagesIn);
+                s.counter("proxy.requestsIn", c.requestsIn);
+                s.counter("proxy.responsesIn", c.responsesIn);
+                s.counter("proxy.forwards", c.forwards);
+                s.counter("proxy.localReplies", c.localReplies);
+                s.counter("proxy.retransAbsorbed",
+                          c.retransAbsorbed);
+                s.counter("proxy.retransSent", c.retransSent);
+                s.counter("proxy.fdRequests", c.fdRequests);
+                s.counter("proxy.fdCacheHits", c.fdCacheHits);
+                s.counter("proxy.connsAccepted", c.connsAccepted);
+                s.counter("proxy.outboundConnects",
+                          c.outboundConnects);
+                s.counter("proxy.overloadRejected",
+                          c.overloadRejected);
+                s.counter("proxy.overloadThrottled",
+                          c.overloadThrottled);
+                s.counter("proxy.overloadPanicDrops",
+                          c.overloadPanicDrops);
+                s.counter("proxy.hopFeedbackSent",
+                          c.hopFeedbackSent);
+                s.counter("proxy.hopThrottleHolds",
+                          c.hopThrottleHolds);
+                s.counter("proxy.hopThrottleRejects",
+                          c.hopThrottleRejects);
+                s.counter("queue.recvDrops", px.recvQueueDrops());
+                s.counter("accept.refused", px.acceptRefused());
+                s.counter("served.count", served[i].servedTotal);
+
+                const core::ProxyConfig &cfg = px.config();
+                core::SharedState &sh = px.shared();
+                s.gauge("queue.request",
+                        static_cast<double>(
+                            px.requestQueueDepth()));
+                s.gauge("queue.recv",
+                        static_cast<double>(px.recvQueueDepth()));
+                // Two table keys per transaction record.
+                s.gauge("txn.records",
+                        static_cast<double>(sh.txns.size()) / 2.0);
+                if (cfg.overload.txnTableCapacity > 0) {
+                    s.gauge("occ.txnTable",
+                            static_cast<double>(sh.txns.size())
+                                / static_cast<double>(
+                                    cfg.overload.txnTableCapacity));
+                }
+                if (cfg.overload.recvQueueCapacity > 0) {
+                    s.gauge("occ.recvQueue",
+                            static_cast<double>(px.recvQueueDepth())
+                                / static_cast<double>(
+                                    cfg.overload
+                                        .recvQueueCapacity));
+                }
+                const core::OverloadController &oc = sh.overload;
+                s.gauge("overload.occupancy", oc.occupancySignal());
+                s.gauge("overload.latencyEwmaMs",
+                        sim::toMsecs(oc.latencyEwma()));
+                s.gauge("overload.rate", oc.currentRate());
+                s.gauge("overload.shedding",
+                        oc.shedding() ? 1.0 : 0.0);
+                s.gauge("hop.grantedRate", oc.hopGrantedRate());
+                s.gauge("hop.grantedWindow",
+                        static_cast<double>(oc.hopGrantedWindow()));
+                s.gauge("hop.on", oc.hopOn() ? 1.0 : 0.0);
+                if (cfg.nextHop.valid()) {
+                    s.gauge("hopgate.rateToNext",
+                            sh.hopGate.grantedRate(cfg.nextHop));
+                    s.gauge("hopgate.windowToNext",
+                            static_cast<double>(
+                                sh.hopGate.grantedWindow(
+                                    cfg.nextHop)));
+                    s.gauge("hopgate.pendingToNext",
+                            static_cast<double>(
+                                sh.hopGate.pendingToward(
+                                    cfg.nextHop)));
+                }
+                ServedWindow &sw = served[i];
+                if (sw.hist.count() > 0) {
+                    s.gauge("latency.meanMs",
+                            sim::toMsecs(sw.hist.mean()));
+                    s.gauge("latency.p50Ms",
+                            sim::toMsecs(
+                                sw.hist.percentileMid(0.5)));
+                    s.gauge("latency.p95Ms",
+                            sim::toMsecs(
+                                sw.hist.percentileMid(0.95)));
+                    s.gauge("latency.p99Ms",
+                            sim::toMsecs(
+                                sw.hist.percentileMid(0.99)));
+                    s.gauge("latency.p999Ms",
+                            sim::toMsecs(
+                                sw.hist.percentileMid(0.999)));
+                    s.gauge("latency.maxMs",
+                            sim::toMsecs(sw.hist.max()));
+                }
+                sw.hist.reset();
+                if (const core::ServerArch *arch = px.arch()) {
+                    std::vector<core::ArchGauge> gauges;
+                    arch->appendTelemetryGauges(gauges);
+                    for (const core::ArchGauge &g : gauges)
+                        s.gauge(g.name, g.value);
+                }
+            }
+
+            for (std::size_t i = 0; i < client_series.size(); ++i) {
+                sampleMachine(*client_series[i],
+                              *client_machines[i],
+                              *client_hosts[i]);
+            }
+
+            std::uint64_t p_ops = 0, p_done = 0, p_fail = 0,
+                          p_ret = 0, p_rej = 0, p_back = 0;
+            for (const auto &ph : callers) {
+                const phone::PhoneStats &st = ph->stats();
+                p_ops += st.opsCompleted;
+                p_done += st.callsCompleted;
+                p_fail += st.callsFailed;
+                p_ret += st.retransmissions;
+                p_rej += st.rejected503;
+                p_back += st.backoffs;
+            }
+            for (const auto &ph : callees)
+                p_ret += ph->stats().retransmissions;
+            phone_series->counter("phone.ops", p_ops);
+            phone_series->counter("phone.callsCompleted", p_done);
+            phone_series->counter("phone.callsFailed", p_fail);
+            phone_series->counter("phone.retransmissions", p_ret);
+            phone_series->counter("phone.rejected503", p_rej);
+            phone_series->counter("phone.backoffs", p_back);
+
+            const net::NetStats &nst = network.stats();
+            net_series->counter("net.udpSent", nst.udpSent);
+            net_series->counter("net.udpDelivered",
+                                nst.udpDelivered);
+            net_series->counter("net.udpDropped", nst.udpDropped);
+            net_series->counter("net.udpLost", nst.udpLost);
+            net_series->counter("net.tcpConnects", nst.tcpConnects);
+            net_series->counter("net.tcpSegments", nst.tcpSegments);
+            net_series->counter("net.tcpBytes", nst.tcpBytes);
+            net_series->counter("net.sctpMessages",
+                                nst.sctpMessages);
+            net_series->counter("net.sctpDropped", nst.sctpDropped);
+            net_series->counter("net.sstMessages", nst.sstMessages);
+            net_series->counter("net.sstFrames", nst.sstFrames);
+            net_series->counter("net.sstDropped", nst.sstDropped);
+            net_series->counter("net.tlsRecords", nst.tlsRecords);
+            net_series->counter("net.batchRecvCalls",
+                                nst.batchRecv.calls);
+            net_series->counter("net.batchRecvMsgs",
+                                nst.batchRecv.messages);
+            net_series->counter("net.batchSendCalls",
+                                nst.batchSend.calls);
+            net_series->counter("net.batchSendMsgs",
+                                nst.batchSend.messages);
+        };
+        telemetry_boundary = [&](sim::SimTime now) {
+            telemetry_sample(now);
+            for (stats::Series *s : all_series)
+                s->beginWindow(now);
+        };
+
+        // Window 0 opens at t=0; the sampler closes a window at every
+        // following multiple of the width. The last (partial) window
+        // is flushed synchronously when the run's counters are read.
+        for (stats::Series *s : all_series)
+            s->beginWindow(0);
+        client_machines[0]->spawn(
+            "telemetry", 0, [&](sim::Process &p) {
+                return telemetryMain(p, &phases,
+                                     sc.telemetry.window(),
+                                     &telemetry_boundary);
+            });
+    }
+
     // Registration phase has no explicit cap; the measured phase is
     // capped at maxDuration past its start.
     while (!phases.finished) {
@@ -302,7 +611,21 @@ runScenario(const Scenario &sc)
     if (phases.finished && sc.settleTime > 0)
         simu.runFor(sc.settleTime);
 
+    // Flush the final telemetry window here — the same instant the
+    // end-of-run counters below are read — so every series' per-window
+    // deltas sum exactly to the totals in RunResult.
+    if (telemetry) {
+        const sim::SimTime tele_end = simu.now();
+        telemetry_sample(tele_end);
+        for (stats::Series *s : all_series)
+            s->finish(tele_end);
+        telemetry->setMeasurePhase(
+            phases.measureStart,
+            phases.finished ? phases.measureEnd : tele_end);
+    }
+
     RunResult result;
+    result.timeseries = telemetry;
     result.timedOut = !phases.finished;
     sim::SimTime end = phases.finished ? phases.measureEnd : simu.now();
     result.duration = end - phases.measureStart;

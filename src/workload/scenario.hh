@@ -11,6 +11,7 @@
 #define SIPROX_WORKLOAD_SCENARIO_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "sim/time.hh"
 #include "stats/fault_stats.hh"
 #include "stats/metrics.hh"
+#include "stats/timeseries.hh"
 
 namespace siprox::workload {
 
@@ -106,6 +108,10 @@ struct Scenario
     /** If nonzero, sample proxy queue/table occupancy at this period
      *  during the measured phase (RunResult::occupancy). */
     sim::SimTime sampleInterval = 0;
+    /** Windowed time-series telemetry (stats/timeseries.hh). Off by
+     *  default: the sampler process perturbs event interleavings, so
+     *  pinned digests only hold with telemetry disabled. */
+    stats::TelemetryConfig telemetry;
     /** Extra simulated time after the last call before counters are
      *  sampled (lets idle-connection machinery drain). */
     sim::SimTime settleTime = 0;
@@ -176,6 +182,10 @@ struct RunResult
     std::uint64_t proxyAcceptRefused = 0;
     /** Occupancy time series (Scenario::sampleInterval > 0). */
     std::vector<OccupancySample> occupancy;
+    /** Windowed telemetry (Scenario::telemetry enabled), ready for
+     *  stats::explain(). Null when telemetry was off. Shared so
+     *  RunResult stays copyable. */
+    std::shared_ptr<stats::TimeSeries> timeseries;
     /** Server CPU profile over the measured phase. */
     sim::Profiler serverProfile;
     /** Resolved server architecture (never Auto) and its receive-loop

@@ -29,6 +29,10 @@ Micros present in only one file are reported but never fail the run,
 so adding a new benchmark does not require regenerating the baseline
 in the same commit. Smoke-mode fresh runs (SIPROX_PERF_SMOKE=1) are
 skipped: their iteration counts are too small to gate on.
+
+Every run prints the full delta table — metric, reference, fresh
+value, % change, verdict — not just the failures, so a CI log answers
+"how close are we to the budget" without rerunning anything.
 """
 
 import json
@@ -67,11 +71,24 @@ def main():
     ref_cur = micros(checked, "current")
     measured = micros(fresh, "current")
 
+    print(f"  {'metric':38s} {'reference':>10s} {'fresh':>10s} "
+          f"{'delta':>8s} {'allowed':>10s}  verdict")
     failures = []
+
+    def row(metric, ref, got, allowed):
+        verdict = "ok" if got <= allowed else "REGRESSION"
+        delta = (got - ref) / ref if ref > 0.0 else 0.0
+        print(f"  {metric:38s} {ref:10.1f} {got:10.1f} "
+              f"{delta:+8.1%} {allowed:10.1f}  {verdict}")
+        if verdict == "REGRESSION":
+            failures.append(
+                f"{metric}: {got:.1f} > allowed {allowed:.1f} "
+                f"(ref {ref:.1f} {delta:+.1%})")
+
     for name, m in sorted(measured.items()):
         refs = [r[name] for r in (ref_base, ref_cur) if name in r]
         if not refs:
-            print(f"  {name:24s} new micro, no reference — skipped")
+            print(f"  {name:38s} new micro, no reference — skipped")
             continue
         for key, abs_slack in (("ns_per_op", 0.0),
                                ("allocs_per_op", ALLOC_ABS_SLACK)):
@@ -79,15 +96,8 @@ def main():
             ref = max((r.get(key, 0.0) for r in refs), default=0.0)
             if got is None or ref <= 0.0:
                 continue
-            allowed = ref * (1.0 + REGRESSION_SLACK) + abs_slack
-            verdict = "ok"
-            if got > allowed:
-                verdict = "REGRESSION"
-                failures.append(
-                    f"{name}.{key}: {got:.1f} > allowed {allowed:.1f} "
-                    f"(ref {ref:.1f} +{REGRESSION_SLACK:.0%})")
-            print(f"  {name:24s} {key:14s} {got:10.1f} "
-                  f"(allowed {allowed:10.1f})  {verdict}")
+            row(f"{name}.{key}", ref, got,
+                ref * (1.0 + REGRESSION_SLACK) + abs_slack)
 
     got_rss = fresh.get("current", {}).get("peak_rss_kb")
     ref_rss = max(
@@ -95,15 +105,8 @@ def main():
          for s in ("baseline", "current")),
         default=0)
     if got_rss is not None and ref_rss > 0:
-        allowed = ref_rss * (1.0 + RSS_SLACK)
-        verdict = "ok"
-        if got_rss > allowed:
-            verdict = "REGRESSION"
-            failures.append(
-                f"peak_rss_kb: {got_rss:.0f} > allowed {allowed:.0f} "
-                f"(ref {ref_rss:.0f} +{RSS_SLACK:.0%})")
-        print(f"  {'peak_rss_kb':24s} {'kB':14s} {got_rss:10.1f} "
-              f"(allowed {allowed:10.1f})  {verdict}")
+        row("peak_rss_kb", float(ref_rss), float(got_rss),
+            ref_rss * (1.0 + RSS_SLACK))
 
     if failures:
         print(f"\ncheck_perf: {len(failures)} regression(s) over "

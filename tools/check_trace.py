@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate the observability artifacts probe exports.
 
-Usage: check_trace.py TRACE_JSON [METRICS_JSON]
+Usage: check_trace.py [--timeseries=FILE] [TRACE_JSON [METRICS_JSON]]
 
 Checks that TRACE_JSON is a well-formed Chrome trace-event document
 with the track layout the recorder promises (machine processes, core /
@@ -10,6 +10,13 @@ sums to the slice duration, matched async call begin/end pairs), and
 that METRICS_JSON is a well-formed metrics snapshot with the unified
 counter namespaces. Exits nonzero with a message on the first
 violation — the CI gate for the exported artifacts.
+
+--timeseries=FILE additionally (or instead) validates a windowed
+telemetry export (probe --timeseries-out): window starts strictly
+increasing and contiguous within each series, counter deltas
+non-negative integers, and the sum of per-window deltas equal to the
+series' end-of-run totals for every counter — the invariant that makes
+the windows trustworthy as a decomposition of the final counters.
 """
 
 import json
@@ -118,13 +125,89 @@ def check_metrics(path):
           f"{len(doc['gauges'])} gauges")
 
 
+def check_timeseries(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    meta = doc.get("meta")
+    if not isinstance(meta, dict) or meta.get("windowNs", 0) <= 0:
+        fail("timeseries: meta.windowNs must be a positive integer")
+    series = doc.get("series")
+    if not isinstance(series, list) or not series:
+        fail("timeseries: series must be a non-empty array")
+
+    machines = set()
+    windows_checked = 0
+    counters_checked = 0
+    for s in series:
+        name = s.get("machine", "?")
+        machines.add(name)
+        totals = s.get("totals")
+        windows = s.get("windows")
+        if not isinstance(totals, dict) or not isinstance(windows,
+                                                          list):
+            fail(f"timeseries: series {name}: missing totals/windows")
+
+        sums = {}
+        prev_end = None
+        prev_start = None
+        for i, w in enumerate(windows):
+            start, end = w.get("startNs"), w.get("endNs")
+            if not isinstance(start, int) or not isinstance(end, int):
+                fail(f"timeseries: {name} window {i}: non-integer "
+                     f"bounds")
+            if end < start:
+                fail(f"timeseries: {name} window {i}: endNs {end} < "
+                     f"startNs {start}")
+            if prev_start is not None and start <= prev_start:
+                fail(f"timeseries: {name} window {i}: startNs {start} "
+                     f"not after previous start {prev_start}")
+            if prev_end is not None and start != prev_end:
+                fail(f"timeseries: {name} window {i}: gap — startNs "
+                     f"{start} != previous endNs {prev_end}")
+            prev_start, prev_end = start, end
+            for metric, v in w.get("counters", {}).items():
+                if not isinstance(v, int) or v < 0:
+                    fail(f"timeseries: {name} window {i}: counter "
+                         f"{metric} delta {v!r} is not a non-negative "
+                         f"integer")
+                sums[metric] = sums.get(metric, 0) + v
+            windows_checked += 1
+
+        for metric, total in sorted(totals.items()):
+            if sums.get(metric, 0) != total:
+                fail(f"timeseries: {name}: sum of window deltas for "
+                     f"{metric} is {sums.get(metric, 0)}, end-of-run "
+                     f"total is {total}")
+            counters_checked += 1
+        stray = sorted(set(sums) - set(totals))
+        if stray:
+            fail(f"timeseries: {name}: window counters missing from "
+                 f"totals: {stray}")
+
+    print(f"check_trace: timeseries ok: {len(series)} series "
+          f"({len(machines)} machines), {windows_checked} windows, "
+          f"{counters_checked} counters reconciled with totals")
+
+
 def main():
-    if len(sys.argv) < 2 or len(sys.argv) > 3:
+    args = sys.argv[1:]
+    ts_path = None
+    positional = []
+    for a in args:
+        if a.startswith("--timeseries="):
+            ts_path = a.split("=", 1)[1]
+        else:
+            positional.append(a)
+    if (ts_path is None and not positional) or len(positional) > 2:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    check_trace(sys.argv[1])
-    if len(sys.argv) == 3:
-        check_metrics(sys.argv[2])
+    if positional:
+        check_trace(positional[0])
+    if len(positional) == 2:
+        check_metrics(positional[1])
+    if ts_path is not None:
+        check_timeseries(ts_path)
 
 
 if __name__ == "__main__":

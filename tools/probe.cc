@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/trace.hh"
+#include "stats/explain.hh"
 #include "workload/scenario.hh"
 
 using namespace siprox;
@@ -48,6 +49,16 @@ constexpr const char *kUsage =
     "  --trace-out=FILE     record the run and write Chrome\n"
     "                       trace-event JSON (open in Perfetto)\n"
     "  --metrics-json=FILE  write the unified metrics snapshot\n"
+    "  --telemetry-ms=N     sample windowed time-series telemetry\n"
+    "                       every N simulated milliseconds (implied\n"
+    "                       at 100ms by the artifact options below)\n"
+    "  --timeseries-out=FILE   write the time-series as JSON\n"
+    "  --timeseries-csv=FILE   write the time-series as long CSV\n"
+    "  --explain=FILE       write the bottleneck-attribution report\n"
+    "                       (deterministic text; also printed).\n"
+    "                       Installs the trace recorder so wait\n"
+    "                       states can be ranked\n"
+    "  --explain-json=FILE  same report as JSON\n"
     "  -h, --help           show this help and exit\n"
     "\n"
     "exit status: 0 ok, 1 artifact write failed, 2 usage error.\n";
@@ -127,6 +138,11 @@ main(int argc, char **argv)
 {
     std::string trace_out;
     std::string metrics_out;
+    std::string timeseries_out;
+    std::string timeseries_csv;
+    std::string explain_out;
+    std::string explain_json;
+    long telemetry_ms = 0;
     double window_secs = 0;
     core::ArchKind arch = core::ArchKind::Auto;
 
@@ -146,6 +162,17 @@ main(int argc, char **argv)
             trace_out = a + 12;
         else if (std::strncmp(a, "--metrics-json=", 15) == 0)
             metrics_out = a + 15;
+        else if (std::strncmp(a, "--telemetry-ms=", 15) == 0)
+            telemetry_ms =
+                parseLong("--telemetry-ms", a + 15, 1, 3600000);
+        else if (std::strncmp(a, "--timeseries-out=", 17) == 0)
+            timeseries_out = a + 17;
+        else if (std::strncmp(a, "--timeseries-csv=", 17) == 0)
+            timeseries_csv = a + 17;
+        else if (std::strncmp(a, "--explain-json=", 15) == 0)
+            explain_json = a + 15;
+        else if (std::strncmp(a, "--explain=", 10) == 0)
+            explain_out = a + 10;
         else if (a[0] == '-' && a[1] != '\0'
                  && !(a[1] >= '0' && a[1] <= '9'))
             usageError(std::string("unknown option '") + a + "'");
@@ -192,9 +219,20 @@ main(int argc, char **argv)
                                : core::IdleStrategy::LinearScan;
     sc.proxy.supervisorNice = nice;
 
+    // Windowed telemetry: any telemetry artifact implies sampling at
+    // the default 100ms window unless --telemetry-ms chose one.
+    bool want_telemetry = telemetry_ms > 0 || !timeseries_out.empty()
+        || !timeseries_csv.empty() || !explain_out.empty()
+        || !explain_json.empty();
+    if (want_telemetry)
+        sc.telemetry.windowMs =
+            telemetry_ms > 0 ? static_cast<int>(telemetry_ms) : 100;
+
     // Observability: install the recorder only when an artifact was
-    // requested; the run stays zero-overhead otherwise.
-    bool record = !trace_out.empty() || !metrics_out.empty();
+    // requested; the run stays zero-overhead otherwise. The explain
+    // report ranks span wait states, so it needs the recorder too.
+    bool record = !trace_out.empty() || !metrics_out.empty()
+        || !explain_out.empty() || !explain_json.empty();
     sim::trace::Recorder rec;
     if (record)
         sim::trace::setRecorder(&rec);
@@ -213,19 +251,39 @@ main(int argc, char **argv)
             rc = 1;
         }
     }
+    auto write_file = [&rc](const std::string &path,
+                            const std::string &body,
+                            const char *what) {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "probe: cannot write %s\n",
+                         path.c_str());
+            rc = 1;
+            return;
+        }
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+        std::printf("%s: %s\n", what, path.c_str());
+    };
     if (!metrics_out.empty()) {
         stats::MetricsRegistry reg = collectMetrics(r);
-        std::FILE *f = std::fopen(metrics_out.c_str(), "w");
-        if (f) {
-            std::string json = reg.snapshot().toJson();
-            std::fwrite(json.data(), 1, json.size(), f);
-            std::fclose(f);
-            std::printf("metrics: %s\n", metrics_out.c_str());
-        } else {
-            std::fprintf(stderr, "probe: cannot write %s\n",
-                         metrics_out.c_str());
-            rc = 1;
-        }
+        write_file(metrics_out, reg.snapshot().toJson(), "metrics");
+    }
+    if (!timeseries_out.empty() && r.timeseries)
+        write_file(timeseries_out, r.timeseries->toJson(),
+                   "timeseries");
+    if (!timeseries_csv.empty() && r.timeseries)
+        write_file(timeseries_csv, r.timeseries->toCsv(),
+                   "timeseries-csv");
+    if ((!explain_out.empty() || !explain_json.empty())
+        && r.timeseries) {
+        stats::ExplainReport rep = stats::explain(*r.timeseries);
+        std::string text = rep.text();
+        std::fputs(text.c_str(), stdout);
+        if (!explain_out.empty())
+            write_file(explain_out, text, "explain");
+        if (!explain_json.empty())
+            write_file(explain_json, rep.toJson(), "explain-json");
     }
 
     double ipc = r.serverProfile.share("ser:tcp_send_fd_request")
