@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Extension: horizontal scaling of the SIP proxy into a dispatcher-
+ * fronted cluster with a sharded registrar — the deployment shape the
+ * single-box paper stops short of, and where its transport findings
+ * compound: every message now crosses the front end once more, so the
+ * per-message UDP-vs-TCP gap is paid twice.
+ *
+ * The sweep walks {udp, tcp} x {1, 2, 4, 8 instances} x {consistent
+ * hash on AOR, round robin} at a fixed closed-loop load, plus an
+ * architecture mini-matrix at 4 instances. Consistent hashing lands
+ * each request on the shard that owns the callee's AOR, so lookups are
+ * local; round robin lands most requests on a non-owner, which must
+ * either forward the request to the owner over a real inter-proxy
+ * socket (charging parse/route/serialize again) or — with stale reads
+ * enabled — answer from a lagged local replica.
+ *
+ * Self-checks (exit nonzero on failure):
+ *   1. hash-aor produces strictly fewer cache-miss forwards than
+ *      round robin at every rung with >=2 instances, per transport;
+ *   2. the dispatcher's per-instance balance under consistent hashing
+ *      stays within a max/mean factor of 2.5 (vnodes smooth the ring);
+ *   3. the 100k-AOR 4-instance rung (10k in smoke mode) completes all
+ *      calls with zero failures under state-pressure-scaled costs;
+ *   4. a dispatcher-bottlenecked run (1-core front end, 8 instances)
+ *      is attributed to the dispatcher machine by the explain report:
+ *      it saturates first and its measured cpu peak tops every proxy.
+ *
+ * SIPROX_BENCH_QUICK=1 shortens windows; SIPROX_SWEEP_SMOKE=1 runs the
+ * CI subset (udp only, 1-2 instances, 10k AORs).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+#include "stats/explain.hh"
+#include "sweep_common.hh"
+
+namespace {
+
+using namespace siprox;
+
+int failures = 0;
+
+void
+check(bool ok, const std::string &what)
+{
+    std::printf("%s: %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok)
+        ++failures;
+}
+
+/** Same cost scaling as the chain/overload sweeps: saturation at a
+ *  simulable client count. */
+void
+slowCosts(core::CostModel &c, double x)
+{
+    auto scale = [x](sim::SimTime &t) {
+        t = static_cast<sim::SimTime>(static_cast<double>(t) * x);
+    };
+    scale(c.parse);
+    scale(c.route);
+    scale(c.serialize);
+    scale(c.txnCreate);
+    scale(c.txnLookup);
+    scale(c.txnUpdate);
+    scale(c.registrarLookup);
+    scale(c.registrarUpdate);
+}
+
+workload::Scenario
+clusterPoint(core::Transport t, int instances,
+             core::DispatchPolicy policy, int clients,
+             double window_secs)
+{
+    workload::Scenario sc = workload::paperScenario(t, clients, 0);
+    sc.name = std::string(core::transportName(t)) + "/"
+        + std::to_string(instances) + "i/"
+        + core::dispatchPolicyName(policy) + "/"
+        + std::to_string(clients) + "c";
+    sc.measureWindow = sim::secs(window_secs);
+    sc.maxDuration = sim::secs(60);
+    sc.serverCores = 2;
+    slowCosts(sc.proxy.costs, 20);
+    sc.cluster.instances = instances;
+    sc.cluster.policy = policy;
+    // The front end does less per message than a proxy; 4 cores keep
+    // it out of the way so the sweep measures the *instances*.
+    sc.cluster.dispatcherCores = 4;
+    return sc;
+}
+
+double
+goodput(const workload::RunResult &r)
+{
+    return r.duration > 0 ? static_cast<double>(r.callsCompleted)
+            / sim::toSecs(r.duration)
+                          : 0;
+}
+
+/** Dispatcher balance: max over instances / mean, 0 when unroutable. */
+double
+imbalance(const core::DispatcherStats &d)
+{
+    if (d.toInstance.empty())
+        return 0;
+    std::uint64_t total = 0, peak = 0;
+    for (std::uint64_t v : d.toInstance) {
+        total += v;
+        peak = std::max(peak, v);
+    }
+    if (total == 0)
+        return 0;
+    double mean = static_cast<double>(total)
+        / static_cast<double>(d.toInstance.size());
+    return static_cast<double>(peak) / mean;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace siprox;
+
+    const bool smoke = bench::smokeMode();
+    const double window_secs =
+        smoke ? 1 : (bench::quickMode() ? 2.5 : 5);
+
+    std::vector<core::Transport> transports = {core::Transport::Udp,
+                                               core::Transport::Tcp};
+    std::vector<int> ladder = {1, 2, 4, 8};
+    int clients = 64;
+    if (smoke) {
+        transports = {core::Transport::Udp};
+        ladder = {1, 2};
+        clients = 24;
+    }
+    const std::vector<
+        std::pair<const char *, core::DispatchPolicy>>
+        policies = {{"hash-aor", core::DispatchPolicy::HashAor},
+                    {"rr", core::DispatchPolicy::RoundRobin}};
+
+    struct Row
+    {
+        core::Transport transport;
+        const char *policy;
+        int instances;
+        workload::RunResult r;
+        double goodput = 0;
+        double imbalance = 0;
+    };
+    std::vector<Row> rows;
+
+    // --- main sweep: transport x instances x dispatch policy --------
+    for (core::Transport t : transports) {
+        for (int n : ladder) {
+            for (const auto &[label, policy] : policies) {
+                workload::Scenario sc =
+                    clusterPoint(t, n, policy, clients, window_secs);
+                workload::RunResult r = workload::runScenario(sc);
+                bench::logPoint(sc, r);
+                Row row{t, label, n, std::move(r), 0, 0};
+                row.goodput = goodput(row.r);
+                row.imbalance = imbalance(row.r.dispatcherStats);
+                rows.push_back(std::move(row));
+            }
+        }
+    }
+
+    stats::Table table({"transport", "policy", "instances",
+                        "goodput/s", "loc hits", "replica hits",
+                        "miss fwds", "repl installs", "imbalance",
+                        "calls failed"});
+    for (const Row &row : rows) {
+        const auto &c = row.r.counters;
+        table.addRow({core::transportName(row.transport), row.policy,
+                      std::to_string(row.instances),
+                      stats::Table::num(row.goodput),
+                      std::to_string(c.locLocalHits),
+                      std::to_string(c.locReplicaHits),
+                      std::to_string(c.locMissForwards),
+                      std::to_string(c.locReplInstalls),
+                      stats::Table::num(row.imbalance),
+                      std::to_string(row.r.callsFailed)});
+    }
+    std::printf("dispatcher-fronted cluster, sharded registrar "
+                "(%d closed-loop callers):\n\n%s\n",
+                clients, table.render().c_str());
+
+    // Self-check 1: AOR-affine hashing beats round robin on cache-miss
+    // forwards wherever there is more than one shard to miss into.
+    for (core::Transport t : transports) {
+        for (int n : ladder) {
+            if (n < 2)
+                continue;
+            const Row *hash = nullptr, *rr = nullptr;
+            for (const Row &row : rows) {
+                if (row.transport != t || row.instances != n)
+                    continue;
+                (std::string_view(row.policy) == "hash-aor" ? hash
+                                                            : rr) =
+                    &row;
+            }
+            check(hash && rr
+                      && hash->r.counters.locMissForwards
+                          < rr->r.counters.locMissForwards,
+                  std::string(core::transportName(t)) + " "
+                      + std::to_string(n)
+                      + "i: hash miss-forwards ("
+                      + std::to_string(
+                          hash->r.counters.locMissForwards)
+                      + ") < rr ("
+                      + std::to_string(rr->r.counters.locMissForwards)
+                      + ")");
+        }
+    }
+
+    // Self-check 2: the ring's vnodes keep per-instance load within a
+    // small factor of even; a broken hash shows up as one instance
+    // owning (nearly) everything.
+    for (const Row &row : rows) {
+        if (std::string_view(row.policy) != "hash-aor"
+            || row.instances < 2)
+            continue;
+        check(row.imbalance > 0 && row.imbalance <= 2.5,
+              std::string(core::transportName(row.transport)) + " "
+                  + std::to_string(row.instances)
+                  + "i hash: dispatcher max/mean balance "
+                  + stats::Table::num(row.imbalance) + " <= 2.5");
+    }
+
+    // --- architecture mini-matrix at 4 instances --------------------
+    if (!smoke) {
+        struct ArchPoint
+        {
+            core::Transport transport;
+            core::ArchKind arch;
+        };
+        const std::vector<ArchPoint> arch_points = {
+            {core::Transport::Udp, core::ArchKind::SymmetricWorker},
+            {core::Transport::Udp, core::ArchKind::EventDriven},
+            {core::Transport::Tcp, core::ArchKind::SupervisorWorker},
+            {core::Transport::Tcp, core::ArchKind::EventDriven},
+        };
+        stats::Table arch_table({"transport", "arch", "goodput/s",
+                                 "miss fwds", "calls failed"});
+        for (const ArchPoint &ap : arch_points) {
+            workload::Scenario sc = clusterPoint(
+                ap.transport, 4, core::DispatchPolicy::HashAor,
+                clients, window_secs);
+            sc.proxy.arch = ap.arch;
+            sc.name = std::string(core::archKindName(ap.arch)) + "/"
+                + sc.name;
+            workload::RunResult r = workload::runScenario(sc);
+            bench::logPoint(sc, r);
+            arch_table.addRow(
+                {core::transportName(ap.transport),
+                 core::archKindName(ap.arch),
+                 stats::Table::num(goodput(r)),
+                 std::to_string(r.counters.locMissForwards),
+                 std::to_string(r.callsFailed)});
+            check(!r.timedOut && r.callsFailed == 0,
+                  std::string(core::archKindName(ap.arch)) + "/"
+                      + core::transportName(ap.transport)
+                      + " 4i cluster completes cleanly");
+        }
+        std::printf("\narchitecture matrix at 4 instances "
+                    "(hash-aor):\n\n%s\n",
+                    arch_table.render().c_str());
+    }
+
+    // --- registrar population rung ----------------------------------
+    // Self-check 3: a 100k-AOR population (10k in smoke), pre-seeded
+    // across the shards, inflates every instance's state-pressure cost
+    // scaling — the rung the sharding exists for: each shard carries
+    // population/N of it. Costs stay unscaled: state pressure is the
+    // load under test.
+    {
+        const std::uint64_t population = smoke ? 10000 : 100000;
+        workload::Scenario sc = workload::paperScenario(
+            core::Transport::Udp, clients, 0);
+        sc.name = "udp/4i/hash-aor/" + std::to_string(population)
+            + "aor";
+        sc.measureWindow = sim::secs(window_secs);
+        sc.maxDuration = sim::secs(60);
+        sc.serverCores = 2;
+        sc.cluster.instances = 4;
+        sc.cluster.policy = core::DispatchPolicy::HashAor;
+        sc.cluster.dispatcherCores = 4;
+        sc.cluster.aorPopulation = population;
+        workload::RunResult r = workload::runScenario(sc);
+        bench::logPoint(sc, r);
+        check(!r.timedOut && r.callsFailed == 0
+                  && r.callsCompleted > 0,
+              std::to_string(population)
+                  + "-AOR 4-instance rung completes all calls "
+                    "(completed="
+                  + std::to_string(r.callsCompleted) + " failed="
+                  + std::to_string(r.callsFailed) + ")");
+    }
+
+    // --- dispatcher-bottleneck attribution --------------------------
+    // Self-check 4: starve the front end (1 core against 8 instances
+    // x 2 cores) and the explain report must say so — the dispatcher
+    // saturates first and posts the highest measured cpu peak.
+    {
+        workload::Scenario sc = clusterPoint(
+            core::Transport::Udp, smoke ? 2 : 8,
+            core::DispatchPolicy::HashAor, clients, window_secs);
+        sc.name = "bottleneck/" + sc.name;
+        sc.cluster.dispatcherCores = 1;
+        // A deliberately expensive front end: peek/route cost ~100x
+        // their defaults (think deep header inspection on an
+        // underprovisioned box) while the instances keep ample
+        // aggregate capacity, so the bottleneck is unambiguously the
+        // dispatcher machine — the attribution the check pins.
+        sc.proxy.costs.dispatchPeek = sim::usecs(150);
+        sc.proxy.costs.dispatchRoute = sim::usecs(80);
+        sc.telemetry.windowMs = 100;
+        sim::trace::Recorder rec(
+            sim::trace::Recorder::Options{1u << 16});
+        sim::trace::setRecorder(&rec);
+        workload::RunResult r = workload::runScenario(sc);
+        sim::trace::setRecorder(nullptr);
+        bench::logPoint(sc, r);
+
+        check(r.timeseries != nullptr,
+              "bottleneck rung: telemetry captured");
+        if (r.timeseries) {
+            stats::ExplainReport rep = stats::explain(*r.timeseries);
+            std::fputs(rep.text().c_str(), stdout);
+            auto cpuPeak = [&](const stats::MachineReport *m) {
+                const stats::PhaseAttribution *ph =
+                    m ? m->phase("measure") : nullptr;
+                if (!ph)
+                    return 0.0;
+                for (const stats::Ranked &res : ph->resources)
+                    if (res.name == "cpu")
+                        return res.value;
+                return 0.0;
+            };
+            const stats::MachineReport *disp =
+                rep.machine("dispatcher");
+            double disp_peak = cpuPeak(disp);
+            double proxy_peak = 0;
+            std::string proxy_name;
+            for (const stats::MachineReport &m : rep.machines) {
+                if (m.machine.rfind("proxy", 0) == 0
+                    && cpuPeak(&m) > proxy_peak) {
+                    proxy_peak = cpuPeak(&m);
+                    proxy_name = m.machine;
+                }
+            }
+            const stats::PhaseAttribution *disp_measure =
+                disp ? disp->phase("measure") : nullptr;
+            check(disp_measure
+                      && disp_measure->saturationWindow >= 0,
+                  "bottleneck rung: dispatcher saturates in the "
+                  "measured phase");
+            check(disp_peak > proxy_peak,
+                  "bottleneck rung: dispatcher cpu peak ("
+                      + stats::Table::num(disp_peak)
+                      + ") tops every proxy instance (max "
+                      + proxy_name + " "
+                      + stats::Table::num(proxy_peak) + ")");
+        }
+    }
+
+    if (failures) {
+        std::printf("%d cluster self-check(s) FAILED\n", failures);
+        return 1;
+    }
+    std::printf("all cluster self-checks passed\n");
+    return 0;
+}

@@ -186,12 +186,23 @@ struct SweepResult
 
 SweepResult
 runSweep(const char *name, core::Transport transport, int clients,
-         int ops_per_conn, int calls_per_client, std::uint64_t seed)
+         int ops_per_conn, int calls_per_client, std::uint64_t seed,
+         std::uint64_t cluster_aors = 0)
 {
     workload::Scenario sc =
         workload::paperScenario(transport, clients, ops_per_conn);
     sc.callsPerClient = calls_per_client;
     sc.seed = seed;
+    if (cluster_aors > 0) {
+        // The cluster footprint rung: 4 instances behind the
+        // dispatcher, each shard pre-seeded with population/4 AORs.
+        // Wall time exercises the dispatcher relay + sharded lookup
+        // path; peak RSS (gated by check_perf.py) catches a location
+        // service that retains more per AOR than it should.
+        sc.cluster.instances = 4;
+        sc.cluster.policy = core::DispatchPolicy::HashAor;
+        sc.cluster.aorPopulation = cluster_aors;
+    }
     std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
     auto t0 = Clock::now();
     workload::RunResult r = workload::runScenario(sc);
@@ -323,6 +334,10 @@ main(int argc, char **argv)
                               smoke ? 5 : 40, 1));
     sweeps.push_back(runSweep("tcp_churn_50c", core::Transport::Tcp, 50,
                               50, smoke ? 5 : 30, 2));
+    sweeps.push_back(runSweep("cluster_100k_aor_4i",
+                              core::Transport::Udp, 100, 0,
+                              smoke ? 5 : 20, 3,
+                              smoke ? 10000 : 100000));
 
     const char *out_path =
         argc > 1 ? argv[1] : "BENCH_hotpath.json";

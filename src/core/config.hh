@@ -9,6 +9,7 @@
 #define SIPROX_CORE_CONFIG_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "core/cost_model.hh"
 #include "net/addr.hh"
@@ -255,6 +256,39 @@ struct OverloadConfig
     HopControlConfig hop;
 };
 
+/**
+ * One proxy's view of its cluster membership (core/location.hh). The
+ * workload Topology fills this in for every instance of a dispatched
+ * cluster; the default (instances == 0) means "not clustered" and
+ * leaves every single-proxy and chain code path untouched.
+ */
+struct ClusterMemberConfig
+{
+    /** This proxy's instance index (0-based). */
+    int instance = -1;
+    /** Cluster size; 0 disables every cluster code path. */
+    int instances = 0;
+    /** Virtual nodes per instance on the consistent-hash ring. Must
+     *  match the dispatcher's so AOR ownership agrees end to end. */
+    int vnodes = 64;
+    /** Serve reads from async-replicated bindings when the local shard
+     *  does not own the AOR (staleness-for-locality trade; off means
+     *  every non-owned lookup forwards to the owner instance). */
+    bool staleReads = false;
+    /** Replication staleness knob: a binding written at t is pushed to
+     *  the peers no earlier than t + replicationLag. */
+    sim::SimTime replicationLag = sim::msecs(50);
+    /** SIP addresses of every instance (index-aligned), for the
+     *  cache-miss forwarding path. */
+    std::vector<net::Addr> peers;
+    /** Replication-socket addresses of every instance. */
+    std::vector<net::Addr> replPeers;
+    /** UDP port the replication receiver binds. */
+    std::uint16_t replPort = 5070;
+
+    bool enabled() const { return instances > 0; }
+};
+
 /** Full proxy configuration. */
 struct ProxyConfig
 {
@@ -329,6 +363,9 @@ struct ProxyConfig
      * (existing digest goldens pin the exact wire bytes).
      */
     std::uint64_t branchSaltBase = 0x5150;
+
+    /** Cluster membership (disabled by default). */
+    ClusterMemberConfig cluster;
 
     CostModel costs;
 };

@@ -79,6 +79,18 @@ struct CostModel
     /** Hitting the per-worker fd cache (§5.2 fix). */
     SimTime fdCacheHit = sim::usecs(3);
 
+    // --- cluster dispatcher / sharded location service --------------------
+    /** Dispatcher L7 peek: parse enough of a message to pick an
+     *  instance (cheaper than full proxy parsing — no header
+     *  rewriting, no transaction work). */
+    SimTime dispatchPeek = sim::usecs(1.5);
+    /** Dispatcher routing decision (hash/round-robin + table walk). */
+    SimTime dispatchRoute = sim::usecs(0.8);
+    /** Lookup in the async-replicated (non-owned) binding store. */
+    SimTime replicaLookup = sim::usecs(1.2);
+    /** Install one replicated binding pushed by a peer. */
+    SimTime replicaInstall = sim::usecs(1.8);
+
     // --- misc -------------------------------------------------------------
     /** Event-loop bookkeeping per poll wakeup. */
     SimTime pollOverhead = sim::usecs(1.0);

@@ -310,6 +310,26 @@ Engine::handleRegister(sim::Process &p, sip::SipMessage msg,
                              Binding{*contact, src.connId});
     shared_.registrar.lock().release();
 
+    if (shared_.location.enabled()) {
+        if (shared_.location.owns(to_uri->user)) {
+            // Owner shard: replicate the binding to the peers after
+            // the configured lag (the replicator process drains the
+            // queue and pushes over the replication sockets).
+            co_await shared_.location.lock().acquire(p);
+            shared_.location.queuePush(to_uri->user,
+                                       contact->toString(),
+                                       p.sim().now());
+            shared_.location.lock().release();
+            ++shared_.counters.locReplPushes;
+        } else {
+            // The dispatcher pins REGISTERs to the owner, so this is
+            // the defensive path (direct registration at the wrong
+            // instance): the binding is stored locally and counted,
+            // but never replicated — it is not ours to own.
+            ++shared_.counters.locRegisterForwards;
+        }
+    }
+
     if (tcp()) {
         // The contact address must route over this connection.
         if (auto addr = sip::addrFromUri(*contact)) {
@@ -459,30 +479,66 @@ Engine::handleRequest(sim::Process &p, sip::SipMessage msg,
     } else {
         const std::string user = msg.requestUri().user;
 
-        co_await shared_.registrar.lock().acquire(p);
-        co_await p.cpu(scaled(cfg_.costs.registrarLookup), ccUsrloc_);
-        auto binding = shared_.registrar.lookup(user);
-        shared_.registrar.lock().release();
-
-        if (binding) {
-            target = binding->contact;
-        } else if (auto direct = sip::addrFromUri(msg.requestUri());
-                   direct && *direct != proxyAddr_) {
-            target = msg.requestUri();
-        } else {
-            ++shared_.counters.routeFailures;
-            if (!is_ack)
-                co_await replyTo(p, msg, sip::status::kNotFound, src,
-                                 out);
-            co_return;
+        // Cluster path: when another instance's shard owns the callee,
+        // either serve from the async-replicated local copy (stale
+        // reads) or forward the request itself to the owner over a
+        // real inter-proxy socket — the second hop pays full
+        // parse/route/serialize there.
+        bool routed = false;
+        LocationService &loc = shared_.location;
+        if (loc.enabled() && !loc.owns(user)) {
+            if (loc.config().staleReads) {
+                co_await loc.lock().acquire(p);
+                co_await p.cpu(scaled(cfg_.costs.replicaLookup),
+                               ccUsrloc_);
+                auto replica = loc.replicaLookup(user);
+                loc.lock().release();
+                if (replica) {
+                    target = replica->contact;
+                    dst = sip::addrFromUri(target);
+                    if (dst) {
+                        ++shared_.counters.locReplicaHits;
+                        routed = true;
+                    }
+                }
+            }
+            if (!routed) {
+                ++shared_.counters.locMissForwards;
+                target = msg.requestUri(); // the owner re-routes it
+                dst = loc.peerAddr(loc.owner(user));
+                routed = dst->valid();
+            }
         }
-        dst = sip::addrFromUri(target);
-        if (!dst) {
-            ++shared_.counters.routeFailures;
-            if (!is_ack)
-                co_await replyTo(p, msg, sip::status::kNotFound, src,
-                                 out);
-            co_return;
+
+        if (!routed) {
+            co_await shared_.registrar.lock().acquire(p);
+            co_await p.cpu(scaled(cfg_.costs.registrarLookup),
+                           ccUsrloc_);
+            auto binding = shared_.registrar.lookup(user);
+            shared_.registrar.lock().release();
+
+            if (binding) {
+                if (loc.enabled())
+                    ++shared_.counters.locLocalHits;
+                target = binding->contact;
+            } else if (auto direct = sip::addrFromUri(msg.requestUri());
+                       direct && *direct != proxyAddr_) {
+                target = msg.requestUri();
+            } else {
+                ++shared_.counters.routeFailures;
+                if (!is_ack)
+                    co_await replyTo(p, msg, sip::status::kNotFound,
+                                     src, out);
+                co_return;
+            }
+            dst = sip::addrFromUri(target);
+            if (!dst) {
+                ++shared_.counters.routeFailures;
+                if (!is_ack)
+                    co_await replyTo(p, msg, sip::status::kNotFound,
+                                     src, out);
+                co_return;
+            }
         }
     }
 

@@ -1,0 +1,100 @@
+#include "core/location.hh"
+
+#include <algorithm>
+
+namespace siprox::core {
+
+std::uint64_t
+HashRing::hash(std::string_view s)
+{
+    // FNV-1a 64-bit: deterministic across platforms (the ring feeds
+    // digest-pinned counters, so std::hash's unspecified algorithm is
+    // not an option).
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    // Raw FNV-1a clusters badly on the short keys this ring sees
+    // ("c17", "inst3#v42"): without avalanching, whole instances end
+    // up owning nothing. Finish with the murmur3 fmix64 steps.
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+}
+
+void
+HashRing::build(int instances, int vnodes)
+{
+    ring_.clear();
+    if (instances <= 0 || vnodes <= 0)
+        return;
+    ring_.reserve(static_cast<std::size_t>(instances)
+                  * static_cast<std::size_t>(vnodes));
+    std::string label;
+    for (int i = 0; i < instances; ++i) {
+        for (int v = 0; v < vnodes; ++v) {
+            label = "inst" + std::to_string(i) + "#v"
+                + std::to_string(v);
+            ring_.emplace_back(hash(label), i);
+        }
+    }
+    std::sort(ring_.begin(), ring_.end());
+}
+
+int
+HashRing::owner(std::string_view key) const
+{
+    if (ring_.empty())
+        return -1;
+    const std::uint64_t h = hash(key);
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const auto &point, std::uint64_t v) {
+            return point.first < v;
+        });
+    if (it == ring_.end())
+        it = ring_.begin(); // wrap around
+    return it->second;
+}
+
+void
+LocationService::configure(const ClusterMemberConfig &cfg)
+{
+    cfg_ = cfg;
+    ring_.build(cfg.instances, cfg.vnodes);
+}
+
+std::string
+renderReplication(const std::string &user, const std::string &contact)
+{
+    std::string out;
+    out.reserve(5 + user.size() + 1 + contact.size());
+    out += "REPL ";
+    out += user;
+    out += ' ';
+    out += contact;
+    return out;
+}
+
+bool
+parseReplication(std::string_view wire, std::string &user,
+                 std::string &contact)
+{
+    constexpr std::string_view kTag = "REPL ";
+    if (wire.substr(0, kTag.size()) != kTag)
+        return false;
+    wire.remove_prefix(kTag.size());
+    std::size_t sp = wire.find(' ');
+    if (sp == std::string_view::npos || sp == 0
+        || sp + 1 >= wire.size())
+        return false;
+    user.assign(wire.substr(0, sp));
+    contact.assign(wire.substr(sp + 1));
+    return true;
+}
+
+} // namespace siprox::core

@@ -1,5 +1,10 @@
 #include "core/proxy.hh"
 
+#include <algorithm>
+
+#include "net/datagram.hh"
+#include "sim/profiler.hh"
+
 namespace siprox::core {
 
 Proxy::Proxy(sim::Machine &machine, net::Host &host, ProxyConfig cfg)
@@ -21,8 +26,73 @@ Proxy::start()
     shared_.overload.configure(cfg_.overload, &shared_.txns,
                                &shared_.counters);
     shared_.hopGate.configure(cfg_.overload.hop, &shared_.counters);
+    if (cfg_.cluster.enabled()) {
+        shared_.location.configure(cfg_.cluster);
+        if (cfg_.cluster.instances > 1) {
+            replSock_ = &host_.udpBind(cfg_.cluster.replPort);
+            machine_.spawn("locpeer", 0, [this](sim::Process &p) {
+                return locPeerMain(p);
+            });
+            machine_.spawn("replicator", 0, [this](sim::Process &p) {
+                return replicatorMain(p);
+            });
+        }
+    }
     arch_ = makeServerArch(machine_, host_, shared_, cfg_);
     arch_->start();
+}
+
+sim::Task
+Proxy::locPeerMain(sim::Process &p)
+{
+    const sim::CostCenterId cc =
+        sim::CostCenters::id("cluster:replicate");
+    std::string user, contact;
+    while (!clusterStop_) {
+        net::Datagram dgram;
+        co_await replSock_->recvFrom(p, dgram);
+        if (clusterStop_)
+            break;
+        if (!parseReplication(dgram.payload, user, contact))
+            continue;
+        auto uri = sip::SipUri::parse(contact);
+        if (!uri)
+            continue;
+        co_await shared_.location.lock().acquire(p);
+        co_await p.cpu(cfg_.costs.replicaInstall, cc);
+        shared_.location.installReplica(user,
+                                        Binding{std::move(*uri), 0});
+        shared_.location.lock().release();
+        ++shared_.counters.locReplInstalls;
+    }
+}
+
+sim::Task
+Proxy::replicatorMain(sim::Process &p)
+{
+    const sim::SimTime tick = std::max<sim::SimTime>(
+        sim::msecs(1), cfg_.cluster.replicationLag / 4);
+    while (!clusterStop_) {
+        co_await p.sleepFor(tick);
+        for (;;) {
+            LocationService::Pending due;
+            co_await shared_.location.lock().acquire(p);
+            bool have =
+                shared_.location.popDue(p.sim().now(), due);
+            shared_.location.lock().release();
+            if (!have)
+                break;
+            std::string wire =
+                renderReplication(due.user, due.contact);
+            for (std::size_t i = 0;
+                 i < cfg_.cluster.replPeers.size(); ++i) {
+                if (static_cast<int>(i) == cfg_.cluster.instance)
+                    continue;
+                co_await replSock_->sendTo(
+                    p, cfg_.cluster.replPeers[i], wire);
+            }
+        }
+    }
 }
 
 std::size_t
@@ -52,6 +122,7 @@ Proxy::acceptRefused() const
 void
 Proxy::requestStop()
 {
+    clusterStop_ = true;
     if (arch_)
         arch_->requestStop();
 }

@@ -17,6 +17,7 @@
 #include "core/config.hh"
 #include "core/shared.hh"
 #include "net/network.hh"
+#include "net/udp.hh"
 #include "sim/machine.hh"
 
 namespace siprox::core {
@@ -69,11 +70,19 @@ class Proxy
     std::uint64_t acceptRefused() const;
 
   private:
+    /** Cluster replication: install replicas pushed by shard owners. */
+    sim::Task locPeerMain(sim::Process &p);
+    /** Cluster replication: drain the pending queue after the lag. */
+    sim::Task replicatorMain(sim::Process &p);
+
     sim::Machine &machine_;
     net::Host &host_;
     ProxyConfig cfg_;
     SharedState shared_;
     std::unique_ptr<ServerArch> arch_;
+    /** Replication socket (clusters with >1 instance only). */
+    net::UdpSocket *replSock_ = nullptr;
+    bool clusterStop_ = false;
 };
 
 } // namespace siprox::core

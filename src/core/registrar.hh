@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "sim/sync.hh"
+#include "sim/time.hh"
 #include "sip/uri.hh"
 
 namespace siprox::core {
@@ -25,6 +26,10 @@ struct Binding
     sip::SipUri contact;
     /** TCP connection the REGISTER arrived on (0 for UDP/SCTP). */
     std::uint64_t connId = 0;
+    /** Absolute expiry instant; 0 means "never expires" (the engine's
+     *  default — phones re-register within the run, and the pinned
+     *  digests predate expiry). */
+    sim::SimTime expiresAt = 0;
 };
 
 /**
@@ -50,6 +55,42 @@ class Registrar
         if (it == bindings_.end())
             return std::nullopt;
         return it->second;
+    }
+
+    /**
+     * Expiry-aware lookup: a binding whose expiresAt has passed is
+     * erased (lazy reclamation, as OpenSER's usrloc timer would) and
+     * reported as absent. Must be called with the lock held.
+     */
+    std::optional<Binding>
+    lookup(const std::string &user, sim::SimTime now)
+    {
+        auto it = bindings_.find(user);
+        if (it == bindings_.end())
+            return std::nullopt;
+        if (it->second.expiresAt != 0 && it->second.expiresAt <= now) {
+            bindings_.erase(it);
+            return std::nullopt;
+        }
+        return it->second;
+    }
+
+    /** Sweep every expired binding; returns how many were reclaimed.
+     *  Must be called with the lock held. */
+    std::size_t
+    expireOlderThan(sim::SimTime now)
+    {
+        std::size_t n = 0;
+        for (auto it = bindings_.begin(); it != bindings_.end();) {
+            if (it->second.expiresAt != 0
+                && it->second.expiresAt <= now) {
+                it = bindings_.erase(it);
+                ++n;
+            } else {
+                ++it;
+            }
+        }
+        return n;
     }
 
     std::size_t size() const { return bindings_.size(); }

@@ -11,6 +11,7 @@
 
 #include "core/conn_table.hh"
 #include "core/hopctl.hh"
+#include "core/location.hh"
 #include "core/overload.hh"
 #include "core/registrar.hh"
 #include "core/txn_table.hh"
@@ -64,6 +65,13 @@ struct ProxyCounters
     std::uint64_t hopThrottleRejects = 0; ///< 503s from the hop gate
     std::uint64_t hopThrottleDrops = 0; ///< pre-parse drops (on/off)
     std::uint64_t hopGrantExpired = 0; ///< stale grants failed open
+    // --- sharded location service (clusters only) -----------------------
+    std::uint64_t locLocalHits = 0;    ///< lookups served by own shard
+    std::uint64_t locReplicaHits = 0;  ///< stale reads from replicas
+    std::uint64_t locMissForwards = 0; ///< requests forwarded to owner
+    std::uint64_t locRegisterForwards = 0; ///< REGISTERs at a non-owner
+    std::uint64_t locReplPushes = 0;   ///< binding writes replicated out
+    std::uint64_t locReplInstalls = 0; ///< replica bindings installed
 
     /** Field-wise accumulate (chain runs sum counters across hops). */
     void
@@ -109,6 +117,12 @@ struct ProxyCounters
         hopThrottleRejects += o.hopThrottleRejects;
         hopThrottleDrops += o.hopThrottleDrops;
         hopGrantExpired += o.hopGrantExpired;
+        locLocalHits += o.locLocalHits;
+        locReplicaHits += o.locReplicaHits;
+        locMissForwards += o.locMissForwards;
+        locRegisterForwards += o.locRegisterForwards;
+        locReplPushes += o.locReplPushes;
+        locReplInstalls += o.locReplInstalls;
     }
 };
 
@@ -124,6 +138,8 @@ struct SharedState
     OverloadController overload;
     /** Upstream side of hop-by-hop control (per-destination gate). */
     HopThrottleTable hopGate;
+    /** Cluster shard membership + replica store (disabled by default). */
+    LocationService location;
 };
 
 } // namespace siprox::core

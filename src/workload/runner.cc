@@ -9,6 +9,7 @@
 
 #include "core/proxy.hh"
 #include "net/network.hh"
+#include "workload/topology.hh"
 #include "phone/phone.hh"
 #include "sim/mem_stats.hh"
 #include "sim/simulation.hh"
@@ -207,13 +208,51 @@ chainSupportError(const Scenario &sc)
     return nullptr;
 }
 
+const char *
+clusterSupportError(const Scenario &sc)
+{
+    const ClusterConfig &cl = sc.cluster;
+    if (!cl.enabled())
+        return nullptr;
+    if (cl.instances > 16)
+        return "clusters support at most 16 proxy instances; beyond "
+               "that the dispatcher model (one machine, one socket) "
+               "stops being the interesting bottleneck";
+    if (!sc.chain.empty())
+        return "cluster and chain topologies are mutually exclusive: "
+               "a cluster is N peers behind one dispatcher, not a "
+               "linear pipeline — pick one";
+    if (const char *err =
+            core::dispatchSupportError(cl.policy, sc.proxy.transport))
+        return err;
+    if (const char *err = core::archSupportError(sc.proxy.arch,
+                                                 sc.proxy.transport))
+        return err;
+    if (sc.proxy.redirect)
+        return "redirect mode hands the caller the contact directly, "
+               "bypassing the dispatcher on the next request; run it "
+               "single-proxy";
+    if (cl.dispatcherCores < 1 || cl.dispatcherWorkers < 1)
+        return "the dispatcher needs at least one core and one worker";
+    if (cl.vnodes < 1)
+        return "the consistent-hash ring needs at least one virtual "
+               "node per instance";
+    if (cl.aorPopulation > 1000000)
+        return "pre-seeded AOR populations are capped at 1M per "
+               "cluster (beyond that the seeding loop dominates run "
+               "setup)";
+    return nullptr;
+}
+
 RunResult
 runScenario(const Scenario &sc)
 {
     if (const char *err = chainSupportError(sc))
         throw std::invalid_argument(std::string("chain topology: ")
                                     + err);
-    const std::size_t hops = sc.chain.empty() ? 1 : sc.chain.size();
+    if (const char *err = clusterSupportError(sc))
+        throw std::invalid_argument(std::string("cluster topology: ")
+                                    + err);
 
     // Per-run retained-bytes high-water marks (pools persist across
     // runs in one process; the peaks should describe this scenario).
@@ -221,50 +260,19 @@ runScenario(const Scenario &sc)
 
     sim::Simulation simu(sc.seed);
     net::Network network(simu, sc.net);
-    // Machine naming keeps the single-proxy case byte-identical to
-    // the pre-chain runner ("server"); chain hops are numbered.
-    std::vector<sim::Machine *> server_machines;
-    std::vector<net::Host *> server_hosts;
-    for (std::size_t i = 0; i < hops; ++i) {
-        auto &m = simu.addMachine(
-            hops == 1 ? std::string("server")
-                      : "server" + std::to_string(i),
-            sc.serverCores);
-        server_machines.push_back(&m);
-        server_hosts.push_back(&network.attach(m));
-    }
-    net::Host &server_host = *server_hosts.front(); // edge (faults)
-
-    // Hosts exist before any proxy starts, so each hop can point at
-    // the next one's address; the last hop is the chain destination
-    // and keeps an invalid nextHop (routes via its registrar).
-    std::vector<std::unique_ptr<core::Proxy>> proxies;
-    for (std::size_t i = 0; i < hops; ++i) {
-        core::ProxyConfig cfg = sc.proxy;
-        if (!sc.chain.empty()) {
-            const ChainHop &hop = sc.chain[i];
-            cfg.arch = hop.arch;
-            if (hop.transport)
-                cfg.transport = *hop.transport;
-            if (hop.workers > 0)
-                cfg.workers = hop.workers;
-            if (hop.overloadPolicy)
-                cfg.overload.policy = *hop.overloadPolicy;
-            if (i + 1 < hops)
-                cfg.nextHop = server_hosts[i + 1]->addr(sc.proxy.port);
-            // Disjoint per-hop branch salts: a proxy's transaction
-            // table keys on both its own and its upstream's branches,
-            // so identical generator streams on two hops collide
-            // (the second INVITE is eaten as a "retransmission").
-            cfg.branchSaltBase = sc.proxy.branchSaltBase
-                + (i << 20);
-        }
-        proxies.push_back(std::make_unique<core::Proxy>(
-            *server_machines[i], *server_hosts[i], cfg));
-        proxies.back()->start();
-    }
-    core::Proxy &proxy = *proxies.front();       // edge: callers
-    core::Proxy &dest_proxy = *proxies.back();   // destination: callees
+    // All server-side machine/host/proxy wiring (single proxy, chain,
+    // or dispatched cluster) lives in the topology layer.
+    Topology topo(simu, network, sc);
+    const std::size_t hops = topo.hops();
+    std::vector<sim::Machine *> &server_machines = topo.serverMachines();
+    std::vector<net::Host *> &server_hosts = topo.serverHosts();
+    std::vector<std::unique_ptr<core::Proxy>> &proxies = topo.proxies();
+    // Profile/utilization accounting covers every proxy machine plus,
+    // in a cluster, the dispatcher machine (appended last).
+    std::vector<sim::Machine *> profiled = topo.profiledMachines();
+    net::Host &server_host = topo.faultHost(); // what phones talk to
+    core::Proxy &proxy = topo.edge();          // edge: callers
+    core::Proxy &dest_proxy = topo.dest();     // destination: callees
 
     std::vector<sim::Machine *> client_machines;
     std::vector<net::Host *> client_hosts;
@@ -331,7 +339,7 @@ runScenario(const Scenario &sc)
             *client_hosts[static_cast<std::size_t>(m)],
             mk_cfg("c" + std::to_string(i),
                    static_cast<std::uint16_t>(16000 + i),
-                   dest_proxy.addr())));
+                   topo.calleeEntry())));
         callees.back()->startCallee(calls_per_client,
                                     &phases.registered, nullptr);
         callers.push_back(std::make_unique<phone::Phone>(
@@ -339,7 +347,7 @@ runScenario(const Scenario &sc)
             *client_hosts[static_cast<std::size_t>(m)],
             mk_cfg("a" + std::to_string(i),
                    static_cast<std::uint16_t>(6000 + i),
-                   proxy.addr())));
+                   topo.callerEntry())));
         callers.back()->startCaller(calls_per_client,
                                     "c" + std::to_string(i),
                                     &phases.registered, &phases.start,
@@ -348,7 +356,7 @@ runScenario(const Scenario &sc)
 
     client_machines[0]->spawn(
         "manager", 0, [&](sim::Process &p) {
-            return managerMain(p, &phases, server_machines,
+            return managerMain(p, &phases, profiled,
                                client_machines);
         });
 
@@ -372,9 +380,10 @@ runScenario(const Scenario &sc)
     std::shared_ptr<stats::TimeSeries> telemetry;
     std::vector<stats::Series *> hop_series, client_series;
     stats::Series *phone_series = nullptr;
+    stats::Series *disp_series = nullptr;
     stats::Series *net_series = nullptr;
     std::vector<stats::Series *> all_series;
-    std::vector<ServedWindow> served(hops);
+    std::vector<ServedWindow> served(proxies.size());
     std::function<void(sim::SimTime)> telemetry_sample;
     std::function<void(sim::SimTime)> telemetry_boundary;
     if (sc.telemetry.enabled()) {
@@ -382,7 +391,9 @@ runScenario(const Scenario &sc)
             core::transportName(sc.proxy.transport);
         telemetry = std::make_shared<stats::TimeSeries>(
             sc.name, sc.seed, sc.telemetry.window(), transport);
-        for (std::size_t i = 0; i < hops; ++i) {
+        // One series per proxy instance: chain hops (hop = chain
+        // index) or cluster members (hop = instance index).
+        for (std::size_t i = 0; i < proxies.size(); ++i) {
             hop_series.push_back(&telemetry->add(
                 server_machines[i]->name(), static_cast<int>(i),
                 core::archKindName(proxies[i]->arch()->kind()),
@@ -397,6 +408,11 @@ runScenario(const Scenario &sc)
                     ++sw->servedTotal;
                 });
         }
+        if (topo.cluster()) {
+            disp_series = &telemetry->add(
+                topo.dispatcherMachine()->name(), -1, "dispatcher",
+                transport);
+        }
         for (std::size_t i = 0; i < client_machines.size(); ++i) {
             client_series.push_back(&telemetry->add(
                 client_machines[i]->name(), -1, "", transport));
@@ -405,13 +421,15 @@ runScenario(const Scenario &sc)
         net_series = &telemetry->add("net", -1, "", transport);
         for (stats::Series *s : hop_series)
             all_series.push_back(s);
+        if (disp_series)
+            all_series.push_back(disp_series);
         for (stats::Series *s : client_series)
             all_series.push_back(s);
         all_series.push_back(phone_series);
         all_series.push_back(net_series);
 
         telemetry_sample = [&](sim::SimTime) {
-            for (std::size_t i = 0; i < hops; ++i) {
+            for (std::size_t i = 0; i < proxies.size(); ++i) {
                 stats::Series &s = *hop_series[i];
                 core::Proxy &px = *proxies[i];
                 sampleMachine(s, *server_machines[i],
@@ -446,6 +464,13 @@ runScenario(const Scenario &sc)
                 s.counter("queue.recvDrops", px.recvQueueDrops());
                 s.counter("accept.refused", px.acceptRefused());
                 s.counter("served.count", served[i].servedTotal);
+                if (topo.cluster()) {
+                    s.counter("loc.localHits", c.locLocalHits);
+                    s.counter("loc.replicaHits", c.locReplicaHits);
+                    s.counter("loc.missForwards", c.locMissForwards);
+                    s.counter("loc.replPushes", c.locReplPushes);
+                    s.counter("loc.replInstalls", c.locReplInstalls);
+                }
 
                 const core::ProxyConfig &cfg = px.config();
                 core::SharedState &sh = px.shared();
@@ -518,6 +543,26 @@ runScenario(const Scenario &sc)
                     arch->appendTelemetryGauges(gauges);
                     for (const core::ArchGauge &g : gauges)
                         s.gauge(g.name, g.value);
+                }
+            }
+
+            if (disp_series) {
+                stats::Series &s = *disp_series;
+                sampleMachine(s, *topo.dispatcherMachine(),
+                              *topo.dispatcherHost());
+                const core::DispatcherStats &d =
+                    topo.dispatcher()->stats();
+                s.counter("disp.messagesIn", d.messagesIn);
+                s.counter("disp.requestsRouted", d.requestsRouted);
+                s.counter("disp.responsesRouted", d.responsesRouted);
+                s.counter("disp.registersRouted", d.registersRouted);
+                s.counter("disp.peekFailures", d.peekFailures);
+                s.counter("disp.dropsNoRoute", d.dropsNoRoute);
+                s.counter("disp.clientConnsAccepted",
+                          d.clientConnsAccepted);
+                for (std::size_t i = 0; i < d.toInstance.size(); ++i) {
+                    s.counter("disp.toInstance" + std::to_string(i),
+                              d.toInstance[i]);
                 }
             }
 
@@ -679,6 +724,12 @@ runScenario(const Scenario &sc)
         for (const auto &px : proxies)
             result.hopCounters.push_back(px->shared().counters);
     }
+    if (topo.cluster()) {
+        result.clusterInstances = static_cast<int>(proxies.size());
+        for (const auto &px : proxies)
+            result.instanceCounters.push_back(px->shared().counters);
+        result.dispatcherStats = topo.dispatcher()->stats();
+    }
     result.net = network.stats();
     result.faults = network.faults().stats();
     if (const core::ServerArch *arch = proxy.arch()) {
@@ -690,10 +741,11 @@ runScenario(const Scenario &sc)
     // distributed schemes protect (single proxy: the only machine).
     result.serverProfile = server_machines.back()->profiler();
     if (result.duration > 0) {
-        // Server utilization reports the busiest hop.
-        for (std::size_t i = 0; i < server_machines.size(); ++i) {
+        // Server utilization reports the busiest server-side machine
+        // (hop, cluster instance, or the dispatcher).
+        for (std::size_t i = 0; i < profiled.size(); ++i) {
             double capacity = sim::toSecs(result.duration)
-                * server_machines[i]->scheduler().cores();
+                * profiled[i]->scheduler().cores();
             // Bursts spanning the phase boundary are charged when
             // they end, so clamp the tiny resulting over-count.
             result.serverUtilization = std::max(
@@ -701,7 +753,7 @@ runScenario(const Scenario &sc)
                 std::min(
                     1.0,
                     sim::toSecs(
-                        server_machines[i]->scheduler().busyTime()
+                        profiled[i]->scheduler().busyTime()
                         - (i < phases.serverBusyAtStart.size()
                                ? phases.serverBusyAtStart[i]
                                : 0))
@@ -725,8 +777,7 @@ runScenario(const Scenario &sc)
     result.memArenaPeak = mem.arena.peak;
     result.memEventSlabPeak = mem.eventSlab.peak;
     result.memFramePoolPeak = mem.framePool.peak;
-    for (auto &px : proxies)
-        px->requestStop();
+    topo.requestStop();
     return result;
 }
 
@@ -872,6 +923,49 @@ RunResult::digest() const
             addh("hopGrantExpired", h.hopGrantExpired);
         }
     }
+    // Cluster group: appended only for cluster runs, so every
+    // pre-cluster golden digest stays byte-identical.
+    if (clusterInstances > 0) {
+        add("clusterInstances",
+            static_cast<std::uint64_t>(clusterInstances));
+        add("dispMessagesIn", dispatcherStats.messagesIn);
+        add("dispRequestsRouted", dispatcherStats.requestsRouted);
+        add("dispResponsesRouted", dispatcherStats.responsesRouted);
+        add("dispRegistersRouted", dispatcherStats.registersRouted);
+        add("dispPeekFailures", dispatcherStats.peekFailures);
+        add("dispDropsNoRoute", dispatcherStats.dropsNoRoute);
+        add("dispClientConnsAccepted",
+            dispatcherStats.clientConnsAccepted);
+        add("locLocalHits", counters.locLocalHits);
+        add("locReplicaHits", counters.locReplicaHits);
+        add("locMissForwards", counters.locMissForwards);
+        add("locRegisterForwards", counters.locRegisterForwards);
+        add("locReplPushes", counters.locReplPushes);
+        add("locReplInstalls", counters.locReplInstalls);
+        for (std::size_t i = 0; i < instanceCounters.size(); ++i) {
+            const core::ProxyCounters &h = instanceCounters[i];
+            std::string prefix = "inst" + std::to_string(i) + ".";
+            auto addi = [&out, &prefix](const char *name,
+                                        std::uint64_t v) {
+                out += prefix;
+                out += name;
+                out += '=';
+                out += std::to_string(v);
+                out += '\n';
+            };
+            addi("messagesIn", h.messagesIn);
+            addi("forwards", h.forwards);
+            addi("localReplies", h.localReplies);
+            addi("registrations", h.registrations);
+            addi("locLocalHits", h.locLocalHits);
+            addi("locReplicaHits", h.locReplicaHits);
+            addi("locMissForwards", h.locMissForwards);
+            addi("locReplPushes", h.locReplPushes);
+            addi("locReplInstalls", h.locReplInstalls);
+            if (i < dispatcherStats.toInstance.size())
+                addi("dispatched", dispatcherStats.toInstance[i]);
+        }
+    }
     out += faults.digest();
     return out;
 }
@@ -986,6 +1080,50 @@ collectMetrics(const RunResult &r)
                        h.hopThrottleRejects);
         reg.setCounter(prefix + "hopThrottleDrops", h.hopThrottleDrops);
         reg.setCounter(prefix + "hopGrantExpired", h.hopGrantExpired);
+    }
+
+    // Cluster topology: dispatcher front-end counters plus per-instance
+    // counters under proxy.<i>.*. Non-cluster runs emit none of these.
+    if (r.clusterInstances > 0) {
+        reg.setCounter("cluster.instances",
+                       static_cast<std::uint64_t>(r.clusterInstances));
+        const core::DispatcherStats &d = r.dispatcherStats;
+        reg.setCounter("dispatcher.messagesIn", d.messagesIn);
+        reg.setCounter("dispatcher.requestsRouted", d.requestsRouted);
+        reg.setCounter("dispatcher.responsesRouted",
+                       d.responsesRouted);
+        reg.setCounter("dispatcher.registersRouted",
+                       d.registersRouted);
+        reg.setCounter("dispatcher.peekFailures", d.peekFailures);
+        reg.setCounter("dispatcher.dropsNoRoute", d.dropsNoRoute);
+        reg.setCounter("dispatcher.clientConnsAccepted",
+                       d.clientConnsAccepted);
+        reg.setCounter("proxy.locLocalHits", c.locLocalHits);
+        reg.setCounter("proxy.locReplicaHits", c.locReplicaHits);
+        reg.setCounter("proxy.locMissForwards", c.locMissForwards);
+        reg.setCounter("proxy.locRegisterForwards",
+                       c.locRegisterForwards);
+        reg.setCounter("proxy.locReplPushes", c.locReplPushes);
+        reg.setCounter("proxy.locReplInstalls", c.locReplInstalls);
+        for (std::size_t i = 0; i < r.instanceCounters.size(); ++i) {
+            const core::ProxyCounters &h = r.instanceCounters[i];
+            std::string prefix = "proxy." + std::to_string(i) + ".";
+            reg.setCounter(prefix + "messagesIn", h.messagesIn);
+            reg.setCounter(prefix + "forwards", h.forwards);
+            reg.setCounter(prefix + "localReplies", h.localReplies);
+            reg.setCounter(prefix + "registrations", h.registrations);
+            reg.setCounter(prefix + "locLocalHits", h.locLocalHits);
+            reg.setCounter(prefix + "locReplicaHits",
+                           h.locReplicaHits);
+            reg.setCounter(prefix + "locMissForwards",
+                           h.locMissForwards);
+            reg.setCounter(prefix + "locReplPushes", h.locReplPushes);
+            reg.setCounter(prefix + "locReplInstalls",
+                           h.locReplInstalls);
+            if (i < d.toInstance.size())
+                reg.setCounter(prefix + "dispatched",
+                               d.toInstance[i]);
+        }
     }
 
     // Network counters.

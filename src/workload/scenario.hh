@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "core/dispatcher.hh"
 #include "core/shared.hh"
 #include "net/config.hh"
 #include "net/network.hh"
@@ -74,6 +75,39 @@ struct ChainHop
     std::optional<core::OverloadPolicy> overloadPolicy;
 };
 
+/**
+ * A dispatched proxy cluster: N peer proxy instances behind a front-end
+ * dispatcher machine, each owning a consistent-hash shard of the
+ * location database. Mutually exclusive with Scenario::chain.
+ */
+struct ClusterConfig
+{
+    /** Proxy instances (0 disables clustering entirely). */
+    int instances = 0;
+    /** How the dispatcher places non-REGISTER requests. */
+    core::DispatchPolicy policy = core::DispatchPolicy::HashAor;
+    /** Cores on the dispatcher machine (it is intentionally small —
+     *  the point of a cluster is that the front end does less work per
+     *  message than a proxy). */
+    int dispatcherCores = 2;
+    /** Receive loops on the dispatcher's shared UDP socket. */
+    int dispatcherWorkers = 8;
+    /** Virtual nodes per instance on the consistent-hash ring. */
+    int vnodes = 64;
+    /** Delay before a binding written at its owner becomes visible in
+     *  peer replicas (async replication staleness knob). */
+    sim::SimTime replicationLag = sim::msecs(50);
+    /** Serve lookups from the local replica when the shard owner is
+     *  remote (stale reads) instead of forwarding to the owner. */
+    bool staleReads = false;
+    /** Pre-seeded AOR population ("u0".."u<n-1>") resident in the
+     *  shards before the run: models a large installed user base whose
+     *  state pressures per-instance caches (100k-1M rungs). */
+    std::uint64_t aorPopulation = 0;
+
+    bool enabled() const { return instances > 0; }
+};
+
 /** One benchmark configuration. */
 struct Scenario
 {
@@ -128,11 +162,22 @@ struct Scenario
      * between the client machines and the edge.
      */
     std::vector<ChainHop> chain;
+    /**
+     * Dispatched cluster. Disabled (default): behaviour and digests are
+     * byte-identical to pre-cluster runs. Enabled: `proxy` above is the
+     * per-instance base config, `chain` must be empty, and phones talk
+     * to the dispatcher instead of a proxy.
+     */
+    ClusterConfig cluster;
 };
 
 /** nullptr if the scenario's chain topology is runnable, else a static
  *  reason string (mirrors core::archSupportError's contract). */
 const char *chainSupportError(const Scenario &scenario);
+
+/** nullptr if the scenario's cluster topology is runnable, else a
+ *  static reason string (same contract as chainSupportError). */
+const char *clusterSupportError(const Scenario &scenario);
 
 /** One proxy-occupancy sample (overload-onset time series). */
 struct OccupancySample
@@ -168,6 +213,12 @@ struct RunResult
     core::ProxyCounters counters;
     /** Per-hop proxy counters, edge first. Empty for a single proxy. */
     std::vector<core::ProxyCounters> hopCounters;
+    /** Cluster width (0 for non-cluster runs). */
+    int clusterInstances = 0;
+    /** Per-instance proxy counters (clusters only; instance order). */
+    std::vector<core::ProxyCounters> instanceCounters;
+    /** Dispatcher front-end counters (clusters only). */
+    core::DispatcherStats dispatcherStats;
     /** Network-level traffic counters. */
     net::NetStats net;
     /** Per-link injected-fault counters. */

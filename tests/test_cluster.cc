@@ -1,0 +1,581 @@
+/**
+ * @file
+ * Cluster topology tests: the tentpole golden pin
+ * (SingleProxyAndChainDigestsUnchangedByTopology) proving the
+ * Topology extraction left every pre-existing scenario byte-identical,
+ * plus unit and integration coverage for the consistent-hash ring,
+ * clusterSupportError named reasons, the dispatcher, sharded-registrar
+ * miss-forwarding vs replication, and cluster determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/dispatcher.hh"
+#include "core/location.hh"
+#include "workload/scenario.hh"
+
+namespace {
+
+using namespace siprox;
+using namespace siprox::workload;
+
+// --- goldens captured from the pre-Topology runner (commit 44afd5e) ---
+
+const char kSingleUdpSeed7[] =
+    "ops=24\n"
+    "callsCompleted=12\n"
+    "callsFailed=0\n"
+    "phoneRetransmissions=0\n"
+    "reconnects=0\n"
+    "reconnectFailures=0\n"
+    "duration=2227622\n"
+    "inviteP50=376831\n"
+    "inviteP99=425983\n"
+    "timedOut=0\n"
+    "messagesIn=80\n"
+    "requestsIn=44\n"
+    "responsesIn=36\n"
+    "forwards=72\n"
+    "localReplies=20\n"
+    "parseErrors=0\n"
+    "routeFailures=0\n"
+    "retransAbsorbed=0\n"
+    "retransSent=0\n"
+    "retransTimeouts=0\n"
+    "timerB408s=0\n"
+    "registrations=8\n"
+    "connsAccepted=0\n"
+    "connsDestroyed=0\n"
+    "outboundConnects=0\n"
+    "overloadRejected=0\n"
+    "overloadThrottled=0\n"
+    "overloadPanicDrops=0\n"
+    "overloadShedEnters=0\n"
+    "overloadShedExits=0\n"
+    "tcpReadPauses=0\n"
+    "tcpReadResumes=0\n"
+    "tcpAcceptPauses=0\n"
+    "phoneRejected503=0\n"
+    "phoneBackoffs=0\n"
+    "proxyRecvQueueDrops=0\n"
+    "proxyAcceptRefused=0\n"
+    "occupancySamples=0\n"
+    "udpSent=172\n"
+    "udpDelivered=172\n"
+    "udpLost=0\n"
+    "udpDropped=0\n"
+    "tcpConnects=0\n"
+    "tcpRefused=0\n"
+    "tcpSegments=0\n"
+    "tcpBytes=0\n"
+    "sctpMessages=0\n"
+    "sctpDropped=0\n"
+    "sctpAssocs=0\n"
+    "faultDropped=0\n"
+    "faultDuplicated=0\n"
+    "faultDelayed=0\n"
+    "tcpFaultRefused=0\n"
+    "tcpRstInjected=0\n"
+    "tcpBlackholed=0\n"
+    "tcpRecoveries=0\n"
+    "txnEntriesAtEnd=48\n"
+    "retransEntriesAtEnd=0\n"
+    "connEntriesAtEnd=0\n";
+
+const char kChain3UdpRateSeed42[] =
+    "ops=24\n"
+    "callsCompleted=12\n"
+    "callsFailed=0\n"
+    "phoneRetransmissions=0\n"
+    "reconnects=0\n"
+    "reconnectFailures=0\n"
+    "duration=4533502\n"
+    "inviteP50=786431\n"
+    "inviteP99=851967\n"
+    "timedOut=0\n"
+    "messagesIn=248\n"
+    "requestsIn=116\n"
+    "responsesIn=132\n"
+    "forwards=216\n"
+    "localReplies=44\n"
+    "parseErrors=0\n"
+    "routeFailures=0\n"
+    "retransAbsorbed=0\n"
+    "retransSent=0\n"
+    "retransTimeouts=0\n"
+    "timerB408s=0\n"
+    "registrations=8\n"
+    "connsAccepted=0\n"
+    "connsDestroyed=0\n"
+    "outboundConnects=0\n"
+    "overloadRejected=0\n"
+    "overloadThrottled=0\n"
+    "overloadPanicDrops=0\n"
+    "overloadShedEnters=0\n"
+    "overloadShedExits=0\n"
+    "tcpReadPauses=0\n"
+    "tcpReadResumes=0\n"
+    "tcpAcceptPauses=0\n"
+    "phoneRejected503=0\n"
+    "phoneBackoffs=0\n"
+    "proxyRecvQueueDrops=0\n"
+    "proxyAcceptRefused=0\n"
+    "occupancySamples=0\n"
+    "udpSent=340\n"
+    "udpDelivered=340\n"
+    "udpLost=0\n"
+    "udpDropped=0\n"
+    "tcpConnects=0\n"
+    "tcpRefused=0\n"
+    "tcpSegments=0\n"
+    "tcpBytes=0\n"
+    "sctpMessages=0\n"
+    "sctpDropped=0\n"
+    "sctpAssocs=0\n"
+    "faultDropped=0\n"
+    "faultDuplicated=0\n"
+    "faultDelayed=0\n"
+    "tcpFaultRefused=0\n"
+    "tcpRstInjected=0\n"
+    "tcpBlackholed=0\n"
+    "tcpRecoveries=0\n"
+    "txnEntriesAtEnd=144\n"
+    "retransEntriesAtEnd=0\n"
+    "connEntriesAtEnd=0\n"
+    "hopFeedbackSent=152\n"
+    "hopFeedbackApplied=96\n"
+    "hopThrottleHolds=0\n"
+    "hopThrottleRejects=0\n"
+    "hopThrottleDrops=0\n"
+    "hopGrantExpired=0\n"
+    "chainHops=3\n"
+    "hop0.messagesIn=88\n"
+    "hop0.forwards=72\n"
+    "hop0.localReplies=16\n"
+    "hop0.retransAbsorbed=0\n"
+    "hop0.timerB408s=0\n"
+    "hop0.overloadRejected=0\n"
+    "hop0.overloadThrottled=0\n"
+    "hop0.overloadPanicDrops=0\n"
+    "hop0.hopFeedbackSent=52\n"
+    "hop0.hopFeedbackApplied=48\n"
+    "hop0.hopThrottleHolds=0\n"
+    "hop0.hopThrottleRejects=0\n"
+    "hop0.hopThrottleDrops=0\n"
+    "hop0.hopGrantExpired=0\n"
+    "hop1.messagesIn=84\n"
+    "hop1.forwards=72\n"
+    "hop1.localReplies=12\n"
+    "hop1.retransAbsorbed=0\n"
+    "hop1.timerB408s=0\n"
+    "hop1.overloadRejected=0\n"
+    "hop1.overloadThrottled=0\n"
+    "hop1.overloadPanicDrops=0\n"
+    "hop1.hopFeedbackSent=48\n"
+    "hop1.hopFeedbackApplied=48\n"
+    "hop1.hopThrottleHolds=0\n"
+    "hop1.hopThrottleRejects=0\n"
+    "hop1.hopThrottleDrops=0\n"
+    "hop1.hopGrantExpired=0\n"
+    "hop2.messagesIn=76\n"
+    "hop2.forwards=72\n"
+    "hop2.localReplies=16\n"
+    "hop2.retransAbsorbed=0\n"
+    "hop2.timerB408s=0\n"
+    "hop2.overloadRejected=0\n"
+    "hop2.overloadThrottled=0\n"
+    "hop2.overloadPanicDrops=0\n"
+    "hop2.hopFeedbackSent=52\n"
+    "hop2.hopFeedbackApplied=0\n"
+    "hop2.hopThrottleHolds=0\n"
+    "hop2.hopThrottleRejects=0\n"
+    "hop2.hopThrottleDrops=0\n"
+    "hop2.hopGrantExpired=0\n";
+
+const char kChain2TcpSeed5[] =
+    "ops=24\n"
+    "callsCompleted=12\n"
+    "callsFailed=0\n"
+    "phoneRetransmissions=0\n"
+    "reconnects=0\n"
+    "reconnectFailures=0\n"
+    "duration=5969729\n"
+    "inviteP50=950271\n"
+    "inviteP99=1179647\n"
+    "timedOut=0\n"
+    "messagesIn=164\n"
+    "requestsIn=80\n"
+    "responsesIn=84\n"
+    "forwards=144\n"
+    "localReplies=32\n"
+    "parseErrors=0\n"
+    "routeFailures=0\n"
+    "retransAbsorbed=0\n"
+    "retransSent=0\n"
+    "retransTimeouts=0\n"
+    "timerB408s=0\n"
+    "registrations=8\n"
+    "connsAccepted=12\n"
+    "connsDestroyed=0\n"
+    "outboundConnects=4\n"
+    "overloadRejected=0\n"
+    "overloadThrottled=0\n"
+    "overloadPanicDrops=0\n"
+    "overloadShedEnters=0\n"
+    "overloadShedExits=0\n"
+    "tcpReadPauses=0\n"
+    "tcpReadResumes=0\n"
+    "tcpAcceptPauses=0\n"
+    "phoneRejected503=0\n"
+    "phoneBackoffs=0\n"
+    "proxyRecvQueueDrops=0\n"
+    "proxyAcceptRefused=0\n"
+    "occupancySamples=0\n"
+    "udpSent=0\n"
+    "udpDelivered=0\n"
+    "udpLost=0\n"
+    "udpDropped=0\n"
+    "tcpConnects=12\n"
+    "tcpRefused=0\n"
+    "tcpSegments=256\n"
+    "tcpBytes=82476\n"
+    "sctpMessages=0\n"
+    "sctpDropped=0\n"
+    "sctpAssocs=0\n"
+    "faultDropped=0\n"
+    "faultDuplicated=0\n"
+    "faultDelayed=0\n"
+    "tcpFaultRefused=0\n"
+    "tcpRstInjected=0\n"
+    "tcpBlackholed=0\n"
+    "tcpRecoveries=0\n"
+    "txnEntriesAtEnd=96\n"
+    "retransEntriesAtEnd=0\n"
+    "connEntriesAtEnd=16\n"
+    "chainHops=2\n"
+    "hop0.messagesIn=88\n"
+    "hop0.forwards=72\n"
+    "hop0.localReplies=16\n"
+    "hop0.retransAbsorbed=0\n"
+    "hop0.timerB408s=0\n"
+    "hop0.overloadRejected=0\n"
+    "hop0.overloadThrottled=0\n"
+    "hop0.overloadPanicDrops=0\n"
+    "hop0.hopFeedbackSent=0\n"
+    "hop0.hopFeedbackApplied=0\n"
+    "hop0.hopThrottleHolds=0\n"
+    "hop0.hopThrottleRejects=0\n"
+    "hop0.hopThrottleDrops=0\n"
+    "hop0.hopGrantExpired=0\n"
+    "hop1.messagesIn=76\n"
+    "hop1.forwards=72\n"
+    "hop1.localReplies=16\n"
+    "hop1.retransAbsorbed=0\n"
+    "hop1.timerB408s=0\n"
+    "hop1.overloadRejected=0\n"
+    "hop1.overloadThrottled=0\n"
+    "hop1.overloadPanicDrops=0\n"
+    "hop1.hopFeedbackSent=0\n"
+    "hop1.hopFeedbackApplied=0\n"
+    "hop1.hopThrottleHolds=0\n"
+    "hop1.hopThrottleRejects=0\n"
+    "hop1.hopThrottleDrops=0\n"
+    "hop1.hopGrantExpired=0\n";
+
+/** The exact scenario recipe the goldens were captured with. */
+Scenario
+goldenScenario(core::Transport transport, std::size_t hops)
+{
+    Scenario sc;
+    sc.proxy.transport = transport;
+    sc.proxy.workers = 4;
+    sc.clients = 4;
+    sc.callsPerClient = 3;
+    sc.clientMachines = 2;
+    sc.serverCores = 2;
+    sc.maxDuration = sim::secs(120);
+    sc.chain.assign(hops, ChainHop{});
+    return sc;
+}
+
+/** A small clustered scenario that still exercises every data path. */
+Scenario
+clusterScenario(core::Transport transport, int instances,
+                core::DispatchPolicy policy)
+{
+    Scenario sc;
+    sc.proxy.transport = transport;
+    sc.proxy.stateful = true;
+    sc.clients = 16;
+    sc.callsPerClient = 4;
+    sc.clientMachines = 2;
+    sc.serverCores = 2;
+    sc.seed = 11;
+    sc.maxDuration = sim::secs(120);
+    sc.cluster.instances = instances;
+    sc.cluster.policy = policy;
+    return sc;
+}
+
+// ---------------------------------------------------------------------
+// Tentpole pin: with Scenario::cluster unset, the Topology layer must
+// reproduce the pre-refactor runner byte-for-byte -- single proxy and
+// chains alike. A diff here means the extraction changed observable
+// behaviour and must be explained in the same commit.
+// ---------------------------------------------------------------------
+
+TEST(Topology, SingleProxyAndChainDigestsUnchangedByTopology)
+{
+    {
+        Scenario sc = goldenScenario(core::Transport::Udp, 0);
+        sc.seed = 7;
+        EXPECT_EQ(runScenario(sc).digest(), kSingleUdpSeed7);
+    }
+    {
+        Scenario sc = goldenScenario(core::Transport::Udp, 3);
+        sc.seed = 42;
+        sc.proxy.overload.hop.scheme = core::FeedbackScheme::Rate;
+        EXPECT_EQ(runScenario(sc).digest(), kChain3UdpRateSeed42);
+    }
+    {
+        Scenario sc = goldenScenario(core::Transport::Tcp, 2);
+        sc.seed = 5;
+        EXPECT_EQ(runScenario(sc).digest(), kChain2TcpSeed5);
+    }
+}
+
+TEST(Topology, DigestHasNoClusterGroupWhenClusterUnset)
+{
+    Scenario sc = goldenScenario(core::Transport::Udp, 0);
+    sc.seed = 7;
+    RunResult r = runScenario(sc);
+    EXPECT_EQ(r.clusterInstances, 0);
+    EXPECT_EQ(r.digest().find("clusterInstances"), std::string::npos);
+}
+
+// --- consistent-hash ring ---------------------------------------------
+
+TEST(HashRing, OwnerIsDeterministicAndInRange)
+{
+    core::HashRing a, b;
+    a.build(4, 64);
+    b.build(4, 64);
+    for (int k = 0; k < 200; ++k) {
+        std::string key = "c" + std::to_string(k);
+        int owner = a.owner(key);
+        EXPECT_GE(owner, 0);
+        EXPECT_LT(owner, 4);
+        EXPECT_EQ(owner, b.owner(key)); // same build, same answers
+    }
+}
+
+TEST(HashRing, EveryInstanceOwnsASliceOfTheKeyspace)
+{
+    for (int n : {2, 4, 8, 16}) {
+        core::HashRing ring;
+        ring.build(n, 64);
+        std::vector<int> hits(n, 0);
+        for (int k = 0; k < 2000; ++k)
+            ++hits[ring.owner("c" + std::to_string(k))];
+        for (int i = 0; i < n; ++i)
+            EXPECT_GT(hits[i], 0)
+                << "instance " << i << " of " << n
+                << " owns no keys (hash not avalanching?)";
+    }
+}
+
+TEST(HashRing, EmptyRingReportsNoOwner)
+{
+    core::HashRing ring;
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.owner("anything"), -1);
+    ring.build(0, 64);
+    EXPECT_EQ(ring.owner("anything"), -1);
+}
+
+TEST(HashRing, MostKeysKeepTheirOwnerWhenARingGrows)
+{
+    // Consistent hashing's point: adding an instance remaps only the
+    // slice the new instance takes over, not the whole keyspace.
+    core::HashRing four, five;
+    four.build(4, 64);
+    five.build(5, 64);
+    int moved = 0;
+    const int kKeys = 2000;
+    for (int k = 0; k < kKeys; ++k) {
+        std::string key = "c" + std::to_string(k);
+        if (four.owner(key) != five.owner(key))
+            ++moved;
+    }
+    // Ideal is 1/5 of keys; allow generous slack but far below the
+    // ~4/5 a mod-N scheme would remap.
+    EXPECT_LT(moved, kKeys / 2);
+}
+
+// --- scenario validation ---------------------------------------------
+
+TEST(ClusterValidation, NamedReasonsForUnsupportedCombos)
+{
+    Scenario ok = clusterScenario(core::Transport::Udp, 2,
+                                  core::DispatchPolicy::HashAor);
+    EXPECT_EQ(clusterSupportError(ok), nullptr);
+    ok.proxy.transport = core::Transport::Tcp;
+    EXPECT_EQ(clusterSupportError(ok), nullptr);
+
+    {
+        Scenario sc = ok;
+        sc.proxy.transport = core::Transport::Tls;
+        EXPECT_NE(clusterSupportError(sc), nullptr);
+    }
+    {
+        Scenario sc = ok;
+        sc.proxy.transport = core::Transport::Sctp;
+        EXPECT_NE(clusterSupportError(sc), nullptr);
+    }
+    {
+        Scenario sc = ok;
+        sc.chain.assign(2, ChainHop{});
+        EXPECT_NE(clusterSupportError(sc), nullptr);
+    }
+    {
+        Scenario sc = ok;
+        sc.cluster.instances = 17;
+        EXPECT_NE(clusterSupportError(sc), nullptr);
+    }
+    {
+        Scenario sc = ok;
+        sc.cluster.dispatcherCores = 0;
+        EXPECT_NE(clusterSupportError(sc), nullptr);
+    }
+    {
+        Scenario sc = ok;
+        sc.cluster.vnodes = 0;
+        EXPECT_NE(clusterSupportError(sc), nullptr);
+    }
+}
+
+TEST(ClusterValidation, RunScenarioThrowsTheNamedReason)
+{
+    Scenario sc = clusterScenario(core::Transport::Tls, 2,
+                                  core::DispatchPolicy::HashAor);
+    EXPECT_THROW(runScenario(sc), std::invalid_argument);
+}
+
+// --- cluster integration ---------------------------------------------
+
+TEST(Cluster, HashAorServesEveryLookupLocally)
+{
+    Scenario sc = clusterScenario(core::Transport::Udp, 2,
+                                  core::DispatchPolicy::HashAor);
+    RunResult r = runScenario(sc);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.callsFailed, 0u);
+    EXPECT_EQ(r.callsCompleted,
+              static_cast<std::uint64_t>(sc.clients)
+                  * sc.callsPerClient);
+    EXPECT_EQ(r.clusterInstances, 2);
+    // AOR-affine dispatch lands every INVITE on its shard owner.
+    EXPECT_EQ(r.counters.locMissForwards, 0u);
+    EXPECT_GT(r.counters.locLocalHits, 0u);
+    // REGISTERs are pinned to the AOR owner under every policy.
+    EXPECT_EQ(r.dispatcherStats.registersRouted,
+              r.counters.registrations);
+    EXPECT_GT(r.dispatcherStats.requestsRouted, 0u);
+    EXPECT_GT(r.dispatcherStats.responsesRouted, 0u);
+    EXPECT_EQ(r.dispatcherStats.dropsNoRoute, 0u);
+    EXPECT_EQ(r.dispatcherStats.peekFailures, 0u);
+}
+
+TEST(Cluster, RoundRobinForwardsMissesToTheShardOwner)
+{
+    Scenario hash = clusterScenario(core::Transport::Udp, 4,
+                                    core::DispatchPolicy::HashAor);
+    Scenario rr = clusterScenario(core::Transport::Udp, 4,
+                                  core::DispatchPolicy::RoundRobin);
+    RunResult rh = runScenario(hash);
+    RunResult rb = runScenario(rr);
+    EXPECT_EQ(rb.callsFailed, 0u);
+    EXPECT_EQ(rb.callsCompleted, rh.callsCompleted);
+    // RR lands most requests on a non-owner, which must charge a real
+    // inter-proxy forward; hash-AOR avoids nearly all of them.
+    EXPECT_GT(rb.counters.locMissForwards, 0u);
+    EXPECT_LT(rh.counters.locMissForwards,
+              rb.counters.locMissForwards);
+    // Forwarded-then-served lookups still resolve at the owner.
+    EXPECT_GT(rb.counters.locLocalHits, 0u);
+}
+
+TEST(Cluster, OwnersReplicateToEveryPeer)
+{
+    Scenario sc = clusterScenario(core::Transport::Udp, 4,
+                                  core::DispatchPolicy::HashAor);
+    RunResult r = runScenario(sc);
+    EXPECT_GT(r.counters.locReplPushes, 0u);
+    // Each owner push fans out to the other instances-1 replicas.
+    EXPECT_EQ(r.counters.locReplInstalls,
+              r.counters.locReplPushes
+                  * static_cast<std::uint64_t>(sc.cluster.instances
+                                               - 1));
+}
+
+TEST(Cluster, StaleReadsServeFromLocalReplicas)
+{
+    Scenario sc = clusterScenario(core::Transport::Udp, 4,
+                                  core::DispatchPolicy::RoundRobin);
+    sc.cluster.staleReads = true;
+    sc.cluster.replicationLag = sim::msecs(1);
+    RunResult r = runScenario(sc);
+    EXPECT_EQ(r.callsFailed, 0u);
+    // With a 1ms lag the replicas are installed before the calls, so
+    // non-owner lookups hit locally instead of miss-forwarding.
+    EXPECT_GT(r.counters.locReplicaHits, 0u);
+    Scenario fwd = clusterScenario(core::Transport::Udp, 4,
+                                   core::DispatchPolicy::RoundRobin);
+    RunResult rf = runScenario(fwd);
+    EXPECT_LT(r.counters.locMissForwards,
+              rf.counters.locMissForwards);
+}
+
+TEST(Cluster, TcpClusterCompletesAllCalls)
+{
+    Scenario sc = clusterScenario(core::Transport::Tcp, 2,
+                                  core::DispatchPolicy::HashAor);
+    RunResult r = runScenario(sc);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.callsFailed, 0u);
+    EXPECT_EQ(r.callsCompleted,
+              static_cast<std::uint64_t>(sc.clients)
+                  * sc.callsPerClient);
+    EXPECT_GT(r.dispatcherStats.clientConnsAccepted, 0u);
+}
+
+TEST(Cluster, AorPreseedPopulatesShards)
+{
+    Scenario sc = clusterScenario(core::Transport::Udp, 2,
+                                  core::DispatchPolicy::HashAor);
+    sc.cluster.aorPopulation = 5000;
+    RunResult r = runScenario(sc);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.callsFailed, 0u);
+    // The per-instance counters and dispatcher balance survive into
+    // the result and the digest's cluster group.
+    ASSERT_EQ(static_cast<int>(r.instanceCounters.size()),
+              r.clusterInstances);
+    std::string d = r.digest();
+    EXPECT_NE(d.find("clusterInstances=2"), std::string::npos);
+    EXPECT_NE(d.find("inst0.messagesIn="), std::string::npos);
+    EXPECT_NE(d.find("inst1.messagesIn="), std::string::npos);
+}
+
+TEST(Cluster, SameSeedSameDigest)
+{
+    Scenario sc = clusterScenario(core::Transport::Udp, 2,
+                                  core::DispatchPolicy::HashAor);
+    RunResult a = runScenario(sc);
+    RunResult b = runScenario(sc);
+    EXPECT_EQ(a.digest(), b.digest());
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Direct unit tests for the core::Registrar location database:
+ * bind/refresh semantics, expiry-aware lookup with lazy reclamation,
+ * bulk expiry sweeps, and the replication wire format used by the
+ * sharded cluster location service.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/location.hh"
+#include "core/registrar.hh"
+#include "sip/uri.hh"
+
+namespace {
+
+using namespace siprox;
+using namespace siprox::core;
+
+Binding
+bindingTo(const std::string &host, int port,
+          sim::SimTime expiresAt = 0)
+{
+    Binding b;
+    b.contact.user = "alice";
+    b.contact.host = host;
+    b.contact.port = port;
+    b.expiresAt = expiresAt;
+    return b;
+}
+
+TEST(Registrar, BindThenLookupReturnsContact)
+{
+    Registrar reg;
+    EXPECT_EQ(reg.size(), 0u);
+    EXPECT_FALSE(reg.lookup("alice").has_value());
+
+    reg.update("alice", bindingTo("10.0.0.5", 5060));
+    ASSERT_EQ(reg.size(), 1u);
+    auto hit = reg.lookup("alice");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->contact.host, "10.0.0.5");
+    EXPECT_EQ(hit->contact.port, 5060);
+    EXPECT_FALSE(reg.lookup("bob").has_value());
+}
+
+TEST(Registrar, RefreshReplacesBindingInPlace)
+{
+    Registrar reg;
+    reg.update("alice", bindingTo("10.0.0.5", 5060));
+    reg.update("alice", bindingTo("10.0.0.9", 5062));
+    EXPECT_EQ(reg.size(), 1u); // refresh, not a second row
+    auto hit = reg.lookup("alice");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->contact.host, "10.0.0.9");
+    EXPECT_EQ(hit->contact.port, 5062);
+}
+
+TEST(Registrar, ExpiryAwareLookupReclaimsLazily)
+{
+    Registrar reg;
+    reg.update("alice", bindingTo("10.0.0.5", 5060, sim::secs(30)));
+
+    // Before expiry the binding is served.
+    auto hit = reg.lookup("alice", sim::secs(10));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->contact.host, "10.0.0.5");
+    EXPECT_EQ(reg.size(), 1u);
+
+    // At/after the expiry instant it is erased and reported absent.
+    EXPECT_FALSE(reg.lookup("alice", sim::secs(30)).has_value());
+    EXPECT_EQ(reg.size(), 0u);
+    EXPECT_FALSE(reg.lookup("alice", sim::secs(31)).has_value());
+}
+
+TEST(Registrar, ZeroExpiresAtNeverExpires)
+{
+    Registrar reg;
+    reg.update("alice", bindingTo("10.0.0.5", 5060, 0));
+    EXPECT_TRUE(reg.lookup("alice", sim::secs(100000)).has_value());
+    EXPECT_EQ(reg.expireOlderThan(sim::secs(100000)), 0u);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registrar, ExpireOlderThanSweepsOnlyExpired)
+{
+    Registrar reg;
+    reg.update("a", bindingTo("10.0.0.1", 5060, sim::secs(10)));
+    reg.update("b", bindingTo("10.0.0.2", 5060, sim::secs(20)));
+    reg.update("c", bindingTo("10.0.0.3", 5060, sim::secs(30)));
+    reg.update("d", bindingTo("10.0.0.4", 5060, 0));
+
+    EXPECT_EQ(reg.expireOlderThan(sim::secs(20)), 2u); // a and b
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_FALSE(reg.lookup("a").has_value());
+    EXPECT_FALSE(reg.lookup("b").has_value());
+    EXPECT_TRUE(reg.lookup("c").has_value());
+    EXPECT_TRUE(reg.lookup("d").has_value());
+}
+
+TEST(Registrar, RefreshExtendsExpiry)
+{
+    Registrar reg;
+    reg.update("alice", bindingTo("10.0.0.5", 5060, sim::secs(10)));
+    reg.update("alice", bindingTo("10.0.0.5", 5060, sim::secs(60)));
+    EXPECT_TRUE(reg.lookup("alice", sim::secs(30)).has_value());
+    EXPECT_FALSE(reg.lookup("alice", sim::secs(60)).has_value());
+}
+
+TEST(ReplicationWire, RoundTrips)
+{
+    std::string wire =
+        renderReplication("alice", "sip:alice@10.0.0.5:5060");
+    std::string user, contact;
+    ASSERT_TRUE(parseReplication(wire, user, contact));
+    EXPECT_EQ(user, "alice");
+    EXPECT_EQ(contact, "sip:alice@10.0.0.5:5060");
+}
+
+TEST(ReplicationWire, RejectsMalformed)
+{
+    std::string user, contact;
+    EXPECT_FALSE(parseReplication("", user, contact));
+    EXPECT_FALSE(parseReplication("NOPE a b", user, contact));
+    EXPECT_FALSE(parseReplication("REPL ", user, contact));
+    EXPECT_FALSE(parseReplication("REPL alice", user, contact));
+    EXPECT_FALSE(parseReplication("REPL alice ", user, contact));
+    EXPECT_FALSE(parseReplication("REPL  sip:a@b", user, contact));
+}
+
+} // namespace

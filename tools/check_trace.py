@@ -136,12 +136,13 @@ def check_timeseries(path):
     if not isinstance(series, list) or not series:
         fail("timeseries: series must be a non-empty array")
 
-    machines = set()
+    machines = []
+    bounds = {}        # machine -> [(startNs, endNs), ...]
     windows_checked = 0
     counters_checked = 0
     for s in series:
         name = s.get("machine", "?")
-        machines.add(name)
+        machines.append(name)
         totals = s.get("totals")
         windows = s.get("windows")
         if not isinstance(totals, dict) or not isinstance(windows,
@@ -166,6 +167,7 @@ def check_timeseries(path):
                 fail(f"timeseries: {name} window {i}: gap — startNs "
                      f"{start} != previous endNs {prev_end}")
             prev_start, prev_end = start, end
+            bounds.setdefault(name, []).append((start, end))
             for metric, v in w.get("counters", {}).items():
                 if not isinstance(v, int) or v < 0:
                     fail(f"timeseries: {name} window {i}: counter "
@@ -185,9 +187,48 @@ def check_timeseries(path):
             fail(f"timeseries: {name}: window counters missing from "
                  f"totals: {stray}")
 
+    # Per-instance labels must be unambiguous: the explain report and
+    # the cluster bench both key on the machine label, so a duplicate
+    # silently merges two instances' telemetry.
+    dupes = sorted(m for m, n in Counter(machines).items() if n > 1)
+    if dupes:
+        fail(f"timeseries: duplicate machine labels: {dupes}")
+
+    # Cluster runs (a series with arch "dispatcher") must carry one
+    # series per proxy instance — contiguously numbered proxy0..N-1 —
+    # and every instance must be present in every window: identical
+    # window boundaries across instances, so a per-instance comparison
+    # at any window index compares the same simulated interval.
+    if any(s.get("arch") == "dispatcher" for s in series):
+        import re
+        inst = {}
+        for s in series:
+            m = re.fullmatch(r"proxy(\d+)", s.get("machine", ""))
+            if m:
+                inst[int(m.group(1))] = s.get("machine")
+        if not inst:
+            fail("timeseries: dispatcher series without any "
+                 "proxy<i> instance series")
+        expect = set(range(len(inst)))
+        if set(inst) != expect:
+            fail(f"timeseries: instance labels not contiguous: "
+                 f"have {sorted(inst)}, expected {sorted(expect)}")
+        ref_name = inst[0]
+        ref_bounds = bounds.get(ref_name, [])
+        for i in sorted(inst):
+            got = bounds.get(inst[i], [])
+            if got != ref_bounds:
+                fail(f"timeseries: instance {inst[i]} windows differ "
+                     f"from {ref_name}: {len(got)} vs "
+                     f"{len(ref_bounds)} — every instance must be "
+                     f"present in every window")
+        print(f"check_trace: cluster labels ok: {len(inst)} "
+              f"instances x {len(ref_bounds)} aligned windows")
+
     print(f"check_trace: timeseries ok: {len(series)} series "
-          f"({len(machines)} machines), {windows_checked} windows, "
-          f"{counters_checked} counters reconciled with totals")
+          f"({len(set(machines))} machines), {windows_checked} "
+          f"windows, {counters_checked} counters reconciled with "
+          f"totals")
 
 
 def main():

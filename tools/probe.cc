@@ -59,6 +59,20 @@ constexpr const char *kUsage =
     "                       Installs the trace recorder so wait\n"
     "                       states can be ranked\n"
     "  --explain-json=FILE  same report as JSON\n"
+    "  --cluster=N          run N proxy instances behind a front-end\n"
+    "                       dispatcher with a sharded registrar\n"
+    "                       (default 0: single proxy, no dispatcher)\n"
+    "  --dispatch=POLICY    dispatcher routing policy: rr |\n"
+    "                       hash-callid | hash-aor (default hash-aor;\n"
+    "                       requires --cluster)\n"
+    "  --aors=N             pre-seed N registered AORs across the\n"
+    "                       cluster shards (requires --cluster)\n"
+    "  --repl-lag-ms=N      registrar replication lag in simulated\n"
+    "                       milliseconds (default 50; requires\n"
+    "                       --cluster)\n"
+    "  --stale              serve lookups from local replicas instead\n"
+    "                       of forwarding misses to the shard owner\n"
+    "                       (requires --cluster)\n"
     "  -h, --help           show this help and exit\n"
     "\n"
     "exit status: 0 ok, 1 artifact write failed, 2 usage error.\n";
@@ -116,6 +130,19 @@ parseTransport(const char *s)
                + "' (expected udp, tcp, tls, sctp, or sst)");
 }
 
+core::DispatchPolicy
+parseDispatchPolicy(const char *s)
+{
+    if (std::strcmp(s, "rr") == 0)
+        return core::DispatchPolicy::RoundRobin;
+    if (std::strcmp(s, "hash-callid") == 0)
+        return core::DispatchPolicy::HashCallId;
+    if (std::strcmp(s, "hash-aor") == 0)
+        return core::DispatchPolicy::HashAor;
+    usageError(std::string("unknown dispatch policy '") + s
+               + "' (expected rr, hash-callid, or hash-aor)");
+}
+
 core::ArchKind
 parseArch(const char *s)
 {
@@ -145,6 +172,12 @@ main(int argc, char **argv)
     long telemetry_ms = 0;
     double window_secs = 0;
     core::ArchKind arch = core::ArchKind::Auto;
+    long cluster = 0;
+    core::DispatchPolicy dispatch = core::DispatchPolicy::HashAor;
+    bool dispatch_set = false;
+    long aors = 0;
+    long repl_lag_ms = -1;
+    bool stale = false;
 
     // Split --options from positionals (options may appear anywhere).
     std::vector<const char *> pos;
@@ -169,6 +202,18 @@ main(int argc, char **argv)
             timeseries_out = a + 17;
         else if (std::strncmp(a, "--timeseries-csv=", 17) == 0)
             timeseries_csv = a + 17;
+        else if (std::strncmp(a, "--cluster=", 10) == 0)
+            cluster = parseLong("--cluster", a + 10, 1, 16);
+        else if (std::strncmp(a, "--dispatch=", 11) == 0) {
+            dispatch = parseDispatchPolicy(a + 11);
+            dispatch_set = true;
+        } else if (std::strncmp(a, "--aors=", 7) == 0)
+            aors = parseLong("--aors", a + 7, 0, 1000000);
+        else if (std::strncmp(a, "--repl-lag-ms=", 14) == 0)
+            repl_lag_ms =
+                parseLong("--repl-lag-ms", a + 14, 0, 60000);
+        else if (std::strcmp(a, "--stale") == 0)
+            stale = true;
         else if (std::strncmp(a, "--explain-json=", 15) == 0)
             explain_json = a + 15;
         else if (std::strncmp(a, "--explain=", 10) == 0)
@@ -218,6 +263,26 @@ main(int argc, char **argv)
     sc.proxy.idleStrategy = pq ? core::IdleStrategy::PriorityQueue
                                : core::IdleStrategy::LinearScan;
     sc.proxy.supervisorNice = nice;
+
+    if (cluster == 0
+        && (dispatch_set || aors > 0 || repl_lag_ms >= 0 || stale))
+        usageError("--dispatch, --aors, --repl-lag-ms, and --stale "
+                   "require --cluster=N");
+    if (cluster > 0) {
+        sc.cluster.instances = static_cast<int>(cluster);
+        sc.cluster.policy = dispatch;
+        sc.cluster.aorPopulation =
+            static_cast<std::uint64_t>(aors);
+        if (repl_lag_ms >= 0)
+            sc.cluster.replicationLag = sim::msecs(repl_lag_ms);
+        sc.cluster.staleReads = stale;
+        sc.name = "cluster" + std::to_string(cluster) + "-"
+            + core::dispatchPolicyName(dispatch) + "/" + sc.name;
+        if (const char *err = clusterSupportError(sc))
+            usageError(std::string("--cluster=")
+                       + std::to_string(cluster) + " with "
+                       + core::transportName(tr) + ": " + err);
+    }
 
     // Windowed telemetry: any telemetry artifact implies sampling at
     // the default 100ms window unless --telemetry-ms chose one.
@@ -318,6 +383,22 @@ main(int argc, char **argv)
         (unsigned long)r.reconnects,
         (unsigned long)r.reconnectFailures,
         (unsigned long)r.counters.sendsToDeadConns);
+    if (r.clusterInstances > 0) {
+        std::printf(
+            "cluster: instances=%d dispIn=%lu dispReq=%lu "
+            "dispRsp=%lu dispReg=%lu drops=%lu locHit=%lu "
+            "replicaHit=%lu missFwd=%lu replInst=%lu\n",
+            r.clusterInstances,
+            (unsigned long)r.dispatcherStats.messagesIn,
+            (unsigned long)r.dispatcherStats.requestsRouted,
+            (unsigned long)r.dispatcherStats.responsesRouted,
+            (unsigned long)r.dispatcherStats.registersRouted,
+            (unsigned long)r.dispatcherStats.dropsNoRoute,
+            (unsigned long)r.counters.locLocalHits,
+            (unsigned long)r.counters.locReplicaHits,
+            (unsigned long)r.counters.locMissForwards,
+            (unsigned long)r.counters.locReplInstalls);
+    }
     std::puts("top profile:");
     std::fputs(r.serverProfile.report(12).c_str(), stdout);
     return rc;

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Exit-code and --help coverage for probe's cluster flags: invalid
+# combinations must exit 2 with the named reason on stderr, valid runs
+# exit 0, and --help documents every flag. Registered as a ctest by
+# tools/CMakeLists.txt; $1 is the probe binary.
+set -u
+PROBE="$1"
+rc=0
+fail() {
+    echo "FAIL: $*"
+    rc=1
+}
+
+# --help exits 0 and documents the cluster flags.
+help_out=$("$PROBE" --help) || fail "--help exited nonzero"
+for flag in '--cluster=N' '--dispatch=POLICY' '--aors=N' \
+    '--repl-lag-ms=N' '--stale'; do
+    case "$help_out" in
+    *"$flag"*) ;;
+    *) fail "--help does not document $flag" ;;
+    esac
+done
+
+# expect_usage <description> <expected-stderr-fragment> <args...>
+expect_usage() {
+    desc="$1"
+    want="$2"
+    shift 2
+    err=$("$PROBE" "$@" 2>&1 >/dev/null)
+    code=$?
+    [ "$code" -eq 2 ] || fail "$desc: exit $code, expected 2"
+    case "$err" in
+    *"$want"*) ;;
+    *) fail "$desc: stderr lacks '$want': $err" ;;
+    esac
+}
+
+expect_usage "dispatch without cluster" "require --cluster" \
+    --dispatch=rr udp
+expect_usage "aors without cluster" "require --cluster" --aors=100 udp
+expect_usage "stale without cluster" "require --cluster" --stale udp
+expect_usage "cluster over TLS" "does not terminate TLS" \
+    --cluster=2 tls
+expect_usage "cluster over SCTP" "" --cluster=2 sctp
+expect_usage "cluster out of range" "out of range" --cluster=99 udp
+expect_usage "unknown dispatch policy" "unknown dispatch policy" \
+    --cluster=2 --dispatch=bogus udp
+
+# A valid clustered run exits 0 and reports the cluster counters.
+run_out=$("$PROBE" --cluster=2 --dispatch=hash-aor --aors=1000 \
+    --window=0.5 udp 20) || fail "valid cluster run exited nonzero"
+case "$run_out" in
+*"cluster: instances=2"*) ;;
+*) fail "cluster run did not print the cluster counter line" ;;
+esac
+
+[ "$rc" -eq 0 ] && echo "probe cluster CLI coverage: all checks passed"
+exit "$rc"
